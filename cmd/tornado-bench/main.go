@@ -1,0 +1,86 @@
+// Command tornado-bench regenerates the paper's evaluation artifacts
+// (Section 6): every table and figure has a named experiment whose output is
+// the same rows/series the paper reports.
+//
+// Usage:
+//
+//	tornado-bench [-scale small|full] [-experiment id|all]
+//
+// Experiment IDs: fig5a fig5b fig5c fig6 fig7 tab2 (includes fig8a) fig8b
+// fig8c fig8d fig9 tab3.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"tornado/internal/bench"
+)
+
+type experiment struct {
+	id   string
+	desc string
+	run  func(bench.Scale) (fmt.Stringer, error)
+}
+
+func wrap[T fmt.Stringer](f func(bench.Scale) (T, error)) func(bench.Scale) (fmt.Stringer, error) {
+	return func(s bench.Scale) (fmt.Stringer, error) {
+		r, err := f(s)
+		return r, err
+	}
+}
+
+var experiments = []experiment{
+	{"fig5a", "SSSP: batch epoch sweep vs approximate (p99 latency)", wrap(bench.RunFig5a)},
+	{"fig5b", "PageRank: batch epoch sweep vs approximate", wrap(bench.RunFig5b)},
+	{"fig5c", "KMeans: approximation does not beat small batches", wrap(bench.RunFig5c)},
+	{"fig6", "SVM: approximation error vs adaption rate; branch times", wrap(bench.RunFig6)},
+	{"fig7", "LR: static vs bold-driver descent rates on drift", wrap(bench.RunFig7)},
+	{"tab2", "SSSP loop summaries under delay bounds (with Fig 8a)", wrap(bench.RunTable2)},
+	{"fig8b", "LR under delay bounds with a straggler", wrap(bench.RunFig8b)},
+	{"fig8c", "SSSP across a master failure", wrap(bench.RunFig8c)},
+	{"fig8d", "SSSP across a processor failure", wrap(bench.RunFig8d)},
+	{"fig9", "scalability: speedup and message throughput", wrap(bench.RunFig9)},
+	{"tab3", "system comparison: spark/graphlab/naiad-like vs tornado", wrap(bench.RunTable3)},
+	{"ablation", "design-choice ablations (prepare-skip, fork fast path, store backend)", wrap(bench.RunAblations)},
+}
+
+func main() {
+	scaleFlag := flag.String("scale", "full", "workload scale: small or full")
+	expFlag := flag.String("experiment", "all", "experiment id or 'all'")
+	listFlag := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *listFlag {
+		for _, e := range experiments {
+			fmt.Printf("%-6s %s\n", e.id, e.desc)
+		}
+		return
+	}
+	scale, err := bench.ScaleByName(*scaleFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ran := 0
+	for _, e := range experiments {
+		if *expFlag != "all" && *expFlag != e.id {
+			continue
+		}
+		ran++
+		fmt.Printf("==> %s (%s scale): %s\n", e.id, scale.Name, e.desc)
+		start := time.Now()
+		rep, err := e.run(scale)
+		if err != nil {
+			log.Fatalf("%s: %v", e.id, err)
+		}
+		fmt.Print(rep.String())
+		fmt.Printf("    [%s completed in %v]\n\n", e.id, time.Since(start).Round(time.Millisecond))
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *expFlag)
+		os.Exit(2)
+	}
+}

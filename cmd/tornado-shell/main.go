@@ -1,0 +1,189 @@
+// Command tornado-shell is an interactive Tornado session: feed edges of an
+// evolving graph line by line and query the exact fixed point (SSSP or
+// PageRank) at any instant. It demonstrates the main-loop / branch-loop
+// split live: ingestion never blocks on queries and queries never wait for
+// recomputation.
+//
+// Usage:
+//
+//	tornado-shell [-algo sssp|pagerank] [-source N] [-procs N] [-bound B]
+//
+// Commands (also via piped stdin):
+//
+//	add <src> <dst>      insert the edge src -> dst
+//	remove <src> <dst>   retract the edge
+//	load <n> <epv> <seed> generate a power-law graph and ingest it
+//	query                fork a branch loop and print the fixed point
+//	approx               print the main loop's current approximation
+//	merge                query, then merge the result back (Section 5.2)
+//	stats                runtime counters
+//	help                 this text
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"tornado"
+	"tornado/internal/algorithms"
+	"tornado/internal/datasets"
+	"tornado/internal/stream"
+)
+
+func main() {
+	algo := flag.String("algo", "sssp", "algorithm: sssp or pagerank")
+	source := flag.Uint64("source", 0, "SSSP source vertex")
+	procs := flag.Int("procs", 4, "processors")
+	bound := flag.Int64("bound", 64, "delay bound B (1 = synchronous)")
+	flag.Parse()
+
+	var prog tornado.Program
+	var render func(id tornado.VertexID, state any) string
+	switch *algo {
+	case "sssp":
+		prog = algorithms.SSSP{Source: tornado.VertexID(*source)}
+		render = func(id tornado.VertexID, state any) string {
+			d := state.(*algorithms.SSSPState).Length
+			if d >= algorithms.Unreachable {
+				return fmt.Sprintf("%d: unreachable", id)
+			}
+			return fmt.Sprintf("%d: %d hops", id, d)
+		}
+	case "pagerank":
+		prog = algorithms.PageRank{Epsilon: 1e-4}
+		render = func(id tornado.VertexID, state any) string {
+			return fmt.Sprintf("%d: rank %.4f", id, state.(*algorithms.PageRankState).Rank)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algo)
+		os.Exit(2)
+	}
+
+	sys, err := tornado.New(prog, tornado.Options{Processors: *procs, DelayBound: *bound})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer sys.Close()
+
+	fmt.Printf("tornado-shell: %s, %d processors, B=%d (type 'help')\n", *algo, *procs, *bound)
+	ts := stream.Timestamp(0)
+	sc := bufio.NewScanner(os.Stdin)
+	for prompt(); sc.Scan(); prompt() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "add", "remove":
+			src, dst, err := parseEdge(fields)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			ts++
+			if fields[0] == "add" {
+				sys.Ingest(stream.AddEdge(ts, src, dst))
+			} else {
+				sys.Ingest(stream.RemoveEdge(ts, src, dst))
+			}
+		case "load":
+			if len(fields) != 4 {
+				fmt.Println("usage: load <vertices> <edges-per-vertex> <seed>")
+				continue
+			}
+			n, _ := strconv.Atoi(fields[1])
+			epv, _ := strconv.Atoi(fields[2])
+			seed, _ := strconv.ParseInt(fields[3], 10, 64)
+			tuples := datasets.PowerLawGraph(n, epv, seed)
+			sys.IngestAll(tuples)
+			fmt.Printf("ingested %d edge updates\n", len(tuples))
+		case "query":
+			runQuery(sys, render, false)
+		case "merge":
+			runQuery(sys, render, true)
+		case "approx":
+			var lines []string
+			err := sys.ScanApprox(func(id tornado.VertexID, state any) error {
+				lines = append(lines, render(id, state))
+				return nil
+			})
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			printSorted(lines)
+		case "stats":
+			s := sys.Stats()
+			fmt.Printf("updates=%d update-msgs=%d prepares=%d acks=%d inputs=%d iteration=%d\n",
+				s.Commits, s.UpdateMsgs, s.PrepareMsgs, s.AckMsgs, s.InputMsgs, s.Notified)
+		case "help":
+			fmt.Println("commands: add s d | remove s d | load n epv seed | query | merge | approx | stats | quit")
+		case "quit", "exit":
+			return
+		default:
+			fmt.Printf("unknown command %q (try 'help')\n", fields[0])
+		}
+	}
+}
+
+func prompt() {
+	fmt.Print("> ")
+}
+
+func parseEdge(fields []string) (src, dst tornado.VertexID, err error) {
+	if len(fields) != 3 {
+		return 0, 0, fmt.Errorf("usage: %s <src> <dst>", fields[0])
+	}
+	s, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	d, err := strconv.ParseUint(fields[2], 10, 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	return tornado.VertexID(s), tornado.VertexID(d), nil
+}
+
+func runQuery(sys *tornado.System, render func(tornado.VertexID, any) string, merge bool) {
+	res, err := sys.Query(time.Minute)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer res.Close()
+	var lines []string
+	err = res.Scan(func(id tornado.VertexID, state any) error {
+		lines = append(lines, render(id, state))
+		return nil
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	printSorted(lines)
+	fmt.Printf("(branch converged in %v, forked at iteration %d)\n",
+		res.Latency.Round(time.Microsecond), res.ForkIteration())
+	if merge {
+		if err := sys.Merge(res); err != nil {
+			fmt.Println("merge error:", err)
+			return
+		}
+		fmt.Println("(merged back into the main loop)")
+	}
+}
+
+func printSorted(lines []string) {
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(" ", l)
+	}
+}

@@ -1,0 +1,84 @@
+// Command quickstart is the smallest end-to-end Tornado program: it streams
+// edges of a growing graph into the main loop, lets the approximation catch
+// up, and issues branch-loop queries for exact single-source shortest paths
+// at two instants.
+//
+// Run it with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tornado"
+	"tornado/internal/algorithms"
+	"tornado/internal/stream"
+)
+
+func main() {
+	// The vertex program: Single-Source Shortest Path from vertex 0, as in
+	// Appendix B of the paper.
+	sys, err := tornado.New(algorithms.SSSP{Source: 0}, tornado.Options{
+		Processors: 4,
+		DelayBound: 64, // bounded asynchronous; 1 would be synchronous BSP
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	// A small road network arrives as a stream of edge insertions.
+	sys.IngestAll([]stream.Tuple{
+		stream.AddEdge(1, 0, 1), // 0 -> 1
+		stream.AddEdge(2, 1, 2), // 1 -> 2
+		stream.AddEdge(3, 2, 3), // 2 -> 3
+		stream.AddEdge(4, 0, 4), // 0 -> 4
+		stream.AddEdge(5, 4, 3), // 4 -> 3 (a shortcut: 3 is 2 hops away)
+	})
+
+	// Query the exact fixed point at this instant: a branch loop forks from
+	// the main loop's approximation and converges almost immediately.
+	res, err := sys.Query(time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("distances after the first five edges:")
+	printDistances(res)
+	res.Close()
+
+	// The graph keeps evolving: the shortcut is retracted and a new longer
+	// detour appears. The main loop adapts its approximation online.
+	sys.IngestAll([]stream.Tuple{
+		stream.RemoveEdge(6, 4, 3),
+		stream.AddEdge(7, 4, 5),
+		stream.AddEdge(8, 5, 3),
+	})
+
+	res, err = sys.Query(time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("distances after the retraction and detour:")
+	printDistances(res)
+	fmt.Printf("query converged in %v (forked at main-loop iteration %d)\n",
+		res.Latency.Round(time.Millisecond), res.ForkIteration())
+	res.Close()
+}
+
+func printDistances(res *tornado.Result) {
+	err := res.Scan(func(id tornado.VertexID, state any) error {
+		d := state.(*algorithms.SSSPState).Length
+		if d >= algorithms.Unreachable {
+			fmt.Printf("  vertex %d: unreachable\n", id)
+		} else {
+			fmt.Printf("  vertex %d: %d hops\n", id, d)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

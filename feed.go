@@ -1,0 +1,151 @@
+package tornado
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"tornado/internal/dataflow"
+	"tornado/internal/stream"
+)
+
+// Feed is a running ingestion topology attached to a System: a spout pulls
+// from a stream.Source, a router bolt partitions tuples by their routed
+// vertex (preserving per-vertex order), and a sink bolt ingests into the
+// main loop. Delivery is tracked with Storm-style tuple-tree acking — the
+// paper's ingesters are exactly such spouts (Section 5.1).
+type Feed struct {
+	topo  *dataflow.Topology
+	spout *sourceSpout
+}
+
+// sourceSpout adapts a stream.Source to the dataflow spout contract with
+// replay-on-failure.
+type sourceSpout struct {
+	mu        sync.Mutex
+	src       stream.Source
+	retry     []stream.Tuple
+	exhausted bool
+	emitted   int64
+	acked     int64
+}
+
+func (s *sourceSpout) Next() (any, bool) {
+	s.mu.Lock()
+	if len(s.retry) > 0 {
+		t := s.retry[0]
+		s.retry = s.retry[1:]
+		s.emitted++
+		s.mu.Unlock()
+		return t, true
+	}
+	if s.exhausted {
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.mu.Unlock()
+	// Pull outside the lock: Queue-backed sources block until data or
+	// Close.
+	t, err := s.src.Next()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if errors.Is(err, stream.ErrExhausted) {
+		s.exhausted = true
+		return nil, false
+	}
+	if err != nil {
+		s.exhausted = true
+		return nil, false
+	}
+	s.emitted++
+	return t, true
+}
+
+func (s *sourceSpout) Ack(any) {
+	s.mu.Lock()
+	s.acked++
+	s.mu.Unlock()
+}
+
+func (s *sourceSpout) Fail(p any) {
+	s.mu.Lock()
+	s.retry = append(s.retry, p.(stream.Tuple))
+	s.mu.Unlock()
+}
+
+func (s *sourceSpout) done() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.exhausted && len(s.retry) == 0 && s.acked == s.emitted
+}
+
+// AttachSource pulls tuples from src through a dataflow topology into the
+// main loop. routerTasks sets the router bolt's parallelism (it partitions
+// by routed vertex, so per-vertex tuple order is preserved). Close or
+// exhaust the source, then Wait for full delivery.
+func (s *System) AttachSource(src stream.Source, routerTasks int) (*Feed, error) {
+	if routerTasks < 1 {
+		routerTasks = 2
+	}
+	topo := dataflow.NewTopology(30 * time.Second)
+	spout := &sourceSpout{src: src}
+	if err := topo.AddSpout("source", spout); err != nil {
+		return nil, err
+	}
+	// The router exists to demonstrate/exercise fields grouping the way
+	// Storm topologies partition ingesters' output; the sink performs the
+	// actual ingest.
+	router := dataflow.BoltFunc(func(t dataflow.Tuple, c *dataflow.Collector) {
+		c.Emit(t.Payload)
+	})
+	sys := s
+	sink := dataflow.BoltFunc(func(t dataflow.Tuple, _ *dataflow.Collector) {
+		sys.Ingest(t.Payload.(stream.Tuple))
+	})
+	if err := topo.AddBolt("router", router, routerTasks); err != nil {
+		return nil, err
+	}
+	if err := topo.AddBolt("ingest", sink, routerTasks); err != nil {
+		return nil, err
+	}
+	routeKey := dataflow.Fields(func(p any) uint64 {
+		t := p.(stream.Tuple)
+		switch t.Kind {
+		case stream.KindAddEdge, stream.KindRemoveEdge:
+			return uint64(t.Src)
+		default:
+			return uint64(t.Dst)
+		}
+	})
+	if err := topo.Subscribe("router", "source", routeKey); err != nil {
+		return nil, err
+	}
+	if err := topo.Subscribe("ingest", "router", routeKey); err != nil {
+		return nil, err
+	}
+	if err := topo.Start(); err != nil {
+		return nil, err
+	}
+	return &Feed{topo: topo, spout: spout}, nil
+}
+
+// Wait blocks until the source is exhausted and every tuple tree has been
+// acknowledged (all input handed to the main loop).
+func (f *Feed) Wait(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if f.spout.done() && f.topo.PendingTrees() == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("tornado: feed did not drain within %v", timeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Stop tears the ingestion topology down. For blocking sources (such as
+// stream.Queue) close the source first, or Stop will wait on the pull in
+// flight.
+func (f *Feed) Stop() { f.topo.Stop() }

@@ -1,0 +1,81 @@
+package tornado
+
+import (
+	"testing"
+	"time"
+
+	"tornado/internal/algorithms"
+	"tornado/internal/datasets"
+	"tornado/internal/stream"
+)
+
+func TestAttachSourceFromSlice(t *testing.T) {
+	tuples := datasets.PowerLawGraph(100, 3, 19)
+	sys := newSSSP(t, Options{Processors: 3, DelayBound: 32})
+	feed, err := sys.AttachSource(stream.FromSlice(tuples), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer feed.Stop()
+	if err := feed.Wait(waitFor); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WaitQuiesce(waitFor); err != nil {
+		t.Fatal(err)
+	}
+	want := algorithms.RefSSSP(tuples, 0, 64)
+	err = sys.ScanApprox(func(id VertexID, state any) error {
+		if got := state.(*algorithms.SSSPState).Length; got != want[id] {
+			t.Fatalf("vertex %d: %d vs %d", id, got, want[id])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttachSourceFromQueue(t *testing.T) {
+	// A live queue: push while the feed runs, query mid-stream, then close.
+	tuples := datasets.PowerLawGraph(80, 3, 23)
+	half := len(tuples) / 2
+	sys := newSSSP(t, Options{Processors: 2, DelayBound: 32})
+	q := stream.NewQueue()
+	feed, err := sys.AttachSource(q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer feed.Stop()
+	q.Push(tuples[:half]...)
+	// Queries work while the feed is live.
+	deadline := time.Now().Add(waitFor)
+	for sys.Stats().InputMsgs < int64(half) {
+		if time.Now().After(deadline) {
+			t.Fatal("feed did not deliver the first half")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	res, err := sys.Query(waitFor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Close()
+	q.Push(tuples[half:]...)
+	q.Close()
+	if err := feed.Wait(waitFor); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WaitQuiesce(waitFor); err != nil {
+		t.Fatal(err)
+	}
+	want := algorithms.RefSSSP(tuples, 0, 64)
+	err = sys.ScanApprox(func(id VertexID, state any) error {
+		if got := state.(*algorithms.SSSPState).Length; got != want[id] {
+			t.Fatalf("vertex %d: %d vs %d", id, got, want[id])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module tornado
+
+go 1.22

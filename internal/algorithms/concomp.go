@@ -1,0 +1,134 @@
+package algorithms
+
+import (
+	"math"
+
+	"tornado/internal/engine"
+	"tornado/internal/graph"
+	"tornado/internal/stream"
+)
+
+// CCState is the per-vertex Connected Components state.
+type CCState struct {
+	// Label is the smallest vertex ID known to be in this component.
+	Label stream.VertexID
+	// Sent is the last emitted label.
+	Sent stream.VertexID
+	// SrcLabels records the latest label received from each producer.
+	SrcLabels map[stream.VertexID]stream.VertexID
+	// Started marks that Sent holds a real value.
+	Started bool
+}
+
+// ConnComp labels vertices with the minimum vertex ID reachable through the
+// (symmetrized) edge stream — the classic label-propagation connected
+// components. Callers must ingest each undirected edge in both directions
+// (see Symmetrize); label retraction under edge removal is not supported
+// (min-label propagation is not retraction-safe), matching the usual
+// streaming formulation.
+type ConnComp struct{}
+
+func init() {
+	engine.RegisterStateType(&CCState{})
+}
+
+// Init implements engine.Program.
+func (ConnComp) Init(ctx engine.Context) {
+	ctx.SetState(&CCState{Label: ctx.ID(), SrcLabels: make(map[stream.VertexID]stream.VertexID)})
+}
+
+// OnInput implements engine.Program.
+func (ConnComp) OnInput(engine.Context, stream.Tuple) {}
+
+// Gather implements engine.Program.
+func (ConnComp) Gather(ctx engine.Context, src stream.VertexID, _ int64, value any) {
+	st := ctx.State().(*CCState)
+	st.SrcLabels[src] = value.(stream.VertexID)
+}
+
+// Scatter implements engine.Program.
+func (ConnComp) Scatter(ctx engine.Context) {
+	st := ctx.State().(*CCState)
+	label := ctx.ID()
+	for _, l := range st.SrcLabels {
+		if l < label {
+			label = l
+		}
+	}
+	if label != st.Label {
+		ctx.ReportProgress(1)
+	}
+	st.Label = label
+	if !st.Started || label != st.Sent || ctx.Activated() {
+		st.Started = true
+		st.Sent = label
+		for _, t := range ctx.Targets() {
+			ctx.Emit(t, label)
+		}
+		return
+	}
+	for _, t := range ctx.AddedTargets() {
+		ctx.Emit(t, label)
+	}
+}
+
+// Labels extracts every vertex's component label from a loop.
+func Labels(e *engine.Engine) (map[stream.VertexID]stream.VertexID, error) {
+	out := make(map[stream.VertexID]stream.VertexID)
+	err := e.ScanStates(math.MaxInt64, func(id stream.VertexID, _ int64, state any) error {
+		out[id] = state.(*CCState).Label
+		return nil
+	})
+	return out, err
+}
+
+// Symmetrize duplicates every edge tuple in the reverse direction so
+// ConnComp sees an undirected graph.
+func Symmetrize(tuples []stream.Tuple) []stream.Tuple {
+	out := make([]stream.Tuple, 0, 2*len(tuples))
+	for _, t := range tuples {
+		out = append(out, t)
+		switch t.Kind {
+		case stream.KindAddEdge:
+			out = append(out, stream.AddEdge(t.Time, t.Dst, t.Src))
+		case stream.KindRemoveEdge:
+			out = append(out, stream.RemoveEdge(t.Time, t.Dst, t.Src))
+		}
+	}
+	return out
+}
+
+// RefConnComp computes component labels with union-find over the
+// symmetrized edges.
+func RefConnComp(tuples []stream.Tuple) map[stream.VertexID]stream.VertexID {
+	g := graph.New()
+	g.ApplyAll(tuples)
+	parent := make(map[stream.VertexID]stream.VertexID)
+	var find func(stream.VertexID) stream.VertexID
+	find = func(v stream.VertexID) stream.VertexID {
+		if parent[v] != v {
+			parent[v] = find(parent[v])
+		}
+		return parent[v]
+	}
+	for _, v := range g.Vertices() {
+		parent[v] = v
+	}
+	for _, u := range g.Vertices() {
+		for _, w := range g.Out(u) {
+			ru, rw := find(u), find(w)
+			if ru != rw {
+				if ru < rw {
+					parent[rw] = ru
+				} else {
+					parent[ru] = rw
+				}
+			}
+		}
+	}
+	out := make(map[stream.VertexID]stream.VertexID, len(parent))
+	for _, v := range g.Vertices() {
+		out[v] = find(v)
+	}
+	return out
+}

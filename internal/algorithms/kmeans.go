@@ -1,0 +1,345 @@
+package algorithms
+
+import (
+	"math"
+
+	"tornado/internal/datasets"
+	"tornado/internal/engine"
+	"tornado/internal/stream"
+)
+
+// KMSums is the partial assignment a block emits to one centroid: the vector
+// sum and count of the block's points currently assigned to it.
+type KMSums struct {
+	Sum   []float64
+	Count int64
+}
+
+// KMBlockState is the state of a point-block vertex.
+type KMBlockState struct {
+	Points []datasets.Point
+	// Cents is the latest position received from each centroid vertex.
+	Cents map[stream.VertexID][]float64
+	// LastSent is the last sums emitted to each centroid.
+	LastSent map[stream.VertexID]KMSums
+}
+
+// KMCentroidState is the state of a centroid vertex.
+type KMCentroidState struct {
+	Pos  []float64
+	Sent []float64
+	// Sums is the latest partial assignment received from each block.
+	Sums map[stream.VertexID]KMSums
+}
+
+// KMeans is the streaming KMeans vertex program. The topology is bipartite:
+// K centroid vertices (CentroidBase..CentroidBase+K-1) and B block vertices
+// (BlockBase..BlockBase+B-1), fully connected in both directions (use
+// KMeansEdges). Points arrive as KindValue tuples routed to blocks; each
+// block re-scans all of its points whenever any centroid moves — which is
+// why, as the paper observes in Figure 5c, a good initial guess does not
+// reduce KMeans' per-iteration cost.
+type KMeans struct {
+	CentroidBase stream.VertexID
+	BlockBase    stream.VertexID
+	K            int
+	// InitialCenters seeds the centroid positions (len K).
+	InitialCenters []datasets.Point
+	// Epsilon is the centroid-movement tolerance for quiescence (default 1e-6).
+	Epsilon float64
+}
+
+func init() {
+	engine.RegisterStateType(&KMBlockState{})
+	engine.RegisterStateType(&KMCentroidState{})
+}
+
+func (p KMeans) epsilon() float64 {
+	if p.Epsilon == 0 {
+		return 1e-6
+	}
+	return p.Epsilon
+}
+
+// isCentroid reports whether id is a centroid vertex.
+func (p KMeans) isCentroid(id stream.VertexID) bool {
+	return id >= p.CentroidBase && id < p.CentroidBase+stream.VertexID(p.K)
+}
+
+// Init implements engine.Program.
+func (p KMeans) Init(ctx engine.Context) {
+	if p.isCentroid(ctx.ID()) {
+		pos := append([]float64(nil), p.InitialCenters[int(ctx.ID()-p.CentroidBase)]...)
+		ctx.SetState(&KMCentroidState{Pos: pos, Sums: make(map[stream.VertexID]KMSums)})
+		return
+	}
+	ctx.SetState(&KMBlockState{
+		Cents:    make(map[stream.VertexID][]float64),
+		LastSent: make(map[stream.VertexID]KMSums),
+	})
+}
+
+// OnInput implements engine.Program: points stream into blocks.
+func (p KMeans) OnInput(ctx engine.Context, t stream.Tuple) {
+	st, ok := ctx.State().(*KMBlockState)
+	if !ok {
+		return // edge tuples routed to centroids carry no payload
+	}
+	switch t.Kind {
+	case stream.KindValue:
+		st.Points = append(st.Points, t.Value.(datasets.Point))
+	case stream.KindRetractValue:
+		pt := t.Value.(datasets.Point)
+		for i, q := range st.Points {
+			if pointsEqual(pt, q) {
+				st.Points = append(st.Points[:i], st.Points[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// Gather implements engine.Program.
+func (p KMeans) Gather(ctx engine.Context, src stream.VertexID, _ int64, value any) {
+	switch st := ctx.State().(type) {
+	case *KMBlockState:
+		st.Cents[src] = value.([]float64)
+	case *KMCentroidState:
+		st.Sums[src] = value.(KMSums)
+	}
+}
+
+// Scatter implements engine.Program.
+func (p KMeans) Scatter(ctx engine.Context) {
+	switch st := ctx.State().(type) {
+	case *KMBlockState:
+		p.scatterBlock(ctx, st)
+	case *KMCentroidState:
+		p.scatterCentroid(ctx, st)
+	}
+}
+
+func (p KMeans) scatterBlock(ctx engine.Context, st *KMBlockState) {
+	// Assign every point to its nearest known centroid (lowest ID wins
+	// ties) and emit per-centroid sums that changed.
+	sums := make(map[stream.VertexID]KMSums, len(st.Cents))
+	cids := make([]stream.VertexID, 0, len(st.Cents))
+	for cid := range st.Cents {
+		cids = append(cids, cid)
+	}
+	sortVertexIDs(cids)
+	if len(cids) > 0 {
+		dim := len(st.Cents[cids[0]])
+		for _, cid := range cids {
+			sums[cid] = KMSums{Sum: make([]float64, dim)}
+		}
+		for _, pt := range st.Points {
+			best, bestD := cids[0], math.Inf(1)
+			for _, cid := range cids {
+				if d := sqDist(pt, st.Cents[cid]); d < bestD {
+					best, bestD = cid, d
+				}
+			}
+			s := sums[best]
+			for i := range s.Sum {
+				if i < len(pt) {
+					s.Sum[i] += pt[i]
+				}
+			}
+			s.Count++
+			sums[best] = s
+		}
+	}
+	added := make(map[stream.VertexID]bool)
+	for _, t := range ctx.AddedTargets() {
+		added[t] = true
+	}
+	activated := ctx.Activated()
+	for _, cid := range ctx.Targets() {
+		s, known := sums[cid]
+		if !known {
+			continue // centroid position not received yet
+		}
+		if added[cid] || activated || !sumsEqual(st.LastSent[cid], s) {
+			st.LastSent[cid] = s
+			ctx.Emit(cid, s)
+		}
+	}
+}
+
+func (p KMeans) scatterCentroid(ctx engine.Context, st *KMCentroidState) {
+	var total int64
+	var acc []float64
+	for _, s := range st.Sums {
+		if s.Count == 0 {
+			continue
+		}
+		if acc == nil {
+			acc = make([]float64, len(s.Sum))
+		}
+		for i := range s.Sum {
+			acc[i] += s.Sum[i]
+		}
+		total += s.Count
+	}
+	moved := 0.0
+	if total > 0 {
+		for i := range acc {
+			acc[i] /= float64(total)
+		}
+		moved = math.Sqrt(sqDist(acc, st.Pos))
+		st.Pos = acc
+	}
+	ctx.ReportProgress(moved)
+	// Re-broadcast the position when it drifted more than epsilon from the
+	// last broadcast (comparing against Sent, not the previous position,
+	// so sub-epsilon movements cannot accumulate silently).
+	if st.Sent == nil || math.Sqrt(sqDist(st.Pos, st.Sent)) > p.epsilon() || ctx.Activated() {
+		st.Sent = append([]float64(nil), st.Pos...)
+		for _, t := range ctx.Targets() {
+			ctx.Emit(t, st.Sent)
+		}
+		return
+	}
+	for _, t := range ctx.AddedTargets() {
+		ctx.Emit(t, append([]float64(nil), st.Pos...))
+	}
+}
+
+// Centers extracts the centroid positions from a loop.
+func (p KMeans) Centers(e *engine.Engine) ([][]float64, error) {
+	out := make([][]float64, p.K)
+	for i := 0; i < p.K; i++ {
+		st, _, err := e.ReadState(p.CentroidBase+stream.VertexID(i), math.MaxInt64)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = st.(*KMCentroidState).Pos
+	}
+	return out, nil
+}
+
+// KMeansEdges returns the bipartite topology tuples: every centroid to every
+// block and back.
+func KMeansEdges(p KMeans, blocks int, at stream.Timestamp) []stream.Tuple {
+	var out []stream.Tuple
+	for c := 0; c < p.K; c++ {
+		cid := p.CentroidBase + stream.VertexID(c)
+		for b := 0; b < blocks; b++ {
+			bid := p.BlockBase + stream.VertexID(b)
+			out = append(out, stream.AddEdge(at, cid, bid), stream.AddEdge(at, bid, cid))
+		}
+	}
+	return out
+}
+
+// RefKMeans runs Lloyd's algorithm with the same initialization and
+// tie-breaking until centroid movement falls below eps.
+func RefKMeans(points []datasets.Point, centers []datasets.Point, eps float64, maxIter int) [][]float64 {
+	if eps == 0 {
+		eps = 1e-6
+	}
+	cur := make([][]float64, len(centers))
+	for i, c := range centers {
+		cur[i] = append([]float64(nil), c...)
+	}
+	for it := 0; it < maxIter; it++ {
+		sums := make([][]float64, len(cur))
+		counts := make([]int64, len(cur))
+		for i := range cur {
+			sums[i] = make([]float64, len(cur[i]))
+		}
+		for _, pt := range points {
+			best, bestD := 0, math.Inf(1)
+			for i, c := range cur {
+				if d := sqDist(pt, c); d < bestD {
+					best, bestD = i, d
+				}
+			}
+			for j := range sums[best] {
+				if j < len(pt) {
+					sums[best][j] += pt[j]
+				}
+			}
+			counts[best]++
+		}
+		maxMove := 0.0
+		for i := range cur {
+			if counts[i] == 0 {
+				continue
+			}
+			next := make([]float64, len(sums[i]))
+			for j := range next {
+				next[j] = sums[i][j] / float64(counts[i])
+			}
+			if m := math.Sqrt(sqDist(next, cur[i])); m > maxMove {
+				maxMove = m
+			}
+			cur[i] = next
+		}
+		if maxMove < eps {
+			break
+		}
+	}
+	return cur
+}
+
+// KMeansObjective is the within-cluster sum of squared distances.
+func KMeansObjective(points []datasets.Point, centers [][]float64) float64 {
+	var sum float64
+	for _, pt := range points {
+		best := math.Inf(1)
+		for _, c := range centers {
+			if d := sqDist(pt, c); d < best {
+				best = d
+			}
+		}
+		sum += best
+	}
+	return sum
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func pointsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sumsEqual(a, b KMSums) bool {
+	if a.Count != b.Count || len(a.Sum) != len(b.Sum) {
+		return false
+	}
+	for i := range a.Sum {
+		if a.Sum[i] != b.Sum[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortVertexIDs(ids []stream.VertexID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

@@ -1,0 +1,404 @@
+package algorithms
+
+import (
+	"math"
+
+	"tornado/internal/datasets"
+	"tornado/internal/engine"
+	"tornado/internal/optimizer"
+	"tornado/internal/stream"
+)
+
+// LossKind selects the SGD loss.
+type LossKind uint8
+
+const (
+	// Hinge is the linear SVM loss (labels ±1).
+	Hinge LossKind = iota
+	// Logistic is the logistic regression loss (labels 0/1).
+	Logistic
+)
+
+// String names the loss.
+func (k LossKind) String() string {
+	if k == Hinge {
+		return "svm"
+	}
+	return "lr"
+}
+
+// GradMsg is the mini-batch gradient a sampler emits to the parameter
+// vertex.
+type GradMsg struct {
+	G    []float64
+	N    int64
+	Loss float64 // summed loss over the batch, for objective tracking
+}
+
+// SGDParamState is the parameter vertex state.
+type SGDParamState struct {
+	W []float64
+	// Eta, PrevObj, HasPrev carry the bold-driver schedule.
+	Eta     float64
+	PrevObj float64
+	HasPrev bool
+	// Rounds counts parameter updates in this loop; BranchRounds counts
+	// them in the current branch (snapshots from the main loop carry zero).
+	Rounds       int64
+	BranchRounds int64
+	// Grads holds gradients gathered since the last commit.
+	Grads map[stream.VertexID]GradMsg
+}
+
+// SGDSamplerState is a sampler vertex state: an inline reservoir plus the
+// last received parameters.
+type SGDSamplerState struct {
+	Sample []datasets.Instance
+	Seen   int64
+	W      []float64
+	// NewData / NewW mark what arrived since the sampler's last gradient.
+	NewData bool
+	NewW    bool
+}
+
+// SGD runs distributed stochastic gradient descent as a graph program: one
+// parameter vertex and S sampler vertices, fully connected in both
+// directions (use SGDEdges). Instances stream into the samplers' reservoirs
+// (reservoir sampling keeps the sample unbiased over the evolving stream —
+// the correctness condition of Section 3.2); each sampler emits mini-batch
+// gradients, the parameter vertex folds them in with the configured descent
+// schedule and broadcasts new parameters.
+//
+// In the main loop a sampler recomputes its gradient when new data arrives;
+// in a branch loop it recomputes on every parameter update, so the branch
+// iterates to convergence (bounded by RoundLimit and Tol).
+type SGD struct {
+	ParamVertex stream.VertexID
+	SamplerBase stream.VertexID
+	Samplers    int
+	Dim         int
+	Loss        LossKind
+	// Lambda is the L2 regularization strength.
+	Lambda float64
+	// Eta0 is the initial descent rate.
+	Eta0 float64
+	// BoldDriver enables dynamic rate adaption (Section 6.2.2); otherwise
+	// the rate stays Eta0.
+	BoldDriver bool
+	// ReservoirCap bounds each sampler's sample (default 64).
+	ReservoirCap int
+	// RoundLimit bounds parameter updates per branch loop (default 200).
+	RoundLimit int64
+	// Tol stops a branch when the aggregated gradient norm per instance
+	// falls below it (default 1e-3).
+	Tol float64
+}
+
+func init() {
+	engine.RegisterStateType(&SGDParamState{})
+	engine.RegisterStateType(&SGDSamplerState{})
+}
+
+func (p SGD) reservoirCap() int {
+	if p.ReservoirCap <= 0 {
+		return 64
+	}
+	return p.ReservoirCap
+}
+
+func (p SGD) roundLimit() int64 {
+	if p.RoundLimit <= 0 {
+		return 200
+	}
+	return p.RoundLimit
+}
+
+func (p SGD) tol() float64 {
+	if p.Tol == 0 {
+		return 1e-3
+	}
+	return p.Tol
+}
+
+// Init implements engine.Program.
+func (p SGD) Init(ctx engine.Context) {
+	if ctx.ID() == p.ParamVertex {
+		ctx.SetState(&SGDParamState{
+			W:     make([]float64, p.Dim),
+			Eta:   p.Eta0,
+			Grads: make(map[stream.VertexID]GradMsg),
+		})
+		return
+	}
+	ctx.SetState(&SGDSamplerState{W: make([]float64, p.Dim)})
+}
+
+// OnInput implements engine.Program: instances stream into samplers.
+func (p SGD) OnInput(ctx engine.Context, t stream.Tuple) {
+	st, ok := ctx.State().(*SGDSamplerState)
+	if !ok || t.Kind != stream.KindValue {
+		return
+	}
+	in := t.Value.(datasets.Instance)
+	// Inline reservoir sampling (Vitter's Algorithm R) on the vertex's
+	// deterministic random source.
+	st.Seen++
+	if len(st.Sample) < p.reservoirCap() {
+		st.Sample = append(st.Sample, in)
+	} else if j := ctx.Rand().Int63n(st.Seen); j < int64(p.reservoirCap()) {
+		st.Sample[j] = in
+	}
+	st.NewData = true
+}
+
+// Gather implements engine.Program.
+func (p SGD) Gather(ctx engine.Context, src stream.VertexID, _ int64, value any) {
+	switch st := ctx.State().(type) {
+	case *SGDParamState:
+		st.Grads[src] = value.(GradMsg)
+	case *SGDSamplerState:
+		st.W = value.([]float64)
+		st.NewW = true
+	}
+}
+
+// Scatter implements engine.Program.
+func (p SGD) Scatter(ctx engine.Context) {
+	switch st := ctx.State().(type) {
+	case *SGDParamState:
+		p.scatterParam(ctx, st)
+	case *SGDSamplerState:
+		p.scatterSampler(ctx, st)
+	}
+}
+
+func (p SGD) scatterSampler(ctx engine.Context, st *SGDSamplerState) {
+	// In the main loop a sampler contributes a gradient only when new data
+	// arrived (one step per arrival). In a branch loop it contributes on
+	// every commit — the initial activation and every parameter broadcast —
+	// so the branch iterates to convergence; the parameter vertex ends the
+	// loop by not broadcasting (RoundLimit / Tol).
+	emit := st.NewData
+	if ctx.Loop() == engine.BranchLoop {
+		emit = true
+	}
+	if emit && len(st.Sample) > 0 {
+		g, loss := p.batchGradient(st.W, st.Sample)
+		ctx.Emit(p.ParamVertex, GradMsg{G: g, N: int64(len(st.Sample)), Loss: loss})
+		st.NewData, st.NewW = false, false
+		return
+	}
+	st.NewW = false
+	// Nothing to contribute: fresh targets still need no message (the
+	// parameter vertex pushes W, not the samplers).
+}
+
+func (p SGD) scatterParam(ctx engine.Context, st *SGDParamState) {
+	added := ctx.AddedTargets()
+	if len(st.Grads) == 0 {
+		// Commit triggered by topology growth or re-activation: hand the
+		// (possibly never-delivered) current parameters out.
+		if ctx.Activated() {
+			w := append([]float64(nil), st.W...)
+			for _, t := range ctx.Targets() {
+				ctx.Emit(t, w)
+			}
+			return
+		}
+		for _, t := range added {
+			ctx.Emit(t, append([]float64(nil), st.W...))
+		}
+		return
+	}
+	// Fold in the gathered mini-batch gradients.
+	agg := make([]float64, p.Dim)
+	var n int64
+	var loss float64
+	for _, g := range st.Grads {
+		for i := range g.G {
+			if i < p.Dim {
+				agg[i] += g.G[i]
+			}
+		}
+		n += g.N
+		loss += g.Loss
+	}
+	clear(st.Grads)
+	if n == 0 {
+		return
+	}
+	var gradNorm float64
+	for i := range agg {
+		agg[i] = agg[i]/float64(n) + p.Lambda*st.W[i]
+		gradNorm += agg[i] * agg[i]
+	}
+	gradNorm = math.Sqrt(gradNorm)
+	obj := loss / float64(n)
+	if p.BoldDriver {
+		bd := optimizer.BoldDriver{
+			Eta: st.Eta, GrowthFactor: 1.10, DecayFactor: 0.90,
+			SlowThreshold: 0.01, MinEta: 1e-8, MaxEta: 10,
+		}
+		if st.HasPrev {
+			bd.Observe(st.PrevObj) // restore baseline
+		}
+		bd.Observe(obj)
+		st.Eta = bd.Eta
+		st.PrevObj, st.HasPrev = obj, true
+	}
+	for i := range st.W {
+		st.W[i] -= st.Eta * agg[i]
+	}
+	st.Rounds++
+	ctx.ReportProgress(obj)
+
+	// In the main loop W is always pushed: samplers only recompute on new
+	// data, so the broadcast cannot ping-pong. In a branch the broadcast
+	// drives the next round and stops at the limit or at convergence.
+	broadcast := true
+	if ctx.Loop() == engine.BranchLoop {
+		st.BranchRounds++
+		if st.BranchRounds >= p.roundLimit() || gradNorm < p.tol() {
+			broadcast = false
+		}
+	}
+	if broadcast {
+		w := append([]float64(nil), st.W...)
+		for _, t := range ctx.Targets() {
+			ctx.Emit(t, w)
+		}
+		return
+	}
+	for _, t := range added {
+		ctx.Emit(t, append([]float64(nil), st.W...))
+	}
+}
+
+// batchGradient returns the summed loss gradient and loss over the batch.
+func (p SGD) batchGradient(w []float64, batch []datasets.Instance) ([]float64, float64) {
+	g := make([]float64, p.Dim)
+	var loss float64
+	for _, in := range batch {
+		z := in.Dot(w)
+		switch p.Loss {
+		case Hinge:
+			if margin := in.Y * z; margin < 1 {
+				loss += 1 - margin
+				addScaled(g, in, -in.Y)
+			}
+		case Logistic:
+			pr := 1 / (1 + math.Exp(-z))
+			eps := 1e-12
+			loss += -(in.Y*math.Log(pr+eps) + (1-in.Y)*math.Log(1-pr+eps))
+			addScaled(g, in, pr-in.Y)
+		}
+	}
+	return g, loss
+}
+
+// addScaled accumulates scale * x into g for dense or sparse instances.
+func addScaled(g []float64, in datasets.Instance, scale float64) {
+	if in.Idx == nil {
+		for i, v := range in.X {
+			if i < len(g) {
+				g[i] += scale * v
+			}
+		}
+		return
+	}
+	for k, j := range in.Idx {
+		if j < len(g) {
+			g[j] += scale * in.X[k]
+		}
+	}
+}
+
+// Weights extracts the parameter vector from a loop.
+func (p SGD) Weights(e *engine.Engine) ([]float64, error) {
+	st, _, err := e.ReadState(p.ParamVertex, math.MaxInt64)
+	if err != nil {
+		return nil, err
+	}
+	return st.(*SGDParamState).W, nil
+}
+
+// SGDEdges returns the bipartite topology tuples: parameter vertex to every
+// sampler and back.
+func SGDEdges(p SGD, at stream.Timestamp) []stream.Tuple {
+	var out []stream.Tuple
+	for s := 0; s < p.Samplers; s++ {
+		sid := p.SamplerBase + stream.VertexID(s)
+		out = append(out, stream.AddEdge(at, p.ParamVertex, sid), stream.AddEdge(at, sid, p.ParamVertex))
+	}
+	return out
+}
+
+// Objective is the full-dataset regularized objective for weight vector w.
+func Objective(kind LossKind, w []float64, instances []datasets.Instance, lambda float64) float64 {
+	if len(instances) == 0 {
+		return 0
+	}
+	var loss float64
+	for _, in := range instances {
+		z := in.Dot(w)
+		switch kind {
+		case Hinge:
+			if margin := in.Y * z; margin < 1 {
+				loss += 1 - margin
+			}
+		case Logistic:
+			pr := 1 / (1 + math.Exp(-z))
+			eps := 1e-12
+			loss += -(in.Y*math.Log(pr+eps) + (1-in.Y)*math.Log(1-pr+eps))
+		}
+	}
+	var reg float64
+	for _, v := range w {
+		reg += v * v
+	}
+	return loss/float64(len(instances)) + lambda/2*reg
+}
+
+// Accuracy is the fraction of instances w classifies correctly.
+func Accuracy(kind LossKind, w []float64, instances []datasets.Instance) float64 {
+	if len(instances) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, in := range instances {
+		z := in.Dot(w)
+		switch kind {
+		case Hinge:
+			if (z >= 0 && in.Y > 0) || (z < 0 && in.Y < 0) {
+				correct++
+			}
+		case Logistic:
+			if (z >= 0 && in.Y == 1) || (z < 0 && in.Y == 0) {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(len(instances))
+}
+
+// RefSGD runs sequential mini-batch SGD over the instances (one pass per
+// epoch, batches of batchSize) with a static rate: the batch baseline's
+// kernel.
+func RefSGD(kind LossKind, instances []datasets.Instance, dim int, eta, lambda float64, epochs, batchSize int) []float64 {
+	w := make([]float64, dim)
+	prog := SGD{Dim: dim, Loss: kind, Lambda: lambda}
+	for e := 0; e < epochs; e++ {
+		for lo := 0; lo < len(instances); lo += batchSize {
+			hi := lo + batchSize
+			if hi > len(instances) {
+				hi = len(instances)
+			}
+			g, _ := prog.batchGradient(w, instances[lo:hi])
+			n := float64(hi - lo)
+			for i := range w {
+				w[i] -= eta * (g[i]/n + lambda*w[i])
+			}
+		}
+	}
+	return w
+}

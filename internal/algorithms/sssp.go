@@ -1,0 +1,154 @@
+// Package algorithms implements the paper's evaluation workloads as Tornado
+// vertex programs — Single-Source Shortest Path, PageRank, Connected
+// Components, KMeans and SGD (linear SVM and logistic regression) — together
+// with sequential reference implementations used as ground truth by tests
+// and as the computation kernel of the batch baselines.
+package algorithms
+
+import (
+	"math"
+
+	"tornado/internal/engine"
+	"tornado/internal/graph"
+	"tornado/internal/stream"
+)
+
+// Unreachable is the distance reported for vertices with no path from the
+// source within MaxHops.
+const Unreachable = int64(1) << 40
+
+// SSSPState is the per-vertex state of the SSSP program: the paper's
+// Appendix B example, with a per-producer length map so updates are
+// idempotent under re-delivery and retraction.
+type SSSPState struct {
+	// Length is the current shortest hop count from the source.
+	Length int64
+	// Sent is the last emitted length.
+	Sent int64
+	// SrcLens records the latest length received from each producer.
+	SrcLens map[stream.VertexID]int64
+}
+
+// SSSP is the Single-Source Shortest Path vertex program over a retractable
+// edge stream. Distances are hop counts; lengths above MaxHops collapse to
+// Unreachable, which both bounds count-to-infinity cascades after edge
+// retraction and matches the reference.
+type SSSP struct {
+	// Source is the source vertex.
+	Source stream.VertexID
+	// MaxHops bounds finite distances (default 64 when zero).
+	MaxHops int64
+}
+
+func init() {
+	engine.RegisterStateType(&SSSPState{})
+}
+
+func (p SSSP) maxHops() int64 {
+	if p.MaxHops <= 0 {
+		return 64
+	}
+	return p.MaxHops
+}
+
+// Init implements engine.Program.
+func (p SSSP) Init(ctx engine.Context) {
+	l := Unreachable
+	if ctx.ID() == p.Source {
+		l = 0
+	}
+	ctx.SetState(&SSSPState{Length: l, Sent: Unreachable, SrcLens: make(map[stream.VertexID]int64)})
+}
+
+// OnInput implements engine.Program. Edge maintenance is done by the engine;
+// SSSP carries no payload tuples.
+func (p SSSP) OnInput(engine.Context, stream.Tuple) {}
+
+// Gather implements engine.Program.
+func (p SSSP) Gather(ctx engine.Context, src stream.VertexID, _ int64, value any) {
+	st := ctx.State().(*SSSPState)
+	st.SrcLens[src] = value.(int64)
+}
+
+// Scatter implements engine.Program: recompute the length from the producer
+// map and propagate when it changed (or to new targets).
+func (p SSSP) Scatter(ctx engine.Context) {
+	st := ctx.State().(*SSSPState)
+	l := Unreachable
+	if ctx.ID() == p.Source {
+		l = 0
+	}
+	for _, v := range st.SrcLens {
+		if v+1 < l {
+			l = v + 1
+		}
+	}
+	if l > p.maxHops() {
+		l = Unreachable
+	}
+	if l != st.Length {
+		ctx.ReportProgress(1)
+	}
+	st.Length = l
+	for _, t := range ctx.RemovedTargets() {
+		ctx.Emit(t, Unreachable)
+	}
+	// A re-activation means some consumer may never have received our value
+	// (branch seeding, recovery): the Sent suppression must not apply.
+	if l != st.Sent || ctx.Activated() {
+		st.Sent = l
+		for _, t := range ctx.Targets() {
+			ctx.Emit(t, l)
+		}
+		return
+	}
+	if l < Unreachable {
+		for _, t := range ctx.AddedTargets() {
+			ctx.Emit(t, l)
+		}
+	}
+}
+
+// Distances extracts every vertex's current length from a loop.
+func Distances(e *engine.Engine) (map[stream.VertexID]int64, error) {
+	out := make(map[stream.VertexID]int64)
+	err := e.ScanStates(math.MaxInt64, func(id stream.VertexID, _ int64, state any) error {
+		out[id] = state.(*SSSPState).Length
+		return nil
+	})
+	return out, err
+}
+
+// RefSSSP computes capped hop distances from source over the materialized
+// edge stream: the sequential ground truth.
+func RefSSSP(tuples []stream.Tuple, source stream.VertexID, maxHops int64) map[stream.VertexID]int64 {
+	g := graph.New()
+	g.ApplyAll(tuples)
+	return RefSSSPGraph(g, source, maxHops)
+}
+
+// RefSSSPGraph is RefSSSP over an already materialized graph.
+func RefSSSPGraph(g *graph.Graph, source stream.VertexID, maxHops int64) map[stream.VertexID]int64 {
+	if maxHops <= 0 {
+		maxHops = 64
+	}
+	dist := make(map[stream.VertexID]int64, g.NumVertices())
+	for _, v := range g.Vertices() {
+		dist[v] = Unreachable
+	}
+	dist[source] = 0
+	frontier := []stream.VertexID{source}
+	for d := int64(1); len(frontier) > 0 && d <= maxHops; d++ {
+		var next []stream.VertexID
+		for _, u := range frontier {
+			for _, w := range g.Out(u) {
+				if dist[w] > d {
+					dist[w] = d
+					next = append(next, w)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}

@@ -1,0 +1,204 @@
+package algorithms
+
+import (
+	"container/heap"
+	"math"
+
+	"tornado/internal/engine"
+	"tornado/internal/stream"
+)
+
+// WSSSPState is the per-vertex state of the weighted SSSP program.
+type WSSSPState struct {
+	// Dist is the current shortest distance from the source (+Inf when
+	// unreachable).
+	Dist float64
+	// TargetW holds the weights of this vertex's out-edges.
+	TargetW map[stream.VertexID]float64
+	// SrcDist records the latest offer (producer distance + edge weight)
+	// received from each producer.
+	SrcDist map[stream.VertexID]float64
+	// SentTo records the last offer emitted to each target.
+	SentTo map[stream.VertexID]float64
+}
+
+// WeightedSSSP is single-source shortest paths over a weighted, retractable
+// edge stream. Edge tuples carry their weight in Tuple.Value (float64;
+// absent means weight 1). Re-adding an existing edge updates its weight.
+// Distances above MaxDist collapse to +Inf, bounding deletion-driven
+// count-to-infinity cascades around positive-weight cycles.
+type WeightedSSSP struct {
+	Source stream.VertexID
+	// MaxDist caps finite distances (default 1e6).
+	MaxDist float64
+}
+
+func init() {
+	engine.RegisterStateType(&WSSSPState{})
+}
+
+// WeightedEdge builds an edge-insertion tuple carrying a weight.
+func WeightedEdge(ts stream.Timestamp, src, dst stream.VertexID, w float64) stream.Tuple {
+	t := stream.AddEdge(ts, src, dst)
+	t.Value = w
+	return t
+}
+
+func (p WeightedSSSP) maxDist() float64 {
+	if p.MaxDist <= 0 {
+		return 1e6
+	}
+	return p.MaxDist
+}
+
+// Init implements engine.Program.
+func (p WeightedSSSP) Init(ctx engine.Context) {
+	d := math.Inf(1)
+	if ctx.ID() == p.Source {
+		d = 0
+	}
+	ctx.SetState(&WSSSPState{
+		Dist:    d,
+		TargetW: make(map[stream.VertexID]float64),
+		SrcDist: make(map[stream.VertexID]float64),
+		SentTo:  make(map[stream.VertexID]float64),
+	})
+}
+
+// OnInput implements engine.Program: edge tuples carry weights.
+func (p WeightedSSSP) OnInput(ctx engine.Context, t stream.Tuple) {
+	st := ctx.State().(*WSSSPState)
+	switch t.Kind {
+	case stream.KindAddEdge:
+		w := 1.0
+		if f, ok := t.Value.(float64); ok {
+			w = f
+		}
+		st.TargetW[t.Dst] = w
+	case stream.KindRemoveEdge:
+		delete(st.TargetW, t.Dst)
+	}
+}
+
+// Gather implements engine.Program.
+func (p WeightedSSSP) Gather(ctx engine.Context, src stream.VertexID, _ int64, value any) {
+	st := ctx.State().(*WSSSPState)
+	st.SrcDist[src] = value.(float64)
+}
+
+// Scatter implements engine.Program: recompute the distance and emit fresh
+// offers to targets whose offer changed.
+func (p WeightedSSSP) Scatter(ctx engine.Context) {
+	st := ctx.State().(*WSSSPState)
+	d := math.Inf(1)
+	if ctx.ID() == p.Source {
+		d = 0
+	}
+	for _, offer := range st.SrcDist {
+		if offer < d {
+			d = offer
+		}
+	}
+	if d > p.maxDist() {
+		d = math.Inf(1)
+	}
+	if d != st.Dist {
+		ctx.ReportProgress(1)
+	}
+	st.Dist = d
+	for _, t := range ctx.RemovedTargets() {
+		ctx.Emit(t, math.Inf(1))
+		delete(st.SentTo, t)
+	}
+	// Re-activations must re-deliver offers consumers may have missed.
+	activated := ctx.Activated()
+	for _, t := range ctx.Targets() {
+		offer := d + st.TargetW[t]
+		if offer > p.maxDist() {
+			offer = math.Inf(1)
+		}
+		if prev, sent := st.SentTo[t]; !sent || prev != offer || activated {
+			st.SentTo[t] = offer
+			ctx.Emit(t, offer)
+		}
+	}
+}
+
+// WeightedDistances extracts every vertex's distance from a loop.
+func WeightedDistances(e *engine.Engine) (map[stream.VertexID]float64, error) {
+	out := make(map[stream.VertexID]float64)
+	err := e.ScanStates(math.MaxInt64, func(id stream.VertexID, _ int64, state any) error {
+		out[id] = state.(*WSSSPState).Dist
+		return nil
+	})
+	return out, err
+}
+
+// RefWeightedSSSP computes shortest distances with Dijkstra over the
+// materialized weighted edge stream (later tuples override earlier weights;
+// removals retract). Distances above maxDist are +Inf.
+func RefWeightedSSSP(tuples []stream.Tuple, source stream.VertexID, maxDist float64) map[stream.VertexID]float64 {
+	if maxDist <= 0 {
+		maxDist = 1e6
+	}
+	adj := make(map[stream.VertexID]map[stream.VertexID]float64)
+	touch := func(v stream.VertexID) {
+		if adj[v] == nil {
+			adj[v] = make(map[stream.VertexID]float64)
+		}
+	}
+	for _, t := range tuples {
+		switch t.Kind {
+		case stream.KindAddEdge:
+			w := 1.0
+			if f, ok := t.Value.(float64); ok {
+				w = f
+			}
+			touch(t.Src)
+			touch(t.Dst)
+			adj[t.Src][t.Dst] = w
+		case stream.KindRemoveEdge:
+			touch(t.Src)
+			touch(t.Dst)
+			delete(adj[t.Src], t.Dst)
+		}
+	}
+	dist := make(map[stream.VertexID]float64, len(adj))
+	for v := range adj {
+		dist[v] = math.Inf(1)
+	}
+	dist[source] = 0
+	pq := &distHeap{{source, 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(distItem)
+		if item.d > dist[item.v] {
+			continue
+		}
+		for w, ew := range adj[item.v] {
+			if nd := item.d + ew; nd < dist[w] && nd <= maxDist {
+				dist[w] = nd
+				heap.Push(pq, distItem{w, nd})
+			}
+		}
+	}
+	return dist
+}
+
+type distItem struct {
+	v stream.VertexID
+	d float64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int           { return len(h) }
+func (h distHeap) Less(i, j int) bool { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x any)        { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() (out any) {
+	old := *h
+	n := len(old)
+	out = old[n-1]
+	*h = old[:n-1]
+	return out
+}

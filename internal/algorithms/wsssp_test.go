@@ -1,0 +1,130 @@
+package algorithms
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tornado/internal/datasets"
+	"tornado/internal/stream"
+)
+
+// weightedStream assigns deterministic weights in [0.5, 2.5) to a power-law
+// edge stream.
+func weightedStream(n, epv int, seed int64) []stream.Tuple {
+	base := datasets.PowerLawGraph(n, epv, seed)
+	rng := rand.New(rand.NewSource(seed * 3))
+	out := make([]stream.Tuple, len(base))
+	for i, t := range base {
+		out[i] = WeightedEdge(t.Time, t.Src, t.Dst, 0.5+2*rng.Float64())
+	}
+	return out
+}
+
+func checkWeighted(t *testing.T, got, want map[stream.VertexID]float64) {
+	t.Helper()
+	for v, w := range want {
+		g, ok := got[v]
+		if !ok {
+			if math.IsInf(w, 1) || w == 0 {
+				continue // untouched vertices keep their init value
+			}
+			t.Fatalf("vertex %d missing (want %v)", v, w)
+		}
+		if math.IsInf(w, 1) != math.IsInf(g, 1) || (!math.IsInf(w, 1) && math.Abs(g-w) > 1e-9) {
+			t.Fatalf("vertex %d: %v vs reference %v", v, g, w)
+		}
+	}
+}
+
+func TestWeightedSSSPMatchesDijkstra(t *testing.T) {
+	tuples := weightedStream(120, 3, 101)
+	e := newEngine(t, WeightedSSSP{Source: 0}, 3, 32)
+	runToQuiesce(t, e, tuples)
+	got, err := WeightedDistances(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWeighted(t, got, RefWeightedSSSP(tuples, 0, 0))
+}
+
+func TestWeightedSSSPIncremental(t *testing.T) {
+	tuples := weightedStream(100, 3, 103)
+	half := len(tuples) / 2
+	e := newEngine(t, WeightedSSSP{Source: 0}, 2, 16)
+	runToQuiesce(t, e, tuples[:half])
+	got, err := WeightedDistances(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWeighted(t, got, RefWeightedSSSP(tuples[:half], 0, 0))
+	runToQuiesce(t, e, tuples[half:])
+	got, err = WeightedDistances(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWeighted(t, got, RefWeightedSSSP(tuples, 0, 0))
+}
+
+func TestWeightedSSSPReweightEdge(t *testing.T) {
+	// 0 -> 1 (cost 5) and 0 -> 2 -> 1 (cost 1 + 1): dist(1) = 2. Re-adding
+	// 0 -> 1 with cost 0.5 must drop it to 0.5.
+	tuples := []stream.Tuple{
+		WeightedEdge(1, 0, 1, 5),
+		WeightedEdge(2, 0, 2, 1),
+		WeightedEdge(3, 2, 1, 1),
+	}
+	e := newEngine(t, WeightedSSSP{Source: 0}, 2, 8)
+	runToQuiesce(t, e, tuples)
+	got, _ := WeightedDistances(e)
+	if math.Abs(got[1]-2) > 1e-9 {
+		t.Fatalf("dist(1) = %v; want 2", got[1])
+	}
+	runToQuiesce(t, e, []stream.Tuple{WeightedEdge(4, 0, 1, 0.5)})
+	got, _ = WeightedDistances(e)
+	if math.Abs(got[1]-0.5) > 1e-9 {
+		t.Fatalf("after reweight dist(1) = %v; want 0.5", got[1])
+	}
+}
+
+func TestWeightedSSSPRemoval(t *testing.T) {
+	tuples := []stream.Tuple{
+		WeightedEdge(1, 0, 1, 1),
+		WeightedEdge(2, 1, 2, 1),
+		WeightedEdge(3, 0, 2, 10),
+	}
+	e := newEngine(t, WeightedSSSP{Source: 0}, 2, 8)
+	runToQuiesce(t, e, tuples)
+	got, _ := WeightedDistances(e)
+	if math.Abs(got[2]-2) > 1e-9 {
+		t.Fatalf("dist(2) = %v; want 2", got[2])
+	}
+	runToQuiesce(t, e, []stream.Tuple{stream.RemoveEdge(4, 1, 2)})
+	got, _ = WeightedDistances(e)
+	if math.Abs(got[2]-10) > 1e-9 {
+		t.Fatalf("after removal dist(2) = %v; want 10", got[2])
+	}
+	runToQuiesce(t, e, []stream.Tuple{stream.RemoveEdge(5, 0, 2)})
+	got, _ = WeightedDistances(e)
+	if !math.IsInf(got[2], 1) {
+		t.Fatalf("after isolating dist(2) = %v; want +Inf", got[2])
+	}
+}
+
+func TestWeightedSSSPDefaultWeight(t *testing.T) {
+	// Plain AddEdge tuples (no weight payload) behave as weight 1.
+	e := newEngine(t, WeightedSSSP{Source: 0}, 1, 4)
+	runToQuiesce(t, e, []stream.Tuple{stream.AddEdge(1, 0, 1), stream.AddEdge(2, 1, 2)})
+	got, _ := WeightedDistances(e)
+	if math.Abs(got[2]-2) > 1e-9 {
+		t.Fatalf("dist(2) = %v; want 2", got[2])
+	}
+}
+
+func TestRefWeightedSSSPRespectsCap(t *testing.T) {
+	tuples := []stream.Tuple{WeightedEdge(1, 0, 1, 50)}
+	dist := RefWeightedSSSP(tuples, 0, 10)
+	if !math.IsInf(dist[1], 1) {
+		t.Fatalf("dist beyond cap = %v; want +Inf", dist[1])
+	}
+}

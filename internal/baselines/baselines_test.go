@@ -1,0 +1,246 @@
+package baselines
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"tornado/internal/algorithms"
+	"tornado/internal/datasets"
+	"tornado/internal/stream"
+)
+
+func TestFromScratchSSSPMatchesReference(t *testing.T) {
+	tuples := datasets.PowerLawGraph(120, 3, 1)
+	for _, spill := range []bool{false, true} {
+		e := NewFromScratch(NewSSSPWork(0, 64), spill)
+		e.Feed(tuples...)
+		res, stats, err := e.Query()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.(map[stream.VertexID]int64)
+		want := algorithms.RefSSSP(tuples, 0, 64)
+		for v, w := range want {
+			if got[v] != w {
+				t.Fatalf("spill=%v vertex %d: %d vs %d", spill, v, got[v], w)
+			}
+		}
+		if stats.Latency <= 0 || stats.Iterations == 0 {
+			t.Fatalf("spill=%v stats empty: %+v", spill, stats)
+		}
+	}
+}
+
+func TestMiniBatchSSSPMatchesFromScratch(t *testing.T) {
+	tuples := datasets.PowerLawGraph(150, 3, 2)
+	mb := NewMiniBatch(NewSSSPWork(0, 64), 50)
+	for _, tu := range tuples {
+		mb.Feed(tu)
+	}
+	res, _, err := mb.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.(map[stream.VertexID]int64)
+	want := algorithms.RefSSSP(tuples, 0, 64)
+	for v, w := range want {
+		if got[v] != w {
+			t.Fatalf("vertex %d: %d vs %d", v, got[v], w)
+		}
+	}
+	if mb.Epochs() == 0 {
+		t.Fatal("no epochs completed")
+	}
+}
+
+func TestMiniBatchQueryCheaperThanFromScratch(t *testing.T) {
+	tuples := datasets.PowerLawGraph(300, 3, 3)
+	work := NewSSSPWork(0, 64)
+	mb := NewMiniBatch(work, 100)
+	mb.Feed(tuples...)
+	_, mbStats, err := mb.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsWork := NewSSSPWork(0, 64)
+	fs := NewFromScratch(fsWork, false)
+	fs.Feed(tuples...)
+	_, fsStats, err := fs.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mini-batch query only settles the tail epoch; from-scratch
+	// settles every vertex.
+	if mbStats.Iterations >= fsStats.Iterations {
+		t.Fatalf("mini-batch did %d iterations, from-scratch %d; incremental must be cheaper", mbStats.Iterations, fsStats.Iterations)
+	}
+}
+
+func TestPageRankWarmStartUsesFewerIterations(t *testing.T) {
+	tuples := datasets.PowerLawGraph(200, 3, 4)
+	work := NewPRWork(0.85, 1e-8)
+	cold := work.FromScratch(tuples)
+	coldIters := work.CostIterations()
+	// A tiny delta on a converged state should need far fewer iterations.
+	extra := []stream.Tuple{stream.AddEdge(1<<40, 5, 6)}
+	all := append(append([]stream.Tuple{}, tuples...), extra...)
+	work.Incremental(cold, all, extra)
+	warmIters := work.CostIterations()
+	if warmIters >= coldIters {
+		t.Fatalf("warm start took %d iterations, cold %d", warmIters, coldIters)
+	}
+}
+
+func TestPageRankResultsAgree(t *testing.T) {
+	tuples := datasets.PowerLawGraph(100, 3, 5)
+	work := NewPRWork(0.85, 1e-9)
+	res := work.FromScratch(tuples).(map[stream.VertexID]float64)
+	want := algorithms.RefPageRank(tuples, 0.85, 1e-9)
+	for v, w := range want {
+		if math.Abs(res[v]-w) > 1e-6 {
+			t.Fatalf("vertex %d: %v vs %v", v, res[v], w)
+		}
+	}
+}
+
+func TestNaiadLikeReconstructsCurrentVersion(t *testing.T) {
+	tuples := datasets.PowerLawGraph(150, 3, 6)
+	nl := NewNaiadLike(NewSSSPWork(0, 64), 50, 0)
+	nl.Feed(tuples...)
+	res, stats, err := nl.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.(map[stream.VertexID]int64)
+	want := algorithms.RefSSSP(tuples, 0, 64)
+	for v, w := range want {
+		if got[v] != w {
+			t.Fatalf("vertex %d: %d vs %d", v, got[v], w)
+		}
+	}
+	if nl.Epochs() == 0 || stats.Latency <= 0 {
+		t.Fatalf("no traces retained or zero latency: epochs=%d", nl.Epochs())
+	}
+}
+
+func TestNaiadLikeTraceGrowth(t *testing.T) {
+	tuples := datasets.PowerLawGraph(200, 3, 7)
+	small := NewNaiadLike(NewPRWork(0.85, 1e-6), 50, 0)
+	small.Feed(tuples...)
+	if small.DiffEntries() == 0 {
+		t.Fatal("no difference entries retained")
+	}
+	// PageRank diffs touch most vertices every epoch: entries exceed the
+	// vertex count after a few epochs (the Table 3 degradation).
+	if small.DiffEntries() < 400 {
+		t.Fatalf("PageRank traces suspiciously small: %d entries", small.DiffEntries())
+	}
+}
+
+func TestNaiadLikeKMeansExceedsBudget(t *testing.T) {
+	points, _ := datasets.GaussianMixture(500, 3, 4, 0.5, 8)
+	tuples := datasets.PointStream(points, 0, 1)
+	nl := NewNaiadLike(NewKMWork(3, 1e-6), 100, 600)
+	nl.Feed(tuples...)
+	if !nl.OverBudget() {
+		t.Fatalf("KMeans traces within budget (%d entries); assignment traces should explode", nl.DiffEntries())
+	}
+	if _, _, err := nl.Query(); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("Query err = %v; want ErrOutOfMemory", err)
+	}
+}
+
+func TestNaiadLikeSVMStaysSmall(t *testing.T) {
+	ins, _ := datasets.LinearlySeparable(500, 8, 0.05, 9)
+	tuples := datasets.InstanceStream(ins, 0, 1)
+	nl := NewNaiadLike(NewSVMWork(8, 0.1, 1e-4), 100, 600)
+	nl.Feed(tuples...)
+	if nl.OverBudget() {
+		t.Fatalf("SVM traces over budget: %d entries; weight-vector diffs are tiny", nl.DiffEntries())
+	}
+	res, _, err := nl.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := res.([]float64)
+	if acc := algorithms.Accuracy(algorithms.Hinge, w, ins); acc < 0.8 {
+		t.Fatalf("SVM accuracy = %.3f", acc)
+	}
+}
+
+func TestSVMWorkLearns(t *testing.T) {
+	ins, _ := datasets.LinearlySeparable(800, 8, 0.02, 10)
+	tuples := datasets.InstanceStream(ins, 0, 1)
+	fs := NewFromScratch(NewSVMWork(8, 0.1, 1e-4), false)
+	fs.Feed(tuples...)
+	res, _, err := fs.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := algorithms.Accuracy(algorithms.Hinge, res.([]float64), ins); acc < 0.9 {
+		t.Fatalf("from-scratch SVM accuracy = %.3f", acc)
+	}
+}
+
+func TestKMWorkMatchesObjective(t *testing.T) {
+	points, _ := datasets.GaussianMixture(600, 3, 4, 0.5, 11)
+	tuples := datasets.PointStream(points, 0, 1)
+	fs := NewFromScratch(NewKMWork(3, 1e-9), false)
+	fs.Feed(tuples...)
+	res, stats, err := fs.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	km := res.(KMResult)
+	want := algorithms.RefKMeans(points, []datasets.Point{points[0], points[1], points[2]}, 1e-9, 1000)
+	gotObj := algorithms.KMeansObjective(points, km.Centers)
+	wantObj := algorithms.KMeansObjective(points, want)
+	if math.Abs(gotObj-wantObj) > 0.01*wantObj+1e-9 {
+		t.Fatalf("objective %v vs Lloyd %v", gotObj, wantObj)
+	}
+	if len(km.Assign) != len(points) || stats.Iterations == 0 {
+		t.Fatalf("assignments %d, iters %d", len(km.Assign), stats.Iterations)
+	}
+}
+
+func TestKMWarmStartFewerIterations(t *testing.T) {
+	points, _ := datasets.GaussianMixture(600, 3, 4, 0.5, 12)
+	tuples := datasets.PointStream(points, 0, 1)
+	work := NewKMWork(3, 1e-9)
+	cold := work.FromScratch(tuples)
+	coldIters := work.CostIterations()
+	work.Incremental(cold, tuples, nil)
+	warmIters := work.CostIterations()
+	if warmIters >= coldIters {
+		t.Fatalf("warm Lloyd took %d iterations, cold %d", warmIters, coldIters)
+	}
+}
+
+func TestSSSPIncrementalWithRemovalFallsBack(t *testing.T) {
+	tuples := datasets.PowerLawGraph(100, 3, 13)
+	mb := NewMiniBatch(NewSSSPWork(0, 64), 25)
+	mb.Feed(tuples...)
+	mb.Feed(stream.RemoveEdge(1<<40, tuples[0].Src, tuples[0].Dst))
+	res, _, err := mb.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := append(append([]stream.Tuple{}, tuples...), stream.RemoveEdge(1<<40, tuples[0].Src, tuples[0].Dst))
+	want := algorithms.RefSSSP(all, 0, 64)
+	got := res.(map[stream.VertexID]int64)
+	for v, w := range want {
+		if got[v] != w {
+			t.Fatalf("vertex %d: %d vs %d after removal", v, got[v], w)
+		}
+	}
+}
+
+func TestBadEpochSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero epoch size should panic")
+		}
+	}()
+	NewMiniBatch(NewSSSPWork(0, 64), 0)
+}

@@ -1,0 +1,564 @@
+package baselines
+
+import (
+	"math"
+
+	"tornado/internal/algorithms"
+	"tornado/internal/datasets"
+	"tornado/internal/graph"
+	"tornado/internal/stream"
+)
+
+// ---------------------------------------------------------------- SSSP ----
+
+// SSSPWork is the Single-Source Shortest Path workload. One instance serves
+// one engine (it caches the materialized graph between incremental calls).
+type SSSPWork struct {
+	Source  stream.VertexID
+	MaxHops int64
+
+	g          *graph.Graph
+	applied    int
+	lastIters  int
+	lastRounds int
+}
+
+// NewSSSPWork returns an SSSP workload for the given source.
+func NewSSSPWork(source stream.VertexID, maxHops int64) *SSSPWork {
+	if maxHops <= 0 {
+		maxHops = 64
+	}
+	return &SSSPWork{Source: source, MaxHops: maxHops, g: graph.New()}
+}
+
+// Name implements Workload.
+func (w *SSSPWork) Name() string { return "sssp" }
+
+// Zero implements Workload.
+func (w *SSSPWork) Zero() Result { return map[stream.VertexID]int64{} }
+
+// FromScratch implements Workload.
+func (w *SSSPWork) FromScratch(all []stream.Tuple) Result {
+	g := graph.New()
+	g.ApplyAll(all)
+	dist := algorithms.RefSSSPGraph(g, w.Source, w.MaxHops)
+	w.lastIters = len(dist)
+	w.lastRounds = maxFiniteDist(dist)
+	return dist
+}
+
+// maxFiniteDist is the deepest BFS level: the number of synchronization
+// rounds a level-parallel SSSP needs.
+func maxFiniteDist(dist map[stream.VertexID]int64) int {
+	var max int64
+	for _, d := range dist {
+		if d < algorithms.Unreachable && d > max {
+			max = d
+		}
+	}
+	return int(max)
+}
+
+// Incremental implements Workload: dynamic BFS relaxation seeded at the
+// endpoints of the changed edges. Edge retractions force a full recompute
+// (distance increases are not handled incrementally), matching common
+// incremental SSSP systems.
+func (w *SSSPWork) Incremental(prev Result, all, delta []stream.Tuple) Result {
+	if w.applied != len(all)-len(delta) {
+		// The cache does not match this engine's history; rebuild.
+		w.g = graph.New()
+		w.g.ApplyAll(all[:len(all)-len(delta)])
+		w.applied = len(all) - len(delta)
+	}
+	hasRemoval := false
+	for _, t := range delta {
+		w.g.Apply(t)
+		if t.Kind == stream.KindRemoveEdge {
+			hasRemoval = true
+		}
+	}
+	w.applied = len(all)
+	if hasRemoval {
+		dist := algorithms.RefSSSPGraph(w.g, w.Source, w.MaxHops)
+		w.lastIters = len(dist)
+		w.lastRounds = maxFiniteDist(dist)
+		return dist
+	}
+	dist := make(map[stream.VertexID]int64, len(prev.(map[stream.VertexID]int64)))
+	for k, v := range prev.(map[stream.VertexID]int64) {
+		dist[k] = v
+	}
+	getDist := func(v stream.VertexID) int64 {
+		if d, ok := dist[v]; ok {
+			return d
+		}
+		return algorithms.Unreachable
+	}
+	if _, ok := dist[w.Source]; !ok {
+		dist[w.Source] = 0
+	}
+	// Seed the relaxation frontier with the new edges' heads; process it
+	// level-synchronously so rounds = propagation depth (what each cluster
+	// synchronization barrier would cost).
+	var frontier []stream.VertexID
+	for _, t := range delta {
+		if t.Kind != stream.KindAddEdge {
+			continue
+		}
+		if _, ok := dist[t.Src]; !ok {
+			dist[t.Src] = algorithms.Unreachable
+		}
+		if d := getDist(t.Src) + 1; d <= w.MaxHops && d < getDist(t.Dst) {
+			dist[t.Dst] = d
+			frontier = append(frontier, t.Dst)
+		} else if _, ok := dist[t.Dst]; !ok {
+			dist[t.Dst] = algorithms.Unreachable
+		}
+	}
+	iters, rounds := 0, 0
+	for len(frontier) > 0 {
+		rounds++
+		var next []stream.VertexID
+		for _, u := range frontier {
+			iters++
+			du := getDist(u)
+			for _, v := range w.g.Out(u) {
+				if d := du + 1; d <= w.MaxHops && d < getDist(v) {
+					dist[v] = d
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	w.lastIters = iters
+	w.lastRounds = rounds
+	return dist
+}
+
+// Diff implements Workload.
+func (w *SSSPWork) Diff(prev, cur Result) (any, int) {
+	p := prev.(map[stream.VertexID]int64)
+	c := cur.(map[stream.VertexID]int64)
+	d := make(map[stream.VertexID]int64)
+	for k, v := range c {
+		if pv, ok := p[k]; !ok || pv != v {
+			d[k] = v
+		}
+	}
+	return d, len(d)
+}
+
+// Merge implements Workload.
+func (w *SSSPWork) Merge(base Result, diff any) Result {
+	b := base.(map[stream.VertexID]int64)
+	for k, v := range diff.(map[stream.VertexID]int64) {
+		b[k] = v
+	}
+	return b
+}
+
+// CostIterations implements Workload.
+func (w *SSSPWork) CostIterations() int { return w.lastIters }
+
+// CostRounds implements Workload.
+func (w *SSSPWork) CostRounds() int { return w.lastRounds }
+
+// ------------------------------------------------------------ PageRank ----
+
+// PRWork is the PageRank workload.
+type PRWork struct {
+	Damping float64
+	Tol     float64
+
+	g         *graph.Graph
+	applied   int
+	lastIters int
+}
+
+// NewPRWork returns a PageRank workload.
+func NewPRWork(damping, tol float64) *PRWork {
+	if damping == 0 {
+		damping = 0.85
+	}
+	if tol == 0 {
+		tol = 1e-6
+	}
+	return &PRWork{Damping: damping, Tol: tol, g: graph.New()}
+}
+
+// Name implements Workload.
+func (w *PRWork) Name() string { return "pagerank" }
+
+// Zero implements Workload.
+func (w *PRWork) Zero() Result { return map[stream.VertexID]float64{} }
+
+// FromScratch implements Workload.
+func (w *PRWork) FromScratch(all []stream.Tuple) Result {
+	g := graph.New()
+	g.ApplyAll(all)
+	ranks, iters := powerIterate(g, nil, w.Damping, w.Tol)
+	w.lastIters = iters
+	return ranks
+}
+
+// Incremental implements Workload: power iteration warm-started from the
+// previous ranks — few iterations when the change is small, but each
+// iteration touches the whole graph (the PageRank incremental-cost story of
+// the introduction: time proportional to graph size, not update count).
+func (w *PRWork) Incremental(prev Result, all, delta []stream.Tuple) Result {
+	if w.applied != len(all)-len(delta) {
+		w.g = graph.New()
+		w.g.ApplyAll(all[:len(all)-len(delta)])
+		w.applied = len(all) - len(delta)
+	}
+	for _, t := range delta {
+		w.g.Apply(t)
+	}
+	w.applied = len(all)
+	ranks, iters := powerIterate(w.g, prev.(map[stream.VertexID]float64), w.Damping, w.Tol)
+	w.lastIters = iters
+	return ranks
+}
+
+// powerIterate runs the (1-d) + d·Σ recurrence from init (nil = cold start)
+// until the max per-vertex change is below tol.
+func powerIterate(g *graph.Graph, init map[stream.VertexID]float64, damping, tol float64) (map[stream.VertexID]float64, int) {
+	verts := g.Vertices()
+	rank := make(map[stream.VertexID]float64, len(verts))
+	for _, v := range verts {
+		if r, ok := init[v]; ok {
+			rank[v] = r
+		} else {
+			rank[v] = 1 - damping
+		}
+	}
+	iters := 0
+	for ; iters < 10000; iters++ {
+		next := make(map[stream.VertexID]float64, len(verts))
+		for _, v := range verts {
+			next[v] = 1 - damping
+		}
+		for _, u := range verts {
+			if d := g.OutDegree(u); d > 0 {
+				share := damping * rank[u] / float64(d)
+				for _, v := range g.Out(u) {
+					next[v] += share
+				}
+			}
+		}
+		maxDelta := 0.0
+		for _, v := range verts {
+			if d := math.Abs(next[v] - rank[v]); d > maxDelta {
+				maxDelta = d
+			}
+		}
+		rank = next
+		if maxDelta < tol {
+			iters++
+			break
+		}
+	}
+	return rank, iters
+}
+
+// Diff implements Workload.
+func (w *PRWork) Diff(prev, cur Result) (any, int) {
+	p := prev.(map[stream.VertexID]float64)
+	c := cur.(map[stream.VertexID]float64)
+	d := make(map[stream.VertexID]float64)
+	for k, v := range c {
+		if pv, ok := p[k]; !ok || math.Abs(pv-v) > 1e-12 {
+			d[k] = v
+		}
+	}
+	return d, len(d)
+}
+
+// Merge implements Workload.
+func (w *PRWork) Merge(base Result, diff any) Result {
+	b := base.(map[stream.VertexID]float64)
+	for k, v := range diff.(map[stream.VertexID]float64) {
+		b[k] = v
+	}
+	return b
+}
+
+// CostIterations implements Workload.
+func (w *PRWork) CostIterations() int { return w.lastIters }
+
+// CostRounds implements Workload: one round per power iteration.
+func (w *PRWork) CostRounds() int { return w.lastIters }
+
+// ----------------------------------------------------------------- SVM ----
+
+// SVMWork is the linear-SVM SGD workload. Tuples carry datasets.Instance
+// payloads; edge tuples are ignored.
+type SVMWork struct {
+	Dim    int
+	Eta    float64
+	Lambda float64
+	// Epochs is the from-scratch pass count (default 5).
+	Epochs int
+	// BatchSize is the mini-batch size (default 32).
+	BatchSize int
+
+	lastIters int
+}
+
+// NewSVMWork returns an SVM workload.
+func NewSVMWork(dim int, eta, lambda float64) *SVMWork {
+	return &SVMWork{Dim: dim, Eta: eta, Lambda: lambda, Epochs: 5, BatchSize: 32}
+}
+
+// Name implements Workload.
+func (w *SVMWork) Name() string { return "svm" }
+
+// Zero implements Workload.
+func (w *SVMWork) Zero() Result { return make([]float64, w.Dim) }
+
+func extractInstances(tuples []stream.Tuple) []datasets.Instance {
+	var out []datasets.Instance
+	for _, t := range tuples {
+		if t.Kind == stream.KindValue {
+			if in, ok := t.Value.(datasets.Instance); ok {
+				out = append(out, in)
+			}
+		}
+	}
+	return out
+}
+
+// FromScratch implements Workload.
+func (w *SVMWork) FromScratch(all []stream.Tuple) Result {
+	ins := extractInstances(all)
+	res := algorithms.RefSGD(algorithms.Hinge, ins, w.Dim, w.Eta, w.Lambda, w.Epochs, w.BatchSize)
+	w.lastIters = w.Epochs * (len(ins)/w.BatchSize + 1)
+	return res
+}
+
+// Incremental implements Workload: one warm-started pass over the new
+// instances (the cheap update SGD affords).
+func (w *SVMWork) Incremental(prev Result, all, delta []stream.Tuple) Result {
+	wv := append([]float64(nil), prev.([]float64)...)
+	ins := extractInstances(delta)
+	wv = sgdPass(algorithms.Hinge, wv, ins, w.Eta, w.Lambda, w.BatchSize)
+	w.lastIters = len(ins)/w.BatchSize + 1
+	return wv
+}
+
+// sgdPass is one mini-batch pass, warm-started from wv.
+func sgdPass(kind algorithms.LossKind, wv []float64, ins []datasets.Instance, eta, lambda float64, batch int) []float64 {
+	for lo := 0; lo < len(ins); lo += batch {
+		hi := lo + batch
+		if hi > len(ins) {
+			hi = len(ins)
+		}
+		wv = refStep(kind, wv, ins[lo:hi], eta, lambda)
+	}
+	return wv
+}
+
+// refStep applies one mini-batch gradient step to wv.
+func refStep(kind algorithms.LossKind, wv []float64, batch []datasets.Instance, eta, lambda float64) []float64 {
+	grad := make([]float64, len(wv))
+	for _, in := range batch {
+		z := in.Dot(wv)
+		switch kind {
+		case algorithms.Hinge:
+			if in.Y*z < 1 {
+				accum(grad, in, -in.Y)
+			}
+		case algorithms.Logistic:
+			p := 1 / (1 + math.Exp(-z))
+			accum(grad, in, p-in.Y)
+		}
+	}
+	n := float64(len(batch))
+	for i := range wv {
+		wv[i] -= eta * (grad[i]/n + lambda*wv[i])
+	}
+	return wv
+}
+
+func accum(g []float64, in datasets.Instance, scale float64) {
+	if in.Idx == nil {
+		for i, v := range in.X {
+			if i < len(g) {
+				g[i] += scale * v
+			}
+		}
+		return
+	}
+	for k, j := range in.Idx {
+		if j < len(g) {
+			g[j] += scale * in.X[k]
+		}
+	}
+}
+
+// Diff implements Workload: the full (small) weight vector.
+func (w *SVMWork) Diff(_, cur Result) (any, int) {
+	c := append([]float64(nil), cur.([]float64)...)
+	return c, len(c)
+}
+
+// Merge implements Workload: the trace replaces the weights.
+func (w *SVMWork) Merge(_ Result, diff any) Result {
+	return append([]float64(nil), diff.([]float64)...)
+}
+
+// CostIterations implements Workload.
+func (w *SVMWork) CostIterations() int { return w.lastIters }
+
+// CostRounds implements Workload: one round per mini-batch.
+func (w *SVMWork) CostRounds() int { return w.lastIters }
+
+// -------------------------------------------------------------- KMeans ----
+
+// KMResult is the KMeans result: centroids plus per-point assignments (the
+// assignments are what make Naiad-style difference traces explode).
+type KMResult struct {
+	Centers [][]float64
+	Assign  []int
+}
+
+// KMWork is the KMeans workload over KindValue point tuples.
+type KMWork struct {
+	K   int
+	Eps float64
+	// MaxIter bounds Lloyd iterations (default 100).
+	MaxIter int
+
+	lastIters int
+}
+
+// NewKMWork returns a KMeans workload.
+func NewKMWork(k int, eps float64) *KMWork {
+	if eps == 0 {
+		eps = 1e-6
+	}
+	return &KMWork{K: k, Eps: eps, MaxIter: 100}
+}
+
+// Name implements Workload.
+func (w *KMWork) Name() string { return "kmeans" }
+
+// Zero implements Workload.
+func (w *KMWork) Zero() Result { return KMResult{} }
+
+func extractPoints(tuples []stream.Tuple) []datasets.Point {
+	var out []datasets.Point
+	for _, t := range tuples {
+		if t.Kind == stream.KindValue {
+			if p, ok := t.Value.(datasets.Point); ok {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// FromScratch implements Workload: Lloyd from the first K points.
+func (w *KMWork) FromScratch(all []stream.Tuple) Result {
+	points := extractPoints(all)
+	return w.lloyd(points, nil)
+}
+
+// Incremental implements Workload: Lloyd warm-started from the previous
+// centers, still scanning every point each iteration — the reason shrinking
+// epochs does not help KMeans (Figure 5c).
+func (w *KMWork) Incremental(prev Result, all, _ []stream.Tuple) Result {
+	points := extractPoints(all)
+	prevRes := prev.(KMResult)
+	return w.lloyd(points, prevRes.Centers)
+}
+
+func (w *KMWork) lloyd(points []datasets.Point, init [][]float64) KMResult {
+	if len(points) == 0 {
+		w.lastIters = 0
+		return KMResult{}
+	}
+	centers := init
+	if len(centers) == 0 {
+		for i := 0; i < w.K && i < len(points); i++ {
+			centers = append(centers, append([]float64(nil), points[i]...))
+		}
+	}
+	assign := make([]int, len(points))
+	iters := 0
+	for ; iters < w.MaxIter; iters++ {
+		sums := make([][]float64, len(centers))
+		counts := make([]int64, len(centers))
+		for i := range centers {
+			sums[i] = make([]float64, len(centers[i]))
+		}
+		for pi, pt := range points {
+			best, bestD := 0, math.Inf(1)
+			for ci, c := range centers {
+				if d := sq(pt, c); d < bestD {
+					best, bestD = ci, d
+				}
+			}
+			assign[pi] = best
+			for j := range sums[best] {
+				if j < len(pt) {
+					sums[best][j] += pt[j]
+				}
+			}
+			counts[best]++
+		}
+		maxMove := 0.0
+		for i := range centers {
+			if counts[i] == 0 {
+				continue
+			}
+			next := make([]float64, len(sums[i]))
+			for j := range next {
+				next[j] = sums[i][j] / float64(counts[i])
+			}
+			if m := math.Sqrt(sq(next, centers[i])); m > maxMove {
+				maxMove = m
+			}
+			centers[i] = next
+		}
+		if maxMove < w.Eps {
+			iters++
+			break
+		}
+	}
+	w.lastIters = iters
+	return KMResult{Centers: centers, Assign: assign}
+}
+
+func sq(a, b []float64) float64 {
+	var s float64
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Diff implements Workload: centers plus the full assignment array — the
+// per-epoch trace volume that exhausts memory in the paper's Naiad KMeans
+// runs.
+func (w *KMWork) Diff(_, cur Result) (any, int) {
+	c := cur.(KMResult)
+	return c, len(c.Assign) + len(c.Centers)
+}
+
+// Merge implements Workload.
+func (w *KMWork) Merge(_ Result, diff any) Result {
+	return diff.(KMResult)
+}
+
+// CostIterations implements Workload.
+func (w *KMWork) CostIterations() int { return w.lastIters }
+
+// CostRounds implements Workload: one round per Lloyd iteration.
+func (w *KMWork) CostRounds() int { return w.lastIters }

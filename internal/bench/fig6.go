@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"tornado/internal/algorithms"
+	"tornado/internal/baselines"
+	"tornado/internal/datasets"
+	"tornado/internal/engine"
+	"tornado/internal/storage"
+	"tornado/internal/stream"
+)
+
+// ErrPoint is one observation of an error-versus-progress series.
+type ErrPoint struct {
+	// Frac is the fraction of the stream ingested when the point was taken.
+	Frac float64
+	// Value is the series value (objective, rate, latency seconds).
+	Value float64
+}
+
+// Fig6Report reproduces Figure 6: the trade-off between approximation error
+// and adaption rate on SVM.
+type Fig6Report struct {
+	// Error holds, per descent rate label, the main-loop objective over the
+	// ingested prefix as the stream advances (Figure 6a).
+	Error map[string][]ErrPoint
+	// BranchTime holds, per method label ("batch", rate labels), the query
+	// running time at each probe instant (Figure 6b).
+	BranchTime map[string][]ErrPoint
+}
+
+// String renders the report.
+func (r Fig6Report) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 6a (SVM): main-loop approximation error vs stream progress\n")
+	writeSeries(&b, r.Error, "objective")
+	b.WriteString("Figure 6b (SVM): query running time vs stream progress\n")
+	writeSeries(&b, r.BranchTime, "seconds")
+	return b.String()
+}
+
+func writeSeries(b *strings.Builder, series map[string][]ErrPoint, unit string) {
+	for _, label := range sortedKeys(series) {
+		fmt.Fprintf(b, "  %s (%s):", label, unit)
+		for _, p := range series[label] {
+			fmt.Fprintf(b, " %.0f%%=%.4g", p.Frac*100, p.Value)
+		}
+		b.WriteByte('\n')
+	}
+}
+
+func sortedKeys(m map[string][]ErrPoint) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// sgdBenchProgram builds the standard SGD topology for the harness.
+func sgdBenchProgram(loss algorithms.LossKind, dim int, eta float64, bold bool) algorithms.SGD {
+	return algorithms.SGD{
+		ParamVertex: 0,
+		SamplerBase: 10,
+		Samplers:    4,
+		Dim:         dim,
+		Loss:        loss,
+		Lambda:      1e-4,
+		Eta0:        eta,
+		BoldDriver:  bold,
+		RoundLimit:  200,
+		Tol:         1e-4,
+	}
+}
+
+// runSGDMainLoop streams instances into a fresh SGD main loop, sampling the
+// full-prefix objective at each probe instant. It returns the error series
+// and the engine (still running) for follow-up queries.
+func runSGDMainLoop(prog algorithms.SGD, instances []datasets.Instance, probes []int) (*engine.Engine, []ErrPoint, error) {
+	e, err := newEngine(prog, 4, 256)
+	if err != nil {
+		return nil, nil, err
+	}
+	e.IngestAll(algorithms.SGDEdges(prog, 1))
+	tuples := datasets.InstanceStream(instances, prog.SamplerBase, prog.Samplers)
+	var series []ErrPoint
+	fed := 0
+	for _, cut := range probes {
+		e.IngestAll(tuples[fed:cut])
+		fed = cut
+		if err := e.WaitQuiesce(2 * time.Minute); err != nil {
+			e.Stop()
+			return nil, nil, err
+		}
+		w, err := prog.Weights(e)
+		if err != nil {
+			e.Stop()
+			return nil, nil, err
+		}
+		obj := algorithms.Objective(prog.Loss, w, instances[:cut], prog.Lambda)
+		series = append(series, ErrPoint{Frac: float64(cut) / float64(len(tuples)), Value: obj})
+	}
+	return e, series, nil
+}
+
+// RunFig6 reproduces Figure 6: SVM main-loop error for descent rates 0.5 and
+// 0.1 (6a), and query running time against a batch baseline (6b). The
+// paper's finding: the large rate adapts fast but plateaus high, and
+// branches forked from the lower-error main loop converge faster.
+func RunFig6(s Scale) (Fig6Report, error) {
+	instances, _ := datasets.LinearlySeparable(s.Instances, 16, 0.05, 61)
+	probes := probeInstants(s.Instances, s.Probes)
+	rep := Fig6Report{
+		Error:      make(map[string][]ErrPoint),
+		BranchTime: make(map[string][]ErrPoint),
+	}
+	for _, eta := range []float64{0.5, 0.1} {
+		label := fmt.Sprintf("rate=%.1f", eta)
+		prog := sgdBenchProgram(algorithms.Hinge, 16, eta, false)
+		e, series, err := runSGDMainLoop(prog, instances, probes)
+		if err != nil {
+			return rep, err
+		}
+		rep.Error[label] = series
+
+		// Figure 6b: re-stream and fork a converging branch at each probe.
+		e.Stop()
+		e2, err := newEngine(prog, 4, 256)
+		if err != nil {
+			return rep, err
+		}
+		e2.IngestAll(algorithms.SGDEdges(prog, 1))
+		tuples := datasets.InstanceStream(instances, prog.SamplerBase, prog.Samplers)
+		fed := 0
+		for i, cut := range probes {
+			e2.IngestAll(tuples[fed:cut])
+			fed = cut
+			if err := e2.WaitQuiesce(2 * time.Minute); err != nil {
+				e2.Stop()
+				return rep, err
+			}
+			br, lat, err := forkAndWait(e2, storage.LoopID(i+1), nil, func(br *engine.Engine) {
+				for k := 0; k < prog.Samplers; k++ {
+					br.Activate(prog.SamplerBase + stream.VertexID(k))
+				}
+			}, 2*time.Minute)
+			if err != nil {
+				e2.Stop()
+				return rep, err
+			}
+			lat += branchComm(br, s.RTT)
+			br.Stop()
+			rep.BranchTime[label] = append(rep.BranchTime[label],
+				ErrPoint{Frac: float64(cut) / float64(len(tuples)), Value: lat.Seconds()})
+		}
+		e2.Stop()
+	}
+
+	// Batch comparator for 6b: from-scratch SGD at the same instants.
+	work := baselines.NewSVMWork(16, 0.1, 1e-4)
+	fs := baselines.NewFromScratch(work, false)
+	tuples := datasets.InstanceStream(instances, 10, 4)
+	fed := 0
+	for _, cut := range probes {
+		fs.Feed(tuples[fed:cut]...)
+		fed = cut
+		_, stats, err := fs.Query()
+		if err != nil {
+			return rep, err
+		}
+		lat := stats.Latency + time.Duration(stats.Rounds)*s.RTT
+		rep.BranchTime["batch"] = append(rep.BranchTime["batch"],
+			ErrPoint{Frac: float64(cut) / float64(len(tuples)), Value: lat.Seconds()})
+	}
+	return rep, nil
+}

@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"tornado/internal/algorithms"
+	"tornado/internal/datasets"
+	"tornado/internal/engine"
+)
+
+// Fig9Row is one (workload, workers) measurement of the scalability sweep.
+type Fig9Row struct {
+	Workload string
+	Workers  int
+	Time     time.Duration
+	// Speedup is Time(minWorkers)/Time(workers).
+	Speedup float64
+	// MsgsPerSec is the transport throughput during the run (Figure 9b).
+	MsgsPerSec float64
+}
+
+// Fig9Report reproduces Figure 9: speedup and message throughput versus
+// worker count.
+type Fig9Report struct {
+	Rows []Fig9Row
+}
+
+// String renders the report.
+func (r Fig9Report) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 9: scalability (speedup and message throughput vs workers)\n")
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{
+			row.Workload, fmt.Sprintf("%d", row.Workers), fmtDur(row.Time),
+			fmt.Sprintf("%.2fx", row.Speedup), fmt.Sprintf("%.0f", row.MsgsPerSec),
+		}
+	}
+	b.WriteString(table([]string{"workload", "workers", "time", "speedup", "msgs/s"}, rows))
+	return b.String()
+}
+
+// Series returns a workload's rows in sweep order.
+func (r Fig9Report) Series(workload string) []Fig9Row {
+	var out []Fig9Row
+	for _, row := range r.Rows {
+		if row.Workload == workload {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// scalabilityCase is one workload of the sweep: build returns a started
+// engine plus the input feeder.
+type scalabilityCase struct {
+	name  string
+	build func(workers int) (*engine.Engine, func(*engine.Engine), error)
+}
+
+func scalabilityCases(s Scale) []scalabilityCase {
+	graphTuples := edgeStream(s, 9)
+	points, _ := datasets.GaussianMixture(s.Points, 3, 6, 0.8, 10)
+	instances, _ := datasets.LinearlySeparable(s.Instances, 16, 0.05, 11)
+	kmProg := algorithms.KMeans{
+		CentroidBase: 0, BlockBase: 100, K: 3,
+		InitialCenters: []datasets.Point{points[0], points[1], points[2]},
+		Epsilon:        1e-4,
+	}
+	const kmBlocks = 8
+	svmProg := sgdBenchProgram(algorithms.Hinge, 16, 0.1, false)
+	return []scalabilityCase{
+		{
+			name: "sssp",
+			build: func(w int) (*engine.Engine, func(*engine.Engine), error) {
+				e, err := newEngine(algorithms.SSSP{Source: 0}, w, 256)
+				return e, func(e *engine.Engine) { e.IngestAll(graphTuples) }, err
+			},
+		},
+		{
+			name: "pagerank",
+			build: func(w int) (*engine.Engine, func(*engine.Engine), error) {
+				e, err := newEngine(algorithms.PageRank{Epsilon: 1e-3}, w, 256)
+				return e, func(e *engine.Engine) { e.IngestAll(graphTuples) }, err
+			},
+		},
+		{
+			name: "kmeans",
+			build: func(w int) (*engine.Engine, func(*engine.Engine), error) {
+				e, err := newEngine(kmProg, w, 256)
+				return e, func(e *engine.Engine) {
+					e.IngestAll(algorithms.KMeansEdges(kmProg, kmBlocks, 1))
+					e.IngestAll(datasets.PointStream(points, kmProg.BlockBase, kmBlocks))
+				}, err
+			},
+		},
+		{
+			name: "svm",
+			build: func(w int) (*engine.Engine, func(*engine.Engine), error) {
+				e, err := newEngine(svmProg, w, 256)
+				return e, func(e *engine.Engine) {
+					e.IngestAll(algorithms.SGDEdges(svmProg, 1))
+					e.IngestAll(datasets.InstanceStream(instances, svmProg.SamplerBase, svmProg.Samplers))
+				}, err
+			},
+		},
+	}
+}
+
+// RunFig9 reproduces Figure 9: each workload runs cold to quiescence at each
+// worker count. Expected shape: the graph workloads speed up until message
+// throughput saturates; SVM does not benefit (its parameter vertex
+// serializes every round) and degrades with more workers.
+func RunFig9(s Scale) (Fig9Report, error) {
+	rep := Fig9Report{}
+	for _, c := range scalabilityCases(s) {
+		var base time.Duration
+		for _, w := range s.WorkerSweep {
+			e, feed, err := c.build(w)
+			if err != nil {
+				return rep, err
+			}
+			start := time.Now()
+			feed(e)
+			if err := e.WaitQuiesce(5 * time.Minute); err != nil {
+				e.Stop()
+				return rep, err
+			}
+			elapsed := time.Since(start)
+			sent := e.StatsSnapshot().TransportSent
+			e.Stop()
+			if base == 0 {
+				base = elapsed
+			}
+			rep.Rows = append(rep.Rows, Fig9Row{
+				Workload:   c.name,
+				Workers:    w,
+				Time:       elapsed,
+				Speedup:    base.Seconds() / elapsed.Seconds(),
+				MsgsPerSec: float64(sent) / elapsed.Seconds(),
+			})
+		}
+	}
+	return rep, nil
+}

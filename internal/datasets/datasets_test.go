@@ -1,0 +1,202 @@
+package datasets
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"tornado/internal/graph"
+	"tornado/internal/stream"
+)
+
+func TestPowerLawGraphDeterministic(t *testing.T) {
+	a := PowerLawGraph(100, 3, 7)
+	b := PowerLawGraph(100, 3, 7)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("tuple %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPowerLawGraphShape(t *testing.T) {
+	tuples := PowerLawGraph(500, 4, 1)
+	g := graph.New()
+	g.ApplyAll(tuples)
+	if g.NumVertices() < 400 {
+		t.Fatalf("only %d vertices materialized", g.NumVertices())
+	}
+	// Degree skew: the max out-degree should far exceed the mean.
+	var maxDeg, sumDeg int
+	for _, v := range g.Vertices() {
+		d := g.OutDegree(v)
+		sumDeg += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	mean := float64(sumDeg) / float64(g.NumVertices())
+	if float64(maxDeg) < 5*mean {
+		t.Fatalf("degree distribution not skewed: max=%d mean=%.1f", maxDeg, mean)
+	}
+	// Timestamps must be non-decreasing.
+	for i := 1; i < len(tuples); i++ {
+		if tuples[i].Time < tuples[i-1].Time {
+			t.Fatal("edge stream timestamps not ordered")
+		}
+	}
+}
+
+func TestWithRemovalsRetractsExistingEdges(t *testing.T) {
+	edges := PowerLawGraph(200, 3, 2)
+	mixed := WithRemovals(edges, 0.2, 3)
+	inserted := map[[2]stream.VertexID]bool{}
+	removals := 0
+	for _, tu := range mixed {
+		key := [2]stream.VertexID{tu.Src, tu.Dst}
+		switch tu.Kind {
+		case stream.KindAddEdge:
+			inserted[key] = true
+		case stream.KindRemoveEdge:
+			removals++
+			if !inserted[key] {
+				t.Fatalf("removal of never-inserted edge %v", key)
+			}
+		}
+	}
+	if removals == 0 {
+		t.Fatal("no removals generated at removeFrac=0.2")
+	}
+	got := float64(removals) / float64(len(edges))
+	if got < 0.1 || got > 0.3 {
+		t.Fatalf("removal fraction = %.2f; want ~0.2", got)
+	}
+}
+
+func TestGaussianMixtureClusters(t *testing.T) {
+	pts, centers := GaussianMixture(2000, 4, 5, 1.0, 9)
+	if len(pts) != 2000 || len(centers) != 4 {
+		t.Fatalf("sizes: %d points %d centers", len(pts), len(centers))
+	}
+	// Every point should be close to SOME center (within a few stddevs).
+	for i, p := range pts {
+		best := math.Inf(1)
+		for _, c := range centers {
+			var d float64
+			for j := range p {
+				diff := p[j] - c[j]
+				d += diff * diff
+			}
+			if d < best {
+				best = d
+			}
+		}
+		if math.Sqrt(best) > 6*math.Sqrt(5) { // 6 stddev per dim budget
+			t.Fatalf("point %d is %.1f away from every center", i, math.Sqrt(best))
+		}
+	}
+}
+
+func TestLinearlySeparableConsistentWithPlane(t *testing.T) {
+	ins, w := LinearlySeparable(1000, 10, 0, 4)
+	for i, in := range ins {
+		want := 1.0
+		if in.Dot(w) < 0 {
+			want = -1
+		}
+		if in.Y != want {
+			t.Fatalf("instance %d label %v inconsistent with ground truth", i, in.Y)
+		}
+	}
+}
+
+func TestLinearlySeparableNoiseRate(t *testing.T) {
+	ins, w := LinearlySeparable(5000, 10, 0.1, 5)
+	flipped := 0
+	for _, in := range ins {
+		want := 1.0
+		if in.Dot(w) < 0 {
+			want = -1
+		}
+		if in.Y != want {
+			flipped++
+		}
+	}
+	rate := float64(flipped) / float64(len(ins))
+	if rate < 0.05 || rate > 0.15 {
+		t.Fatalf("flip rate = %.3f; want ~0.1", rate)
+	}
+}
+
+func TestDriftingLogisticSparse(t *testing.T) {
+	ins, w := DriftingLogistic(500, 100, 5, 0.001, 6)
+	if len(w) != 100 {
+		t.Fatalf("weights dim = %d", len(w))
+	}
+	for i, in := range ins {
+		if len(in.Idx) != 5 || len(in.X) != 5 {
+			t.Fatalf("instance %d nnz = %d/%d; want 5", i, len(in.Idx), len(in.X))
+		}
+		if in.Y != 0 && in.Y != 1 {
+			t.Fatalf("instance %d label = %v; want 0/1", i, in.Y)
+		}
+		seen := map[int]bool{}
+		for _, j := range in.Idx {
+			if j < 0 || j >= 100 || seen[j] {
+				t.Fatalf("instance %d has bad index set %v", i, in.Idx)
+			}
+			seen[j] = true
+		}
+	}
+}
+
+func TestSparseDot(t *testing.T) {
+	in := Instance{Idx: []int{1, 3}, X: []float64{2, 5}}
+	w := []float64{10, 20, 30, 40}
+	if got := in.Dot(w); got != 2*20+5*40 {
+		t.Fatalf("sparse Dot = %v; want 240", got)
+	}
+	dense := Instance{X: []float64{1, 2}}
+	if got := dense.Dot([]float64{3, 4}); got != 11 {
+		t.Fatalf("dense Dot = %v; want 11", got)
+	}
+	// Out-of-range indices are ignored rather than panicking.
+	wide := Instance{Idx: []int{9}, X: []float64{1}}
+	if got := wide.Dot([]float64{1}); got != 0 {
+		t.Fatalf("out-of-range Dot = %v; want 0", got)
+	}
+}
+
+func TestInstanceStreamRoundRobin(t *testing.T) {
+	ins, _ := LinearlySeparable(10, 2, 0, 1)
+	tuples := InstanceStream(ins, 100, 3)
+	counts := map[stream.VertexID]int{}
+	for _, tu := range tuples {
+		if tu.Kind != stream.KindValue {
+			t.Fatalf("kind = %v", tu.Kind)
+		}
+		counts[tu.Dst]++
+	}
+	var ids []stream.VertexID
+	for id := range counts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if len(ids) != 3 || ids[0] != 100 || ids[2] != 102 {
+		t.Fatalf("sampler ids = %v; want [100 101 102]", ids)
+	}
+}
+
+func TestPointStreamRoundRobin(t *testing.T) {
+	pts, _ := GaussianMixture(9, 2, 2, 1, 2)
+	tuples := PointStream(pts, 50, 3)
+	for i, tu := range tuples {
+		want := stream.VertexID(50 + i%3)
+		if tu.Dst != want {
+			t.Fatalf("tuple %d routed to %d; want %d", i, tu.Dst, want)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// GobCodec serializes vertex states with encoding/gob. Concrete state types
+// must be registered with RegisterStateType (or gob.Register) before use.
+// The zero value is ready to use.
+type GobCodec struct{}
+
+// Encode implements Codec.
+func (GobCodec) Encode(state any) ([]byte, error) {
+	var buf bytes.Buffer
+	// Encode through an interface wrapper so Decode can recover the dynamic
+	// type without the caller knowing it.
+	holder := stateHolder{State: state}
+	if err := gob.NewEncoder(&buf).Encode(&holder); err != nil {
+		return nil, fmt.Errorf("engine: encode state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode implements Codec.
+func (GobCodec) Decode(data []byte) (any, error) {
+	var holder stateHolder
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&holder); err != nil {
+		return nil, fmt.Errorf("engine: decode state: %w", err)
+	}
+	return holder.State, nil
+}
+
+type stateHolder struct {
+	State any
+}
+
+// RegisterStateType registers a concrete state type with gob so GobCodec can
+// round-trip it. Call it from the algorithm package's init.
+func RegisterStateType(v any) {
+	gob.Register(v)
+}

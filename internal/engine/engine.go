@@ -1,0 +1,709 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tornado/internal/lamport"
+	"tornado/internal/metrics"
+	"tornado/internal/storage"
+	"tornado/internal/stream"
+	"tornado/internal/transport"
+)
+
+// SnapshotSource tells a new engine to bootstrap vertices from the versions
+// of another loop (branch forking, Section 5.2, and checkpoint recovery,
+// Section 5.3).
+type SnapshotSource struct {
+	Loop storage.LoopID
+	UpTo int64
+}
+
+// Config assembles an Engine.
+type Config struct {
+	// Processors is the number of processor goroutines (>= 1).
+	Processors int
+	// DelayBound is B, the bound on iteration delays (>= 1). B = 1 yields
+	// synchronous (BSP) execution.
+	DelayBound int64
+	// Kind distinguishes the main loop from branch loops.
+	Kind LoopKind
+	// LoopID namespaces this loop's versions in the store.
+	LoopID storage.LoopID
+	// Store holds the versioned vertex states. Required.
+	Store storage.Store
+	// Codec serializes vertex states; defaults to GobCodec.
+	Codec Codec
+	// Program defines vertex behavior. Required.
+	Program Program
+	// Snapshot, when non-nil, bootstraps unseen vertices from another
+	// loop's versions instead of Program.Init.
+	Snapshot *SnapshotSource
+	// StartIteration is the first iteration this loop may commit in
+	// (default 0). A loop resuming in place over its own history (Reshard,
+	// in-place recovery) starts above its last terminated iteration so new
+	// versions supersede old ones.
+	StartIteration int64
+	// MaxIterations halts the loop once that many iterations terminated
+	// (0 = unlimited).
+	MaxIterations int64
+	// Converge, when non-nil, is evaluated by the master for every
+	// terminated iteration; returning true halts the loop.
+	Converge func(iter, commits int64, progress float64) bool
+	// Partition maps vertices to processors; defaults to modulo.
+	Partition func(stream.VertexID, int) int
+	// ResendAfter enables at-least-once delivery with the given
+	// retransmission timeout (0 = trusted in-process channels).
+	ResendAfter time.Duration
+	// CommitDelay, when non-nil, injects per-commit latency into a
+	// processor (straggler and I/O-cost modelling in the experiments).
+	CommitDelay func(proc int) time.Duration
+	// Seed drives all engine-internal randomness.
+	Seed int64
+	// CompactEvery makes the master compact the store every N terminated
+	// iterations, dropping versions superseded below the frontier (forks
+	// always happen at or above it, so they are unreachable). 0 disables
+	// compaction; the default for main loops is 64.
+	CompactEvery int64
+
+	// Ablation switches (benchmarking only; both default off = optimized).
+
+	// DisablePrepareSkip makes vertices at the delay cap run the prepare
+	// phase anyway (the paper's Section 4.4 optimization turned off).
+	DisablePrepareSkip bool
+	// DisableJournalPrune keeps every committed input in the fork journal
+	// instead of pruning entries below the terminated frontier.
+	DisableJournalPrune bool
+}
+
+func (c *Config) validate() error {
+	if c.Processors < 1 {
+		return errors.New("engine: Processors must be >= 1")
+	}
+	if c.DelayBound < 1 {
+		return errors.New("engine: DelayBound must be >= 1")
+	}
+	if c.Store == nil {
+		return errors.New("engine: Store is required")
+	}
+	if c.Program == nil {
+		return errors.New("engine: Program is required")
+	}
+	if c.Codec == nil {
+		c.Codec = GobCodec{}
+	}
+	if c.Partition == nil {
+		c.Partition = func(id stream.VertexID, n int) int { return int(id % stream.VertexID(n)) }
+	}
+	if c.CompactEvery == 0 && c.Kind == MainLoop {
+		c.CompactEvery = 64
+	}
+	return nil
+}
+
+// IterationRecord is the master's log entry for one terminated iteration.
+type IterationRecord struct {
+	Iteration int64
+	// At is the wall-clock offset from engine start when the iteration's
+	// termination was announced.
+	At time.Duration
+	// Commits is the number of vertex updates committed in the iteration.
+	Commits int64
+	// Progress is the iteration's aggregated ReportProgress value.
+	Progress float64
+}
+
+// Stats are the engine's live counters.
+type Stats struct {
+	Commits     metrics.Counter
+	UpdateMsgs  metrics.Counter
+	PrepareMsgs metrics.Counter
+	AckMsgs     metrics.Counter
+	InputMsgs   metrics.Counter
+}
+
+// StatsSnapshot is a point-in-time copy of the counters.
+type StatsSnapshot struct {
+	Commits, UpdateMsgs, PrepareMsgs, AckMsgs, InputMsgs int64
+	TransportSent, TransportDelivered                    int64
+	Notified                                             int64
+}
+
+// Engine runs one loop (main or branch) of the iterative computation.
+type Engine struct {
+	cfg     Config
+	net     *transport.Network
+	tracker *Tracker
+	clock   lamport.Clock
+	procs   []*processor
+	masterE *transport.Endpoint
+	ingestE *transport.Endpoint
+	journal *inputJournal // main loops only
+	stats   Stats
+	start   time.Time
+
+	iterMu   sync.Mutex
+	iterLog  []IterationRecord
+	haltSent bool
+
+	masterPaused atomic.Bool
+	done         chan struct{}
+	doneOnce     sync.Once
+	stopOnce     sync.Once
+	wg           sync.WaitGroup
+	started      atomic.Bool
+
+	// pins holds the fork iterations of live branches; compaction never
+	// drops versions a pinned snapshot may still lazily read.
+	pinMu sync.Mutex
+	pins  map[int64]int
+
+	// onStop runs after the engine stops (branch engines release their
+	// parent's fork pin here).
+	onStop func()
+	// forkJournalSeq is, on a branch engine, the parent's input-journal
+	// sequence at fork time; AdoptBranch uses it to detect inputs that
+	// arrived after the fork (Section 5.2's merge precondition).
+	forkJournalSeq uint64
+}
+
+// New assembles an engine; call Start to run it.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:     cfg,
+		net:     transport.NewNetwork(transport.Options{ResendAfter: cfg.ResendAfter, DropSeed: cfg.Seed}),
+		tracker: NewTracker(cfg.StartIteration),
+		done:    make(chan struct{}),
+		pins:    make(map[int64]int),
+	}
+	if cfg.Kind == MainLoop {
+		e.journal = newInputJournal()
+	}
+	for i := 0; i < cfg.Processors; i++ {
+		ep := e.net.Register(transport.NodeID(i))
+		e.procs = append(e.procs, newProcessor(i, e, ep))
+	}
+	e.masterE = e.net.Register(transport.NodeID(cfg.Processors))
+	e.ingestE = e.net.Register(transport.NodeID(cfg.Processors + 1))
+	return e, nil
+}
+
+// procNode maps a vertex to its owning processor's transport node.
+func (e *Engine) procNode(id stream.VertexID) transport.NodeID {
+	return transport.NodeID(e.cfg.Partition(id, e.cfg.Processors))
+}
+
+// Start launches the processors and the master. It may be called once.
+func (e *Engine) Start() {
+	if !e.started.CompareAndSwap(false, true) {
+		panic("engine: Start called twice")
+	}
+	e.start = time.Now()
+	for _, p := range e.procs {
+		e.wg.Add(1)
+		go p.run()
+	}
+	e.wg.Add(1)
+	go e.masterRun()
+}
+
+// Ingest routes one external tuple into the loop. It acquires the input's
+// obligation token before returning, so a subsequent WaitQuiesce cannot miss
+// the pending work.
+func (e *Engine) Ingest(t stream.Tuple) {
+	tok := e.tracker.AcquireFloor(0)
+	m := msgInput{Tuple: t, Token: tok}
+	if e.journal != nil {
+		m.JSeq, m.HasJSeq = e.journal.Ingested(t), true
+	}
+	e.ingestE.Send(e.procNode(routeVertex(t)), m)
+}
+
+// IngestAll ingests a tuple slice in order.
+func (e *Engine) IngestAll(ts []stream.Tuple) {
+	for _, t := range ts {
+		e.Ingest(t)
+	}
+}
+
+// Activate re-activates vertices: each becomes dirty and re-scatters its
+// current state. Branch loops are seeded this way; recovery re-activates
+// snapshot vertices.
+func (e *Engine) Activate(ids ...stream.VertexID) {
+	for _, id := range ids {
+		tok := e.tracker.AcquireFloor(0)
+		e.ingestE.Send(e.procNode(id), msgActivate{To: id, Token: tok})
+	}
+}
+
+// masterRun is the master node: it advances the iteration frontier, flushes
+// checkpoints, publishes termination notifications, records statistics, and
+// detects convergence.
+func (e *Engine) masterRun() {
+	defer e.wg.Done()
+	for {
+		// A killed master (Figure 8c) stops advancing the frontier; the
+		// tracker keeps accumulating and the announcement happens wholesale
+		// after recovery.
+		for e.masterPaused.Load() {
+			time.Sleep(time.Millisecond)
+		}
+		from, to, quiesced, ok := e.tracker.Advance()
+		if !ok {
+			return
+		}
+		if to >= from {
+			// Flush before announcing: a terminated iteration is a
+			// checkpoint (Section 5.3).
+			if err := e.cfg.Store.Flush(e.cfg.LoopID, to); err != nil {
+				panic(fmt.Sprintf("engine: checkpoint flush: %v", err))
+			}
+			at := time.Since(e.start)
+			halt := false
+			e.iterMu.Lock()
+			for k := from; k <= to; k++ {
+				commits, progress := e.tracker.IterStats(k)
+				e.iterLog = append(e.iterLog, IterationRecord{Iteration: k, At: at, Commits: commits, Progress: progress})
+				if e.cfg.Converge != nil && e.cfg.Converge(k, commits, progress) {
+					halt = true
+				}
+			}
+			e.iterMu.Unlock()
+			e.tracker.DropStatsThrough(to)
+			if e.journal != nil && !e.cfg.DisableJournalPrune {
+				e.journal.Prune(to)
+			}
+			if n := e.cfg.CompactEvery; n > 0 && to/n > (from-1)/n {
+				if err := e.cfg.Store.Compact(e.cfg.LoopID, e.compactFloor(to)); err != nil {
+					panic(fmt.Sprintf("engine: compact store: %v", err))
+				}
+			}
+			e.broadcast(msgFrontier{Notified: to})
+			if e.cfg.MaxIterations > 0 && to+1 >= e.cfg.MaxIterations {
+				halt = true
+			}
+			if halt {
+				e.halt()
+				return
+			}
+		}
+		if quiesced && e.cfg.Kind == BranchLoop {
+			// Frozen input and no obligations left: the branch converged.
+			e.halt()
+			return
+		}
+	}
+}
+
+// broadcast sends a control message to every processor.
+func (e *Engine) broadcast(payload any) {
+	for i := range e.procs {
+		e.masterE.Send(transport.NodeID(i), payload)
+	}
+}
+
+// halt stops the processors and signals completion.
+func (e *Engine) halt() {
+	e.iterMu.Lock()
+	if !e.haltSent {
+		e.haltSent = true
+		e.iterMu.Unlock()
+		e.broadcast(msgHalt{})
+	} else {
+		e.iterMu.Unlock()
+	}
+	e.doneOnce.Do(func() { close(e.done) })
+}
+
+// Done is closed when the loop converges (branch quiescence, the Converge
+// predicate, or MaxIterations).
+func (e *Engine) Done() <-chan struct{} { return e.done }
+
+// WaitDone blocks until the loop completes or the timeout expires.
+func (e *Engine) WaitDone(timeout time.Duration) error {
+	select {
+	case <-e.done:
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("engine: loop %d did not complete within %v", e.cfg.LoopID, timeout)
+	}
+}
+
+// WaitQuiesce blocks until no obligations remain (all ingested inputs fully
+// processed and propagated) or the timeout expires. It is the main loop's
+// synchronization point for tests and fork call sites that want exact
+// results.
+func (e *Engine) WaitQuiesce(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if e.tracker.Quiesced() {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("engine: loop %d did not quiesce within %v", e.cfg.LoopID, timeout)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// WaitSettled blocks until the loop is quiescent and the master has
+// announced the termination of every iteration that ran (so a fork taken now
+// snapshots everything and needs no seeds).
+func (e *Engine) WaitSettled(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if e.tracker.Settled() {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("engine: loop %d did not settle within %v", e.cfg.LoopID, timeout)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// Stop tears the engine down. It is idempotent and safe to call on a
+// completed engine.
+func (e *Engine) Stop() {
+	e.stopOnce.Do(func() {
+		e.tracker.Close()
+		e.broadcast(msgHalt{})
+		e.doneOnce.Do(func() { close(e.done) })
+		e.net.Close()
+		e.wg.Wait()
+		if e.onStop != nil {
+			e.onStop()
+		}
+	})
+}
+
+// pinFork registers a live snapshot at iter and returns its release.
+func (e *Engine) pinFork(iter int64) func() {
+	e.pinMu.Lock()
+	e.pins[iter]++
+	e.pinMu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			e.pinMu.Lock()
+			if e.pins[iter]--; e.pins[iter] <= 0 {
+				delete(e.pins, iter)
+			}
+			e.pinMu.Unlock()
+		})
+	}
+}
+
+// compactFloor caps a compaction at the oldest pinned fork iteration.
+func (e *Engine) compactFloor(to int64) int64 {
+	e.pinMu.Lock()
+	defer e.pinMu.Unlock()
+	for iter := range e.pins {
+		if iter < to {
+			to = iter
+		}
+	}
+	return to
+}
+
+// Notified returns the highest terminated iteration.
+func (e *Engine) Notified() int64 { return e.tracker.Notified() }
+
+// Quiesced reports whether the loop currently has no pending obligations.
+func (e *Engine) Quiesced() bool { return e.tracker.Quiesced() }
+
+// StatsSnapshot returns a copy of the live counters.
+func (e *Engine) StatsSnapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Commits:            e.stats.Commits.Value(),
+		UpdateMsgs:         e.stats.UpdateMsgs.Value(),
+		PrepareMsgs:        e.stats.PrepareMsgs.Value(),
+		AckMsgs:            e.stats.AckMsgs.Value(),
+		InputMsgs:          e.stats.InputMsgs.Value(),
+		TransportSent:      e.net.Sent.Value(),
+		TransportDelivered: e.net.Delivered.Value(),
+		Notified:           e.tracker.Notified(),
+	}
+}
+
+// IterationLog returns a copy of the per-iteration termination records.
+func (e *Engine) IterationLog() []IterationRecord {
+	e.iterMu.Lock()
+	defer e.iterMu.Unlock()
+	out := make([]IterationRecord, len(e.iterLog))
+	copy(out, e.iterLog)
+	return out
+}
+
+// ReadState returns the freshest stored application state of a vertex at or
+// below maxIter (use MaxInt64 for the newest). For a loop bootstrapped from
+// a snapshot (branch loops, recovery), vertices the loop never committed
+// fall back to the snapshot version — the branch's logical state is the
+// snapshot overlaid with its own commits.
+func (e *Engine) ReadState(id stream.VertexID, maxIter int64) (any, int64, error) {
+	data, iter, err := e.cfg.Store.Latest(e.cfg.LoopID, id, maxIter)
+	if errors.Is(err, storage.ErrNotFound) && e.cfg.Snapshot != nil {
+		data, iter, err = e.cfg.Store.Latest(e.cfg.Snapshot.Loop, id, e.cfg.Snapshot.UpTo)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	return e.decodeState(id, data, iter)
+}
+
+func (e *Engine) decodeState(id stream.VertexID, data []byte, iter int64) (any, int64, error) {
+	decoded, err := e.cfg.Codec.Decode(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	blob, ok := decoded.(vertexBlob)
+	if !ok {
+		return nil, 0, fmt.Errorf("engine: stored version of vertex %d is %T", id, decoded)
+	}
+	return blob.State, iter, nil
+}
+
+// ScanStates visits the freshest stored state of every vertex at or below
+// maxIter in ascending vertex order, overlaying this loop's commits onto its
+// snapshot source (if any).
+func (e *Engine) ScanStates(maxIter int64, fn func(id stream.VertexID, iter int64, state any) error) error {
+	own := make(map[stream.VertexID]storage.Record)
+	if err := e.cfg.Store.Scan(e.cfg.LoopID, maxIter, func(r storage.Record) error {
+		own[r.Vertex] = r
+		return nil
+	}); err != nil {
+		return err
+	}
+	merged := make([]storage.Record, 0, len(own))
+	if snap := e.cfg.Snapshot; snap != nil {
+		if err := e.cfg.Store.Scan(snap.Loop, snap.UpTo, func(r storage.Record) error {
+			if _, overlaid := own[r.Vertex]; !overlaid {
+				merged = append(merged, r)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	for _, r := range own {
+		merged = append(merged, r)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Vertex < merged[j].Vertex })
+	for _, r := range merged {
+		state, iter, err := e.decodeState(r.Vertex, r.Data, r.Iteration)
+		if err != nil {
+			return err
+		}
+		if err := fn(r.Vertex, iter, state); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ForkSpec describes a consistent fork point of a running main loop.
+type ForkSpec struct {
+	// ForkIter is the iteration the snapshot is taken at (the frontier at
+	// fork time).
+	ForkIter int64
+	// Seeds are the vertices whose effects are newer than the snapshot;
+	// the branch re-activates them.
+	Seeds []stream.VertexID
+	// Residual are the gathered inputs not reflected in the snapshot; the
+	// branch replays them.
+	Residual []stream.Tuple
+}
+
+// Fork captures a fork specification at the current frontier: snapshot
+// iteration, seed set and residual inputs (Section 5.2). The main loop keeps
+// running; terminated iterations are immutable, which is what makes the
+// snapshot consistent without a pause.
+func (e *Engine) Fork() ForkSpec {
+	// Quiescence is sampled before the scans: if nothing was pending at
+	// this point, any activity the scans pick up afterwards stems from
+	// post-fork inputs, which the fork instant may legitimately exclude.
+	quiesced := e.tracker.Quiesced()
+	forkIter := e.tracker.Notified()
+	seedSet := make(map[stream.VertexID]struct{})
+	above := false
+	for _, p := range e.procs {
+		for _, id := range p.forkScan(forkIter) {
+			seedSet[id] = struct{}{}
+		}
+		if len(p.forkScan(forkIter+1)) > 0 {
+			above = true
+		}
+	}
+	spec := ForkSpec{ForkIter: forkIter, Seeds: sortedIDs(seedSet)}
+	if e.journal != nil {
+		spec.Residual = e.journal.Residual(forkIter)
+	}
+	// Fast path for forks from a fully absorbed main loop: with no pending
+	// obligations, no commits above the fork iteration and no residual
+	// inputs, the snapshot alone is the complete fixed point — the branch
+	// needs no re-activation at all.
+	if quiesced && !above && len(spec.Residual) == 0 {
+		spec.Seeds = nil
+	}
+	return spec
+}
+
+// JournalSize returns the fork journal's (uncommitted, committed-retained)
+// entry counts (main loops only; zeros otherwise).
+func (e *Engine) JournalSize() (int, int) {
+	if e.journal == nil {
+		return 0, 0
+	}
+	return e.journal.Size()
+}
+
+// InjectTransportFaults makes the engine's transport drop and duplicate
+// data frames with the given probabilities (fault-tolerance experiments;
+// requires ResendAfter > 0 or dropped work is lost forever).
+func (e *Engine) InjectTransportFaults(drop, dup float64) {
+	e.net.SetFaults(drop, dup)
+}
+
+// ForkBranch forks a branch loop from the current frontier (Section 5.2):
+// it captures a ForkSpec, assembles a branch engine reading its initial
+// vertex states from this loop's snapshot and writing to branchLoop, starts
+// it, seeds it with the spec's activations, and replays the residual inputs.
+// The branch signals Done when it converges. The caller owns the returned
+// engine (Stop it after reading results). Override lets the caller tweak the
+// branch configuration (e.g. a different delay bound) before launch; seed,
+// when non-nil, runs extra activations under the branch's bootstrap guard —
+// use it instead of post-fork Activate calls, which can race an empty
+// branch's instant convergence.
+func (e *Engine) ForkBranch(branchLoop storage.LoopID, override func(*Config), seed func(*Engine)) (*Engine, ForkSpec, error) {
+	// Pin before capturing the spec so a concurrent compaction can never
+	// drop versions between the snapshot decision and the pin. The pinned
+	// iteration is at most the spec's fork iteration (the frontier only
+	// advances), which keeps the pin conservative and safe.
+	pin := e.pinFork(e.tracker.Notified())
+	forkSeq := e.journalSeq() // before the spec: conservative for merges
+	spec := e.Fork()
+	cfg := e.cfg
+	cfg.Kind = BranchLoop
+	cfg.LoopID = branchLoop
+	cfg.Snapshot = &SnapshotSource{Loop: e.cfg.LoopID, UpTo: spec.ForkIter}
+	cfg.Converge = nil
+	cfg.MaxIterations = 0
+	if override != nil {
+		override(&cfg)
+	}
+	br, err := New(cfg)
+	if err != nil {
+		pin()
+		return nil, ForkSpec{}, err
+	}
+	// Keep the snapshot's versions alive in the parent store until the
+	// branch is stopped (lazy snapshot reads happen throughout its life).
+	br.onStop = pin
+	br.forkJournalSeq = forkSeq
+	br.Start()
+	// Guard against the empty instant between Start and the first seed, in
+	// which the branch would otherwise appear quiescent and converge with no
+	// work done.
+	release := br.HoldQuiesce()
+	br.Activate(spec.Seeds...)
+	br.IngestAll(spec.Residual)
+	if seed != nil {
+		seed(br)
+	}
+	release()
+	return br, spec, nil
+}
+
+// HoldQuiesce acquires an obligation that keeps the loop from being
+// considered quiescent (and a branch loop from converging) until the
+// returned release function is called. Use it to bracket multi-step seeding.
+func (e *Engine) HoldQuiesce() (release func()) {
+	tok := e.tracker.AcquireFloor(0)
+	var once sync.Once
+	return func() { once.Do(func() { e.tracker.Release(tok) }) }
+}
+
+// ActivateStored re-activates every vertex present in the engine's snapshot
+// source (checkpoint recovery: after restarting from the last terminated
+// iteration, all vertices re-scatter so any work lost in the crash is
+// recomputed).
+func (e *Engine) ActivateStored() error {
+	snap := e.cfg.Snapshot
+	if snap == nil {
+		return errors.New("engine: ActivateStored requires a snapshot source")
+	}
+	return e.cfg.Store.Scan(snap.Loop, snap.UpTo, func(r storage.Record) error {
+		e.Activate(r.Vertex)
+		return nil
+	})
+}
+
+// Reshard stops a settled main loop and returns a replacement running
+// newProcs processors (and newPartition, when non-nil) that resumes in place
+// over the same store and loop ID. This is the paper's load rebalancing
+// (Section 5.1): "the master stops the computation before the modification
+// to the partitioning scheme; after the partitioning scheme is modified, the
+// computation will restart from the last terminated iteration." The caller
+// must pause ingestion around the call; the old engine is stopped on
+// success.
+func Reshard(e *Engine, newProcs int, newPartition func(stream.VertexID, int) int, settleTimeout time.Duration) (*Engine, error) {
+	if e.cfg.Kind != MainLoop {
+		return nil, errors.New("engine: Reshard applies to main loops")
+	}
+	if err := e.WaitSettled(settleTimeout); err != nil {
+		return nil, err
+	}
+	resume := e.tracker.Notified()
+	e.Stop()
+	cfg := e.cfg
+	cfg.Processors = newProcs
+	if newPartition != nil {
+		cfg.Partition = newPartition
+	}
+	cfg.Snapshot = &SnapshotSource{Loop: cfg.LoopID, UpTo: resume}
+	cfg.StartIteration = resume + 1
+	ne, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ne.Start()
+	return ne, nil
+}
+
+// LoadStats returns the number of vertices each processor currently hosts,
+// the signal the paper's master uses to decide when to rebalance.
+func (e *Engine) LoadStats() []int {
+	out := make([]int, len(e.procs))
+	for i, p := range e.procs {
+		p.shareMu.Lock()
+		out[i] = len(p.commitLog)
+		p.shareMu.Unlock()
+	}
+	return out
+}
+
+// KillProcessor pauses processor i (Figure 8d's fault injection): its
+// partition stops updating while messages to it accumulate, exactly like a
+// crashed worker whose unacknowledged traffic is retransmitted on recovery.
+func (e *Engine) KillProcessor(i int) { e.procs[i].setPaused(true) }
+
+// RecoverProcessor resumes processor i.
+func (e *Engine) RecoverProcessor(i int) { e.procs[i].setPaused(false) }
+
+// KillMaster pauses the master (Figure 8c): termination notifications stop,
+// so synchronous loops stall immediately and bounded-asynchronous loops run
+// until the delay bound is exhausted.
+func (e *Engine) KillMaster() { e.masterPaused.Store(true) }
+
+// RecoverMaster resumes the master.
+func (e *Engine) RecoverMaster() { e.masterPaused.Store(false) }
+
+// Config returns a copy of the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }

@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"sort"
+	"sync"
+
+	"tornado/internal/stream"
+)
+
+// inputJournal tracks, for the main loop, which external inputs are not yet
+// reflected in the snapshot at a given iteration. Entries move through three
+// states:
+//
+//	ingested  — accepted by the ingester, still in flight to the processor
+//	applied   — gathered by the destination vertex, commit pending
+//	committed — the vertex committed at some iteration; the input's effect
+//	            is in the store from that iteration on
+//
+// A branch forked at iteration i must replay every input that is not
+// committed at or before i (Section 5.2: the branch computes over the full
+// gathered input even though the approximation lags behind). Inputs replayed
+// while still in flight in the main loop are applied by both loops, which is
+// consistent: the fork instant includes everything ingested before it.
+type inputJournal struct {
+	mu        sync.Mutex
+	nextSeq   uint64
+	entries   map[uint64]*journalEntry
+	byVertex  map[stream.VertexID][]uint64 // applied but uncommitted, per vertex
+	committed []journalEntry               // committed, retained until pruned
+}
+
+type journalEntry struct {
+	seq   uint64
+	iter  int64 // commit iteration once committed
+	tuple stream.Tuple
+}
+
+func newInputJournal() *inputJournal {
+	return &inputJournal{
+		entries:  make(map[uint64]*journalEntry),
+		byVertex: make(map[stream.VertexID][]uint64),
+	}
+}
+
+// Ingested registers a new input and returns its journal sequence.
+func (j *inputJournal) Ingested(tuple stream.Tuple) uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	seq := j.nextSeq
+	j.nextSeq++
+	j.entries[seq] = &journalEntry{seq: seq, tuple: tuple}
+	return seq
+}
+
+// Applied records that vertex v gathered the input with the given sequence.
+func (j *inputJournal) Applied(seq uint64, v stream.VertexID) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, ok := j.entries[seq]; ok {
+		j.byVertex[v] = append(j.byVertex[v], seq)
+	}
+}
+
+// Committed stamps all of v's applied-but-uncommitted inputs with v's commit
+// iteration.
+func (j *inputJournal) Committed(v stream.VertexID, iter int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	seqs := j.byVertex[v]
+	if len(seqs) == 0 {
+		return
+	}
+	delete(j.byVertex, v)
+	for _, seq := range seqs {
+		if e, ok := j.entries[seq]; ok {
+			e.iter = iter
+			j.committed = append(j.committed, *e)
+			delete(j.entries, seq)
+		}
+	}
+}
+
+// Residual returns, in ingest order, every input not reflected in the
+// snapshot at forkIter: in-flight and applied inputs, plus inputs committed
+// after forkIter.
+func (j *inputJournal) Residual(forkIter int64) []stream.Tuple {
+	j.mu.Lock()
+	var picked []journalEntry
+	for _, e := range j.entries {
+		picked = append(picked, *e)
+	}
+	for _, e := range j.committed {
+		if e.iter > forkIter {
+			picked = append(picked, e)
+		}
+	}
+	j.mu.Unlock()
+	sort.Slice(picked, func(a, b int) bool { return picked[a].seq < picked[b].seq })
+	out := make([]stream.Tuple, len(picked))
+	for i, e := range picked {
+		out[i] = e.tuple
+	}
+	return out
+}
+
+// Prune drops committed inputs stamped at or before k. Every future fork
+// happens at an iteration >= k (forks happen at the frontier, which only
+// advances), so those inputs are in every future snapshot.
+func (j *inputJournal) Prune(k int64) {
+	j.mu.Lock()
+	kept := j.committed[:0]
+	for _, e := range j.committed {
+		if e.iter > k {
+			kept = append(kept, e)
+		}
+	}
+	j.committed = kept
+	j.mu.Unlock()
+}
+
+// Size returns (uncommitted, committed-retained) entry counts.
+func (j *inputJournal) Size() (int, int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries), len(j.committed)
+}

@@ -1,0 +1,180 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"tornado/internal/stream"
+)
+
+// msgAdopt instructs a vertex to replace its state with a merged branch
+// result, committed at the given iteration. It is the merge counterpart of a
+// commit: the version is persisted, but nothing is scattered (the adopted
+// state is already a fixed point, so consumers hold consistent values).
+type msgAdopt struct {
+	To          stream.VertexID
+	State       any
+	Targets     []stream.VertexID
+	TargetClock map[stream.VertexID]stream.Timestamp
+	Iteration   int64
+	Token       int64
+}
+
+// ErrMergeConflict is returned by AdoptBranch when the main loop received
+// new inputs while the merge was in flight; per Section 5.2 the merge is
+// only valid "if there are no inputs gathered during the computation of the
+// branch loop".
+var ErrMergeConflict = errors.New("engine: inputs arrived during branch merge")
+
+// AdoptBranch merges a converged branch loop's results back into this (main)
+// loop, improving its approximation (Section 5.2): the branch's states are
+// written at iteration lastTerminated + B, so no in-flight version can
+// overwrite them (update iterations never exceed the cap). The caller must
+// pause ingestion around the call; if the loop is not quiescent before and
+// after the merge, the merge is aborted with ErrMergeConflict and the main
+// loop continues unchanged (its own states were not touched yet).
+func (e *Engine) AdoptBranch(br *Engine) error {
+	if e.cfg.Kind != MainLoop {
+		return errors.New("engine: AdoptBranch target must be a main loop")
+	}
+	select {
+	case <-br.done:
+	default:
+		return errors.New("engine: branch has not converged")
+	}
+	if !e.tracker.Settled() {
+		return fmt.Errorf("%w: loop not quiescent at merge start", ErrMergeConflict)
+	}
+	// The merge is valid only if no inputs arrived since the FORK (not just
+	// since the merge started): anything newer would be overwritten by the
+	// branch's older fixed point.
+	journalBefore := br.forkJournalSeq
+	if e.journalSeq() != journalBefore {
+		return ErrMergeConflict
+	}
+
+	mergeIter := e.tracker.Notified() + e.cfg.DelayBound
+	release := e.HoldQuiesce()
+	defer release()
+
+	// Collect the branch's full overlay (its own commits over the fork
+	// snapshot) and hand each vertex its merged state.
+	type adoption struct {
+		id      stream.VertexID
+		state   any
+		targets []stream.VertexID
+		clock   map[stream.VertexID]stream.Timestamp
+	}
+	var adoptions []adoption
+	err := br.scanBlobs(math.MaxInt64, func(id stream.VertexID, blob vertexBlob) error {
+		adoptions = append(adoptions, adoption{id: id, state: blob.State, targets: blob.Targets, clock: blob.TargetClock})
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if e.journalSeq() != journalBefore {
+		return ErrMergeConflict
+	}
+	for _, a := range adoptions {
+		tok := e.tracker.AcquireFloor(mergeIter)
+		e.ingestE.Send(e.procNode(a.id), msgAdopt{
+			To: a.id, State: a.state, Targets: a.targets, TargetClock: a.clock,
+			Iteration: mergeIter, Token: tok,
+		})
+	}
+	release()
+	if err := e.WaitQuiesce(time.Minute); err != nil {
+		return err
+	}
+	if e.journalSeq() != journalBefore {
+		return ErrMergeConflict
+	}
+	return nil
+}
+
+// journalSeq returns the number of inputs ever ingested (main loops only).
+func (e *Engine) journalSeq() uint64 {
+	if e.journal == nil {
+		return 0
+	}
+	e.journal.mu.Lock()
+	defer e.journal.mu.Unlock()
+	return e.journal.nextSeq
+}
+
+// scanBlobs visits the freshest stored blob (state + targets) of every
+// vertex at or below maxIter, overlaying this loop's commits onto its
+// snapshot source.
+func (e *Engine) scanBlobs(maxIter int64, fn func(id stream.VertexID, blob vertexBlob) error) error {
+	return e.ScanStates(maxIter, func(id stream.VertexID, _ int64, _ any) error {
+		blob, err := e.readBlob(id, maxIter)
+		if err != nil {
+			return err
+		}
+		return fn(id, blob)
+	})
+}
+
+// readBlob reads the freshest stored blob of a vertex, falling back to the
+// snapshot source like ReadState.
+func (e *Engine) readBlob(id stream.VertexID, maxIter int64) (vertexBlob, error) {
+	data, _, err := e.cfg.Store.Latest(e.cfg.LoopID, id, maxIter)
+	if err != nil && e.cfg.Snapshot != nil {
+		data, _, err = e.cfg.Store.Latest(e.cfg.Snapshot.Loop, id, e.cfg.Snapshot.UpTo)
+	}
+	if err != nil {
+		return vertexBlob{}, err
+	}
+	decoded, err := e.cfg.Codec.Decode(data)
+	if err != nil {
+		return vertexBlob{}, err
+	}
+	blob, ok := decoded.(vertexBlob)
+	if !ok {
+		return vertexBlob{}, fmt.Errorf("engine: stored version of vertex %d is %T", id, decoded)
+	}
+	return blob, nil
+}
+
+// handleAdopt applies a merged state on the owning processor.
+func (p *processor) handleAdopt(m msgAdopt) {
+	v := p.ensure(m.To)
+	// A dirty or preparing vertex means inputs raced the merge; skip the
+	// adoption for this vertex — the merge driver detects the conflict via
+	// the journal and reports it.
+	if !v.dirty && !v.preparing() && len(v.prepareList) == 0 {
+		v.state = m.State
+		for t := range v.targets {
+			delete(v.targets, t)
+		}
+		for _, t := range m.Targets {
+			v.targets[t] = struct{}{}
+		}
+		for t, ts := range m.TargetClock {
+			v.targetClock[t] = ts
+		}
+		clear(v.added)
+		clear(v.removed)
+		if m.Iteration > v.iter {
+			v.iter = m.Iteration
+		}
+		v.lastCommit = m.Iteration
+		blob := vertexBlob{State: v.state, Targets: m.Targets, TargetClock: cloneClock(v.targetClock)}
+		data, err := p.eng.cfg.Codec.Encode(blob)
+		if err != nil {
+			panic(fmt.Sprintf("engine: encode merged vertex %d: %v", v.id, err))
+		}
+		if err := p.eng.cfg.Store.Put(p.eng.cfg.LoopID, v.id, m.Iteration, data); err != nil {
+			panic(fmt.Sprintf("engine: persist merged vertex %d: %v", v.id, err))
+		}
+		p.eng.tracker.RecordCommit(m.Iteration, 0)
+		p.eng.stats.Commits.Inc()
+		p.shareMu.Lock()
+		p.commitLog[v.id] = m.Iteration
+		p.shareMu.Unlock()
+	}
+	p.eng.tracker.Release(m.Token)
+}

@@ -1,0 +1,497 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"tornado/internal/lamport"
+	"tornado/internal/storage"
+	"tornado/internal/stream"
+	"tornado/internal/transport"
+)
+
+// processor owns a partition of the vertices and runs the session layer: the
+// three-phase update protocol, delay bounding and input application. All
+// vertex state is confined to the processor goroutine; the only shared
+// structures are the tracker (tokens), the store, and a small mutex-guarded
+// share used by fork scans.
+type processor struct {
+	idx int
+	eng *Engine
+	ep  *transport.Endpoint
+
+	vertices   map[stream.VertexID]*vertex
+	notified   int64 // highest iteration the master announced terminated
+	holdback   map[int64][]msgUpdate
+	capBlocked map[stream.VertexID]struct{}
+
+	pauseMu   sync.Mutex
+	pauseCond *sync.Cond
+	paused    bool
+
+	// share exposes commit/dirty information to fork scans (Section 5.2).
+	shareMu   sync.Mutex
+	commitLog map[stream.VertexID]int64
+	dirtySet  map[stream.VertexID]struct{}
+}
+
+func newProcessor(idx int, eng *Engine, ep *transport.Endpoint) *processor {
+	p := &processor{
+		idx:        idx,
+		eng:        eng,
+		ep:         ep,
+		vertices:   make(map[stream.VertexID]*vertex),
+		notified:   eng.cfg.StartIteration - 1,
+		holdback:   make(map[int64][]msgUpdate),
+		capBlocked: make(map[stream.VertexID]struct{}),
+		commitLog:  make(map[stream.VertexID]int64),
+		dirtySet:   make(map[stream.VertexID]struct{}),
+	}
+	p.pauseCond = sync.NewCond(&p.pauseMu)
+	return p
+}
+
+// cap returns the highest iteration updates may currently commit in:
+// lastTerminated + B (Section 4.4).
+func (p *processor) cap() int64 {
+	return p.notified + p.eng.cfg.DelayBound
+}
+
+func (p *processor) run() {
+	defer p.eng.wg.Done()
+	for {
+		p.maybePause()
+		env, ok := p.ep.Recv()
+		if !ok {
+			return
+		}
+		p.maybePause()
+		switch m := env.Payload.(type) {
+		case msgInput:
+			p.handleInput(m)
+		case msgActivate:
+			p.handleActivate(m)
+		case msgUpdate:
+			p.handleUpdate(m)
+		case msgPrepare:
+			p.handlePrepare(m)
+		case msgAck:
+			p.handleAck(m)
+		case msgAdopt:
+			p.handleAdopt(m)
+		case msgFrontier:
+			p.handleFrontier(m)
+		case msgHalt:
+			return
+		default:
+			panic(fmt.Sprintf("engine: processor %d: unknown message %T", p.idx, env.Payload))
+		}
+	}
+}
+
+func (p *processor) maybePause() {
+	p.pauseMu.Lock()
+	for p.paused {
+		p.pauseCond.Wait()
+	}
+	p.pauseMu.Unlock()
+}
+
+func (p *processor) setPaused(paused bool) {
+	p.pauseMu.Lock()
+	p.paused = paused
+	p.pauseCond.Broadcast()
+	p.pauseMu.Unlock()
+}
+
+// ensure returns the vertex, creating it on first touch. New vertices of a
+// branch (or recovering) engine bootstrap from the configured snapshot; all
+// others run the program's Init.
+func (p *processor) ensure(id stream.VertexID) *vertex {
+	if v, ok := p.vertices[id]; ok {
+		return v
+	}
+	v := newVertex(id, p.eng.cfg.Seed)
+	p.vertices[id] = v
+	if snap := p.eng.cfg.Snapshot; snap != nil {
+		data, _, err := p.eng.cfg.Store.Latest(snap.Loop, id, snap.UpTo)
+		if err == nil {
+			decoded, derr := p.eng.cfg.Codec.Decode(data)
+			if derr != nil {
+				panic(fmt.Sprintf("engine: decode snapshot of vertex %d: %v", id, derr))
+			}
+			blob, ok := decoded.(vertexBlob)
+			if !ok {
+				panic(fmt.Sprintf("engine: snapshot of vertex %d is %T, not vertexBlob", id, decoded))
+			}
+			v.state = blob.State
+			for _, t := range blob.Targets {
+				v.targets[t] = struct{}{}
+			}
+			for t, ts := range blob.TargetClock {
+				v.targetClock[t] = ts
+			}
+			return v
+		}
+		if !errors.Is(err, storage.ErrNotFound) {
+			panic(fmt.Sprintf("engine: read snapshot of vertex %d: %v", id, err))
+		}
+	}
+	ctx := &vertexContext{p: p, v: v, allowTarget: true}
+	p.eng.cfg.Program.Init(ctx)
+	return v
+}
+
+// markDirty acquires the vertex's dirty token at the lower bound of its
+// future commit iteration. The vertex's iteration is raised to the token's
+// placement so the commit can never land inside a terminated iteration.
+func (p *processor) markDirty(v *vertex) {
+	if v.dirty {
+		return
+	}
+	v.dirty = true
+	lower := v.iter
+	if v.lastCommit+1 > lower {
+		lower = v.lastCommit + 1
+	}
+	v.dirtyToken = p.eng.tracker.AcquireFloor(lower)
+	if v.dirtyToken > v.iter {
+		v.iter = v.dirtyToken
+	}
+	p.shareMu.Lock()
+	p.dirtySet[v.id] = struct{}{}
+	p.shareMu.Unlock()
+}
+
+func (p *processor) handleInput(m msgInput) {
+	p.eng.stats.InputMsgs.Inc()
+	v := p.ensure(routeVertex(m.Tuple))
+	work := heldWork{tuple: m.Tuple, token: m.Token, jseq: m.JSeq, hasJSeq: m.HasJSeq}
+	if v.preparing() {
+		v.holdInput = append(v.holdInput, work)
+		return
+	}
+	p.applyWork(v, work)
+	p.maybeStart(v)
+}
+
+func (p *processor) handleActivate(m msgActivate) {
+	v := p.ensure(m.To)
+	work := heldWork{token: m.Token, activate: true}
+	if v.preparing() {
+		v.holdInput = append(v.holdInput, work)
+		return
+	}
+	p.applyWork(v, work)
+	p.maybeStart(v)
+}
+
+// applyWork applies one input or activation: graph deltas mutate the target
+// set, payloads go to the program, and the vertex becomes dirty. The work's
+// token is released only after the dirty token is acquired, so the frontier
+// never passes over the pending commit.
+func (p *processor) applyWork(v *vertex, w heldWork) {
+	if w.activate {
+		v.activated = true
+		p.markDirty(v)
+	} else {
+		ctx := &vertexContext{p: p, v: v, allowTarget: true}
+		stale := false
+		switch w.tuple.Kind {
+		case stream.KindAddEdge, stream.KindRemoveEdge:
+			// Event-time gate: a retransmitted edge operation must not
+			// override a newer one for the same target (at-least-once
+			// delivery does not preserve order across retransmissions).
+			if last, seen := v.targetClock[w.tuple.Dst]; seen && w.tuple.Time < last {
+				stale = true
+				break
+			}
+			v.targetClock[w.tuple.Dst] = w.tuple.Time
+			if w.tuple.Kind == stream.KindAddEdge {
+				ctx.AddTarget(w.tuple.Dst)
+			} else {
+				ctx.RemoveTarget(w.tuple.Dst)
+			}
+		}
+		if !stale {
+			p.eng.cfg.Program.OnInput(ctx, w.tuple)
+			p.markDirty(v)
+		}
+		if p.eng.journal != nil && w.hasJSeq {
+			p.eng.journal.Applied(w.jseq, v.id)
+		}
+	}
+	p.eng.tracker.Release(w.token)
+}
+
+func (p *processor) handleUpdate(m msgUpdate) {
+	// Delay bounding (Section 4.4): updates committed at the cap iteration
+	// are not gathered until the frontier advances. The producer has
+	// committed either way, so it stops blocking our own update immediately
+	// — only the observation of its value is delayed. Without this split a
+	// consumer waiting on a held-back producer could pin the frontier below
+	// the cap forever.
+	if m.Iteration >= p.cap() {
+		v := p.ensure(m.To)
+		delete(v.prepareList, m.From)
+		p.holdback[m.Iteration] = append(p.holdback[m.Iteration], m)
+		p.maybeStart(v)
+		return
+	}
+	p.gatherUpdate(m)
+}
+
+func (p *processor) gatherUpdate(m msgUpdate) {
+	v := p.ensure(m.To)
+	// Causality (Eq. 1): observing an update stamped i forces τ(x) > i.
+	if m.Iteration+1 > v.iter {
+		v.iter = m.Iteration + 1
+	}
+	// The producer has committed: it no longer blocks our own update.
+	delete(v.prepareList, m.From)
+	// Per-producer monotonicity: a producer's commits carry strictly
+	// increasing iterations, so an update at or below the last gathered one
+	// is a retransmission-reordered stale value and must be discarded
+	// (Section 5.3).
+	if m.HasValue {
+		if last, seen := v.gatherSeen[m.From]; !seen || m.Iteration > last {
+			v.gatherSeen[m.From] = m.Iteration
+			ctx := &vertexContext{p: p, v: v}
+			p.eng.cfg.Program.Gather(ctx, m.From, m.Iteration, m.Value)
+			p.markDirty(v)
+		}
+	}
+	p.eng.tracker.Release(m.Token)
+	p.maybeStart(v)
+}
+
+func (p *processor) handlePrepare(m msgPrepare) {
+	v := p.ensure(m.To)
+	p.eng.clock.Witness(m.Stamp.Time)
+	v.prepareList[m.From] = struct{}{}
+	// Only acknowledge producers whose update happened before our own
+	// in-flight update; later ones wait until we commit (Figure 3,
+	// OnReceivePrepare). The Lamport order makes this deadlock-free.
+	if !v.preparing() || m.Stamp.Before(v.stamp) {
+		p.eng.stats.AckMsgs.Inc()
+		p.sendVertex(m.From, msgAck{From: v.id, To: m.From, Iteration: v.iter})
+	} else {
+		v.pendingAcks = append(v.pendingAcks, m.From)
+	}
+}
+
+func (p *processor) handleAck(m msgAck) {
+	v, ok := p.vertices[m.To]
+	if !ok || !v.preparing() {
+		return // stale ack (e.g. duplicate delivery)
+	}
+	if m.Iteration > v.iter {
+		v.iter = m.Iteration
+	}
+	delete(v.waiting, m.From)
+	if len(v.waiting) == 0 {
+		p.commit(v)
+	}
+}
+
+func (p *processor) handleFrontier(m msgFrontier) {
+	if m.Notified <= p.notified {
+		return
+	}
+	p.notified = m.Notified
+	c := p.cap()
+	// Release held-back updates that are now below the cap.
+	for iter, msgs := range p.holdback {
+		if iter < c {
+			delete(p.holdback, iter)
+			for _, u := range msgs {
+				p.gatherUpdate(u)
+			}
+		}
+	}
+	// Retry vertices whose commit was blocked by the old cap.
+	if len(p.capBlocked) > 0 {
+		blocked := make([]stream.VertexID, 0, len(p.capBlocked))
+		for id := range p.capBlocked {
+			blocked = append(blocked, id)
+		}
+		for _, id := range blocked {
+			delete(p.capBlocked, id)
+			p.maybeStart(p.vertices[id])
+		}
+	}
+}
+
+// maybeStart begins the vertex's update (phase two, or a direct commit) when
+// permitted: the vertex must be dirty, must not already be preparing, and
+// must not be involved in any producer's preparation.
+func (p *processor) maybeStart(v *vertex) {
+	if v == nil || v.preparing() || !v.dirty || len(v.prepareList) > 0 {
+		return
+	}
+	lower := v.iter
+	if v.lastCommit+1 > lower {
+		lower = v.lastCommit + 1
+	}
+	c := p.cap()
+	if lower > c {
+		p.capBlocked[v.id] = struct{}{}
+		return
+	}
+	cons := v.effectiveConsumers()
+	// A vertex committing at the cap can skip the prepare phase: no consumer
+	// iteration can exceed the cap (Section 4.4). So can a vertex with no
+	// consumers.
+	if (lower == c && !p.eng.cfg.DisablePrepareSkip) || len(cons) == 0 {
+		v.stamp = lamport.Stamp{Time: p.eng.clock.Tick(), Owner: uint64(v.id)}
+		p.commit(v)
+		return
+	}
+	v.stamp = lamport.Stamp{Time: p.eng.clock.Tick(), Owner: uint64(v.id)}
+	for _, t := range cons {
+		v.waiting[t] = struct{}{}
+	}
+	p.eng.stats.PrepareMsgs.Add(int64(len(cons)))
+	for _, t := range cons {
+		p.sendVertex(t, msgPrepare{From: v.id, To: t, Stamp: v.stamp})
+	}
+}
+
+// commit is phase three: fix the iteration number, run the user Scatter,
+// persist the new version, propagate COMMIT messages, answer deferred
+// prepares, and finally apply inputs that arrived during the preparation.
+func (p *processor) commit(v *vertex) {
+	tau := v.iter
+	if v.lastCommit+1 > tau {
+		tau = v.lastCommit + 1
+	}
+	// tau may exceed this processor's cap view when an ACK arrived from a
+	// consumer whose processor has already observed a newer frontier; it is
+	// still bounded by the global cap (consumer iterations never exceed it)
+	// and cannot fall into a terminated iteration (the dirty token pins the
+	// global frontier at or below it).
+	if d := p.eng.cfg.CommitDelay; d != nil {
+		if delay := d(p.idx); delay > 0 {
+			time.Sleep(delay)
+		}
+	}
+	v.iter = tau
+	v.lastCommit = tau
+
+	// User scatter collects emissions.
+	v.emits = v.emits[:0]
+	ctx := &vertexContext{p: p, v: v, allowEmit: true}
+	p.eng.cfg.Program.Scatter(ctx)
+
+	// Persist before propagating: when the iteration terminates, all of its
+	// versions are already in the store (checkpoint property, Section 5.3).
+	blob := vertexBlob{State: v.state, Targets: sortedIDs(v.targets), TargetClock: cloneClock(v.targetClock)}
+	data, err := p.eng.cfg.Codec.Encode(blob)
+	if err != nil {
+		panic(fmt.Sprintf("engine: encode vertex %d: %v", v.id, err))
+	}
+	if err := p.eng.cfg.Store.Put(p.eng.cfg.LoopID, v.id, tau, data); err != nil {
+		panic(fmt.Sprintf("engine: persist vertex %d: %v", v.id, err))
+	}
+	p.eng.tracker.RecordCommit(tau, v.progress)
+	v.progress = 0
+	p.eng.stats.Commits.Inc()
+	if p.eng.journal != nil {
+		p.eng.journal.Committed(v.id, tau)
+	}
+
+	// Propagate: every effective consumer gets a COMMIT message; those the
+	// program emitted to carry the value. Message tokens live at tau+1 and
+	// are acquired before the dirty token is released.
+	cons := v.effectiveConsumers()
+	carried := make(map[stream.VertexID]bool, len(v.emits))
+	nmsgs := 0
+	for _, e := range v.emits {
+		tok := p.eng.tracker.AcquireFloor(tau + 1)
+		p.sendVertex(e.to, msgUpdate{From: v.id, To: e.to, Iteration: tau, Token: tok, Value: e.value, HasValue: true})
+		carried[e.to] = true
+		nmsgs++
+	}
+	for _, t := range cons {
+		if !carried[t] {
+			tok := p.eng.tracker.AcquireFloor(tau + 1)
+			p.sendVertex(t, msgUpdate{From: v.id, To: t, Iteration: tau, Token: tok})
+			nmsgs++
+		}
+	}
+	p.eng.stats.UpdateMsgs.Add(int64(nmsgs))
+
+	// Close out the update.
+	v.emits = nil
+	clear(v.added)
+	clear(v.removed)
+	v.dirty = false
+	v.activated = false
+	v.stamp = lamport.Stamp{}
+	p.shareMu.Lock()
+	delete(p.dirtySet, v.id)
+	p.commitLog[v.id] = tau
+	p.shareMu.Unlock()
+	if v.dirtyToken >= 0 {
+		p.eng.tracker.Release(v.dirtyToken)
+		v.dirtyToken = -1
+	}
+
+	// Answer prepares deferred during our update (Figure 3, OnCommitUpdate).
+	if len(v.pendingAcks) > 0 {
+		p.eng.stats.AckMsgs.Add(int64(len(v.pendingAcks)))
+		for _, producer := range v.pendingAcks {
+			p.sendVertex(producer, msgAck{From: v.id, To: producer, Iteration: v.iter})
+		}
+		v.pendingAcks = v.pendingAcks[:0]
+	}
+
+	// Gather the inputs that arrived during the preparation; they may make
+	// the vertex dirty again and trigger the protocol anew.
+	if len(v.holdInput) > 0 {
+		held := v.holdInput
+		v.holdInput = nil
+		for _, w := range held {
+			p.applyWork(v, w)
+		}
+		p.maybeStart(v)
+	}
+}
+
+// sendVertex routes a vertex-addressed message to its owning processor.
+func (p *processor) sendVertex(to stream.VertexID, payload any) {
+	p.ep.Send(p.eng.procNode(to), payload)
+}
+
+// forkScan returns the fork seed set of this partition: vertices whose last
+// commit is at or after forkIter, plus currently dirty vertices. Together
+// with the journal residual these cover every effect missing from the
+// snapshot at forkIter.
+func (p *processor) forkScan(forkIter int64) []stream.VertexID {
+	p.shareMu.Lock()
+	defer p.shareMu.Unlock()
+	seen := make(map[stream.VertexID]struct{})
+	for id, lc := range p.commitLog {
+		if lc >= forkIter {
+			seen[id] = struct{}{}
+		}
+	}
+	for id := range p.dirtySet {
+		seen[id] = struct{}{}
+	}
+	return sortedIDs(seen)
+}
+
+// routeVertex returns the vertex an input tuple is routed to: edge tuples go
+// to the producer endpoint (the owner of the out-edge list), payloads to
+// their destination.
+func routeVertex(t stream.Tuple) stream.VertexID {
+	switch t.Kind {
+	case stream.KindAddEdge, stream.KindRemoveEdge:
+		return t.Src
+	default:
+		return t.Dst
+	}
+}

@@ -1,0 +1,217 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Tracker implements iteration termination detection (Section 4.3).
+//
+// Every pending obligation of the loop holds a token at the lowest iteration
+// whose termination it must block:
+//
+//   - an external input accepted by the ingester holds a token at the
+//     current frontier until the destination vertex applies it;
+//   - a dirty vertex (one that gathered something and will commit) holds a
+//     token at the lower bound of its future commit iteration;
+//   - an in-flight committed update stamped i holds a token at i+1 (its
+//     consequences — the consumer's gather and subsequent commit — happen at
+//     iterations > i).
+//
+// Obligations acquire their consequence tokens before releasing their cause
+// tokens, so the frontier (the smallest iteration holding a token) can never
+// advance past hidden work: when no tokens at or below k remain, iteration k
+// has terminated exactly in the paper's sense — all preceding iterations
+// have terminated and every vertex has proceeded beyond it. When no tokens
+// remain at all the loop is quiescent, which for a branch loop (whose input
+// is frozen) means convergence.
+//
+// AcquireFloor places tokens at max(requested, lastTerminated+1), never
+// inside an already-announced iteration, keeping terminated iterations
+// immutable (they are checkpoints and fork points).
+type Tracker struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	counts          map[int64]int64 // active tokens per iteration
+	notified        int64           // highest iteration announced terminated
+	maxSeen         int64           // highest iteration that ever held a token
+	closed          bool
+	quiesceReported bool // quiescence already surfaced to the master
+
+	commits  map[int64]int64   // vertex updates committed per iteration
+	progress map[int64]float64 // user progress aggregate per iteration
+}
+
+// NewTracker returns a tracker whose first live iteration is base (pass 0
+// for a fresh loop; a resumed loop passes its last terminated iteration + 1
+// so new commits stamp above its history).
+func NewTracker(base int64) *Tracker {
+	t := &Tracker{
+		counts:   make(map[int64]int64),
+		notified: base - 1,
+		maxSeen:  base - 1,
+		commits:  make(map[int64]int64),
+		progress: make(map[int64]float64),
+	}
+	t.cond = sync.NewCond(&t.mu)
+	return t
+}
+
+// AcquireFloor places one token at max(iter, lastTerminated+1) and returns
+// the placement.
+func (t *Tracker) AcquireFloor(iter int64) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if iter <= t.notified {
+		iter = t.notified + 1
+	}
+	t.quiesceReported = false
+	t.counts[iter]++
+	if iter > t.maxSeen {
+		t.maxSeen = iter
+	}
+	return iter
+}
+
+// Release removes one token at iter. Releasing a token that was never
+// acquired is an accounting bug and panics.
+func (t *Tracker) Release(iter int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n, ok := t.counts[iter]
+	if !ok || n <= 0 {
+		panic(fmt.Sprintf("engine: token release at iteration %d without acquire", iter))
+	}
+	if n == 1 {
+		delete(t.counts, iter)
+		t.cond.Broadcast() // the frontier may have moved
+	} else {
+		t.counts[iter] = n - 1
+	}
+}
+
+// RecordCommit accumulates one committed vertex update (and its progress
+// contribution) into iteration iter's statistics. It must be called while
+// the committing vertex still holds a token at or below iter, which the
+// processor guarantees by recording before releasing.
+func (t *Tracker) RecordCommit(iter int64, progress float64) {
+	t.mu.Lock()
+	t.commits[iter]++
+	t.progress[iter] += progress
+	t.mu.Unlock()
+}
+
+// Notified returns the highest iteration announced terminated (-1 if none).
+func (t *Tracker) Notified() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.notified
+}
+
+// Quiesced reports whether no obligations remain anywhere in the loop.
+func (t *Tracker) Quiesced() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.counts) == 0
+}
+
+// Settled reports whether the loop is quiescent AND the master has announced
+// every iteration that ever held a token — i.e. the frontier has fully
+// caught up with the computation. Fork call sites that want a minimal seed
+// set wait for this, not just for quiescence.
+func (t *Tracker) Settled() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.counts) == 0 && t.notified >= t.maxSeen
+}
+
+// IterStats returns the commit count and progress aggregate of iteration k.
+func (t *Tracker) IterStats(k int64) (commits int64, progress float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.commits[k], t.progress[k]
+}
+
+// DropStatsThrough forgets per-iteration statistics up to and including k
+// (the master prunes after consuming them).
+func (t *Tracker) DropStatsThrough(k int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.commits {
+		if i <= k {
+			delete(t.commits, i)
+		}
+	}
+	for i := range t.progress {
+		if i <= k {
+			delete(t.progress, i)
+		}
+	}
+}
+
+// Advance is the master's blocking call: it waits until at least one new
+// iteration can be terminated (or the loop quiesces with unterminated
+// iterations outstanding, or Close is called), marks those iterations
+// terminated, and returns the inclusive range [from, to] plus whether the
+// loop is quiescent. ok is false when the tracker was closed with nothing
+// left to announce.
+func (t *Tracker) Advance() (from, to int64, quiesced, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for {
+		upTo, quiet := t.pollLocked()
+		if upTo > t.notified {
+			from = t.notified + 1
+			t.notified = upTo
+			if quiet {
+				t.quiesceReported = true
+			}
+			return from, upTo, quiet, true
+		}
+		if t.closed {
+			return 0, 0, quiet, false
+		}
+		if quiet && !t.quiesceReported {
+			// Quiescence with nothing new to announce is surfaced exactly
+			// once so the master can evaluate convergence without spinning.
+			t.quiesceReported = true
+			return t.notified + 1, t.notified, true, true
+		}
+		t.cond.Wait()
+	}
+}
+
+// pollLocked returns the largest terminable iteration and quiescence.
+func (t *Tracker) pollLocked() (int64, bool) {
+	if len(t.counts) == 0 {
+		return t.maxSeen, true
+	}
+	min := int64(1<<63 - 1)
+	for k := range t.counts {
+		if k < min {
+			min = k
+		}
+	}
+	return min - 1, false
+}
+
+// Frontier returns the smallest iteration currently holding a token, or
+// lastTerminated+1 when quiescent.
+func (t *Tracker) Frontier() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	upTo, quiet := t.pollLocked()
+	if quiet {
+		return t.notified + 1
+	}
+	return upTo + 1
+}
+
+// Close unblocks Advance.
+func (t *Tracker) Close() {
+	t.mu.Lock()
+	t.closed = true
+	t.cond.Broadcast()
+	t.mu.Unlock()
+}

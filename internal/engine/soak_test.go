@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"tornado/internal/datasets"
+	"tornado/internal/storage"
+	"tornado/internal/stream"
+)
+
+// TestSoakEverythingAtOnce is the kitchen-sink integration run: a larger
+// evolving graph with removals streamed in waves, concurrent branch queries,
+// failure injection, lossy transport, merge-back and a final reshard — ending
+// at the exact reference fixed point. Skipped with -short.
+func TestSoakEverythingAtOnce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	tuples := datasets.WithRemovals(datasets.PowerLawGraph(800, 3, 2016), 0.1, 17)
+	store := storage.NewMemStore()
+	e, err := New(Config{
+		Processors:   6,
+		DelayBound:   32,
+		Kind:         MainLoop,
+		LoopID:       storage.MainLoop,
+		Store:        store,
+		Program:      ssspProg{source: 0},
+		ResendAfter:  5 * time.Millisecond,
+		Seed:         2016,
+		CompactEvery: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.InjectTransportFaults(0.02, 0.02)
+
+	e.Start()
+	waves := 5
+	per := len(tuples) / waves
+	branchID := storage.LoopID(100)
+	for w := 0; w < waves; w++ {
+		lo, hi := w*per, (w+1)*per
+		if w == waves-1 {
+			hi = len(tuples)
+		}
+		e.IngestAll(tuples[lo:hi])
+		switch w {
+		case 1:
+			// Query mid-flight; must be exact for everything ingested so far.
+			br, _, err := e.ForkBranch(branchID, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := br.WaitDone(waitFor); err != nil {
+				t.Fatal(err)
+			}
+			checkSSSP(t, br, tuples[:hi])
+			br.Stop()
+			branchID++
+		case 2:
+			e.KillProcessor(3)
+			time.Sleep(5 * time.Millisecond)
+			e.RecoverProcessor(3)
+		case 3:
+			e.KillMaster()
+			time.Sleep(5 * time.Millisecond)
+			e.RecoverMaster()
+		}
+	}
+	if err := e.WaitSettled(waitFor); err != nil {
+		t.Fatal(err)
+	}
+	checkSSSP(t, e, tuples)
+
+	// Merge a converged query back, then reshard and keep going.
+	br, _, err := e.ForkBranch(branchID, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := br.WaitDone(waitFor); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AdoptBranch(br); err != nil {
+		t.Fatal(err)
+	}
+	br.Stop()
+	checkSSSP(t, e, tuples)
+
+	ne, err := Reshard(e, 3, nil, waitFor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ne.Stop()
+	extra := datasets.PowerLawGraph(50, 2, 404)
+	// Shift the extra vertices into a fresh ID range so they extend rather
+	// than duplicate the main graph, then connect them to it.
+	for i := range extra {
+		extra[i].Src += 10000
+		extra[i].Dst += 10000
+	}
+	ne.IngestAll(extra)
+	ne.IngestAll(datasets.PowerLawGraph(0, 0, 1)) // no-op guard
+	ne.Ingest(tuples[0])                          // duplicate input: idempotent per-source gathers
+	if err := ne.WaitQuiesce(waitFor); err != nil {
+		t.Fatal(err)
+	}
+	all := append(append([]stream.Tuple{}, tuples...), extra...)
+	all = append(all, tuples[0])
+	checkSSSP(t, ne, all)
+}

@@ -1,0 +1,154 @@
+// Package graph provides a materialized dynamic directed graph built from
+// turnstile stream tuples. The Tornado engine itself keeps dependency edges
+// distributed across vertices; this package is the centralized counterpart
+// used by the sequential reference implementations (ground truth in tests),
+// by the batch baselines (which recompute over a materialized snapshot), and
+// by the dataset generators.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"tornado/internal/stream"
+)
+
+// Graph is a dynamic directed graph supporting edge insertion and
+// retraction. It is not safe for concurrent use.
+type Graph struct {
+	out   map[stream.VertexID]map[stream.VertexID]struct{}
+	in    map[stream.VertexID]map[stream.VertexID]struct{}
+	edges int
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		out: make(map[stream.VertexID]map[stream.VertexID]struct{}),
+		in:  make(map[stream.VertexID]map[stream.VertexID]struct{}),
+	}
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	for src, dsts := range g.out {
+		for dst := range dsts {
+			c.AddEdge(src, dst)
+		}
+	}
+	// Preserve isolated vertices known only through the in-map (none today,
+	// but touch them so NumVertices agrees).
+	for v := range g.in {
+		c.touch(v)
+	}
+	return c
+}
+
+func (g *Graph) touch(v stream.VertexID) {
+	if _, ok := g.out[v]; !ok {
+		g.out[v] = make(map[stream.VertexID]struct{})
+	}
+	if _, ok := g.in[v]; !ok {
+		g.in[v] = make(map[stream.VertexID]struct{})
+	}
+}
+
+// AddEdge inserts the edge src -> dst. It reports whether the edge is new.
+func (g *Graph) AddEdge(src, dst stream.VertexID) bool {
+	g.touch(src)
+	g.touch(dst)
+	if _, ok := g.out[src][dst]; ok {
+		return false
+	}
+	g.out[src][dst] = struct{}{}
+	g.in[dst][src] = struct{}{}
+	g.edges++
+	return true
+}
+
+// RemoveEdge retracts the edge src -> dst. It reports whether the edge
+// existed.
+func (g *Graph) RemoveEdge(src, dst stream.VertexID) bool {
+	if _, ok := g.out[src][dst]; !ok {
+		return false
+	}
+	delete(g.out[src], dst)
+	delete(g.in[dst], src)
+	g.edges--
+	return true
+}
+
+// HasEdge reports whether the edge src -> dst is present.
+func (g *Graph) HasEdge(src, dst stream.VertexID) bool {
+	_, ok := g.out[src][dst]
+	return ok
+}
+
+// Apply folds one stream tuple into the graph. Non-edge tuples are ignored
+// (they carry application payloads, not topology).
+func (g *Graph) Apply(t stream.Tuple) {
+	switch t.Kind {
+	case stream.KindAddEdge:
+		g.AddEdge(t.Src, t.Dst)
+	case stream.KindRemoveEdge:
+		g.RemoveEdge(t.Src, t.Dst)
+	}
+}
+
+// ApplyAll folds a tuple slice into the graph.
+func (g *Graph) ApplyAll(ts []stream.Tuple) {
+	for _, t := range ts {
+		g.Apply(t)
+	}
+}
+
+// Out returns the out-neighbors of v in ascending ID order.
+func (g *Graph) Out(v stream.VertexID) []stream.VertexID {
+	return sorted(g.out[v])
+}
+
+// In returns the in-neighbors of v in ascending ID order.
+func (g *Graph) In(v stream.VertexID) []stream.VertexID {
+	return sorted(g.in[v])
+}
+
+// OutDegree returns the out-degree of v.
+func (g *Graph) OutDegree(v stream.VertexID) int { return len(g.out[v]) }
+
+// InDegree returns the in-degree of v.
+func (g *Graph) InDegree(v stream.VertexID) int { return len(g.in[v]) }
+
+// Vertices returns all known vertices in ascending ID order.
+func (g *Graph) Vertices() []stream.VertexID {
+	return sorted2(g.out)
+}
+
+// NumVertices returns the number of known vertices.
+func (g *Graph) NumVertices() int { return len(g.out) }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph(%d vertices, %d edges)", g.NumVertices(), g.NumEdges())
+}
+
+func sorted(set map[stream.VertexID]struct{}) []stream.VertexID {
+	out := make([]stream.VertexID, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sorted2(m map[stream.VertexID]map[stream.VertexID]struct{}) []stream.VertexID {
+	out := make([]stream.VertexID, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,164 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tornado/internal/stream"
+)
+
+func TestAddRemoveEdge(t *testing.T) {
+	g := New()
+	if !g.AddEdge(1, 2) {
+		t.Fatal("first AddEdge should report new")
+	}
+	if g.AddEdge(1, 2) {
+		t.Fatal("duplicate AddEdge should report existing")
+	}
+	if !g.HasEdge(1, 2) {
+		t.Fatal("edge 1->2 should exist")
+	}
+	if g.NumEdges() != 1 || g.NumVertices() != 2 {
+		t.Fatalf("counts = (%d, %d); want (1 edge, 2 vertices)", g.NumEdges(), g.NumVertices())
+	}
+	if !g.RemoveEdge(1, 2) {
+		t.Fatal("RemoveEdge should report existed")
+	}
+	if g.RemoveEdge(1, 2) {
+		t.Fatal("second RemoveEdge should report missing")
+	}
+	if g.NumEdges() != 0 {
+		t.Fatalf("NumEdges = %d; want 0", g.NumEdges())
+	}
+	// Vertices remain known after edge removal.
+	if g.NumVertices() != 2 {
+		t.Fatalf("NumVertices = %d; want 2", g.NumVertices())
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 5)
+	g.AddEdge(1, 3)
+	g.AddEdge(1, 4)
+	g.AddEdge(2, 3)
+	out := g.Out(1)
+	want := []stream.VertexID{3, 4, 5}
+	if len(out) != len(want) {
+		t.Fatalf("Out(1) = %v; want %v", out, want)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("Out(1) = %v; want %v", out, want)
+		}
+	}
+	in := g.In(3)
+	if len(in) != 2 || in[0] != 1 || in[1] != 2 {
+		t.Fatalf("In(3) = %v; want [1 2]", in)
+	}
+	if g.OutDegree(1) != 3 || g.InDegree(3) != 2 {
+		t.Fatalf("degrees wrong: out(1)=%d in(3)=%d", g.OutDegree(1), g.InDegree(3))
+	}
+}
+
+func TestApplyTuples(t *testing.T) {
+	g := New()
+	g.ApplyAll([]stream.Tuple{
+		stream.AddEdge(1, 1, 2),
+		stream.AddEdge(2, 2, 3),
+		stream.Value(3, 2, "ignored"),
+		stream.RemoveEdge(4, 1, 2),
+	})
+	if g.HasEdge(1, 2) {
+		t.Fatal("edge 1->2 should have been retracted")
+	}
+	if !g.HasEdge(2, 3) {
+		t.Fatal("edge 2->3 should exist")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	c := g.Clone()
+	c.RemoveEdge(1, 2)
+	c.AddEdge(3, 4)
+	if !g.HasEdge(1, 2) || g.HasEdge(3, 4) {
+		t.Fatal("mutating clone affected original")
+	}
+	if c.NumEdges() != 2 || g.NumEdges() != 2 {
+		t.Fatalf("edge counts: clone=%d orig=%d; want 2, 2", c.NumEdges(), g.NumEdges())
+	}
+}
+
+func TestEdgeCountInvariant(t *testing.T) {
+	// Property: after any sequence of add/remove operations, NumEdges equals
+	// the sum of out-degrees and the sum of in-degrees.
+	type op struct {
+		Add      bool
+		Src, Dst uint8
+	}
+	f := func(ops []op) bool {
+		g := New()
+		for _, o := range ops {
+			if o.Add {
+				g.AddEdge(stream.VertexID(o.Src), stream.VertexID(o.Dst))
+			} else {
+				g.RemoveEdge(stream.VertexID(o.Src), stream.VertexID(o.Dst))
+			}
+		}
+		outSum, inSum := 0, 0
+		for _, v := range g.Vertices() {
+			outSum += g.OutDegree(v)
+			inSum += g.InDegree(v)
+		}
+		return outSum == g.NumEdges() && inSum == g.NumEdges() && g.NumEdges() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddRemoveSymmetry(t *testing.T) {
+	// Property: in/out adjacency stay mirror images of each other.
+	type op struct {
+		Add      bool
+		Src, Dst uint8
+	}
+	f := func(ops []op) bool {
+		g := New()
+		for _, o := range ops {
+			if o.Add {
+				g.AddEdge(stream.VertexID(o.Src), stream.VertexID(o.Dst))
+			} else {
+				g.RemoveEdge(stream.VertexID(o.Src), stream.VertexID(o.Dst))
+			}
+		}
+		for _, v := range g.Vertices() {
+			for _, w := range g.Out(v) {
+				found := false
+				for _, u := range g.In(w) {
+					if u == v {
+						found = true
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2)
+	if got := g.String(); got != "graph(2 vertices, 1 edges)" {
+		t.Fatalf("String = %q", got)
+	}
+}

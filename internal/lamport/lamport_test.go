@@ -1,0 +1,125 @@
+package lamport
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestTickMonotonic(t *testing.T) {
+	var c Clock
+	prev := int64(0)
+	for i := 0; i < 1000; i++ {
+		now := c.Tick()
+		if now <= prev {
+			t.Fatalf("Tick returned %d after %d; want strictly increasing", now, prev)
+		}
+		prev = now
+	}
+}
+
+func TestWitnessAdvances(t *testing.T) {
+	var c Clock
+	c.Witness(100)
+	if got := c.Tick(); got <= 100 {
+		t.Fatalf("Tick after Witness(100) = %d; want > 100", got)
+	}
+}
+
+func TestWitnessNeverRewinds(t *testing.T) {
+	var c Clock
+	c.Witness(50)
+	c.Witness(10)
+	if got := c.Now(); got != 50 {
+		t.Fatalf("Now after Witness(50), Witness(10) = %d; want 50", got)
+	}
+}
+
+func TestConcurrentTicksUnique(t *testing.T) {
+	var c Clock
+	const workers = 8
+	const per = 2000
+	results := make([][]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := make([]int64, per)
+			for i := range out {
+				out[i] = c.Tick()
+			}
+			results[w] = out
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[int64]bool, workers*per)
+	for _, out := range results {
+		for _, ts := range out {
+			if seen[ts] {
+				t.Fatalf("duplicate timestamp %d issued concurrently", ts)
+			}
+			seen[ts] = true
+		}
+	}
+	if len(seen) != workers*per {
+		t.Fatalf("issued %d unique timestamps; want %d", len(seen), workers*per)
+	}
+}
+
+func TestStampZero(t *testing.T) {
+	var zero Stamp
+	if !zero.IsZero() {
+		t.Fatal("zero Stamp should report IsZero")
+	}
+	real := Stamp{Time: 1, Owner: 0}
+	if real.IsZero() {
+		t.Fatal("Stamp{1,0} should not be zero")
+	}
+	if !zero.Before(real) {
+		t.Fatal("zero stamp must happen before every real stamp")
+	}
+	if real.Before(zero) {
+		t.Fatal("real stamp must not happen before the zero stamp")
+	}
+}
+
+func TestStampTotalOrder(t *testing.T) {
+	// Before must be a strict total order on distinct stamps: antisymmetric
+	// and trichotomous.
+	f := func(t1, t2 int64, o1, o2 uint64) bool {
+		a := Stamp{Time: t1, Owner: o1}
+		b := Stamp{Time: t2, Owner: o2}
+		if a == b {
+			return !a.Before(b) && !b.Before(a)
+		}
+		return a.Before(b) != b.Before(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStampOrderTransitive(t *testing.T) {
+	f := func(ts [3]int64, os [3]uint64) bool {
+		a := Stamp{Time: ts[0], Owner: os[0]}
+		b := Stamp{Time: ts[1], Owner: os[1]}
+		c := Stamp{Time: ts[2], Owner: os[2]}
+		if a.Before(b) && b.Before(c) {
+			return a.Before(c)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTick(b *testing.B) {
+	var c Clock
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Tick()
+		}
+	})
+}

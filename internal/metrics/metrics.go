@@ -1,0 +1,250 @@
+// Package metrics provides the measurement primitives used by the Tornado
+// benchmark harness: counters, duration histograms with percentile queries
+// (the paper reports 99th-percentile latencies), rate meters for message
+// throughput (Figure 9b), and time-series recorders for every
+// quantity-versus-time figure (Figures 6-8).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter safe for concurrent use.
+// The zero value is ready to use.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) { c.n.Add(delta) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n.Load() }
+
+// Reset sets the counter back to zero and returns the previous value.
+func (c *Counter) Reset() int64 { return c.n.Swap(0) }
+
+// Histogram accumulates float64 observations and answers percentile queries.
+// It stores raw samples (the experiments record at most a few hundred
+// thousand observations), which keeps percentiles exact. The zero value is
+// ready to use. Histogram is safe for concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []float64
+	sum     float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	h.samples = append(h.samples, v)
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Mean returns the arithmetic mean of the samples, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / float64(len(h.samples))
+}
+
+// Stddev returns the population standard deviation of the samples.
+func (h *Histogram) Stddev() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	mean := h.sum / float64(n)
+	var ss float64
+	for _, v := range h.samples {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using the
+// nearest-rank method, or 0 with no samples.
+func (h *Histogram) Percentile(p float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]float64, n)
+	copy(sorted, h.samples)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[n-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (h *Histogram) Min() float64 { return h.Percentile(0) }
+
+// Max returns the largest sample, or 0 with no samples.
+func (h *Histogram) Max() float64 { return h.Percentile(100) }
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	h.samples = h.samples[:0]
+	h.sum = 0
+	h.mu.Unlock()
+}
+
+// Point is one (time, value) observation in a Series.
+type Point struct {
+	At    time.Duration // offset from the series' start
+	Value float64
+}
+
+// Series records a quantity over time, relative to a fixed origin. It backs
+// the quantity-versus-time figures. Series is safe for concurrent use.
+type Series struct {
+	mu     sync.Mutex
+	origin time.Time
+	points []Point
+}
+
+// NewSeries returns a Series whose time origin is now.
+func NewSeries() *Series {
+	return &Series{origin: time.Now()}
+}
+
+// NewSeriesAt returns a Series with an explicit time origin.
+func NewSeriesAt(origin time.Time) *Series {
+	return &Series{origin: origin}
+}
+
+// Record appends an observation at the current wall time.
+func (s *Series) Record(v float64) {
+	s.RecordAt(time.Since(s.origin), v)
+}
+
+// RecordAt appends an observation at an explicit offset. Offsets need not be
+// monotone; Points sorts before returning.
+func (s *Series) RecordAt(at time.Duration, v float64) {
+	s.mu.Lock()
+	s.points = append(s.points, Point{At: at, Value: v})
+	s.mu.Unlock()
+}
+
+// Points returns a copy of the recorded observations sorted by time.
+func (s *Series) Points() []Point {
+	s.mu.Lock()
+	out := make([]Point, len(s.points))
+	copy(out, s.points)
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Len returns the number of recorded observations.
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.points)
+}
+
+// Last returns the most recently recorded value, or 0 if empty.
+func (s *Series) Last() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.points) == 0 {
+		return 0
+	}
+	return s.points[len(s.points)-1].Value
+}
+
+// Bucketize aggregates the series into fixed-width time buckets, returning
+// one point per non-empty bucket whose value is the sum of the bucket's
+// observations divided by the bucket width in seconds (i.e. a rate), which is
+// how Figure 8c/8d plot "#updates per second".
+func (s *Series) Bucketize(width time.Duration) []Point {
+	pts := s.Points()
+	if len(pts) == 0 || width <= 0 {
+		return nil
+	}
+	out := []Point{}
+	var cur time.Duration
+	var sum float64
+	var any bool
+	flush := func() {
+		if any {
+			out = append(out, Point{At: cur, Value: sum / width.Seconds()})
+		}
+		sum, any = 0, false
+	}
+	for _, p := range pts {
+		b := p.At / width * width
+		if b != cur {
+			flush()
+			cur = b
+		}
+		sum += p.Value
+		any = true
+	}
+	flush()
+	return out
+}
+
+// Meter measures event rates: a counter plus the wall-clock window it covers.
+type Meter struct {
+	c     Counter
+	start time.Time
+}
+
+// NewMeter returns a started Meter.
+func NewMeter() *Meter { return &Meter{start: time.Now()} }
+
+// Mark records n events.
+func (m *Meter) Mark(n int64) { m.c.Add(n) }
+
+// Rate returns events per second since the meter started.
+func (m *Meter) Rate() float64 {
+	el := time.Since(m.start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(m.c.Value()) / el
+}
+
+// Count returns the total number of marked events.
+func (m *Meter) Count() int64 { return m.c.Value() }
+
+// FormatDuration renders a duration the way the paper's tables do
+// (e.g. "87.13s", "0.141s").
+func FormatDuration(d time.Duration) string {
+	return fmt.Sprintf("%.3fs", d.Seconds())
+}

@@ -1,0 +1,165 @@
+// Package optimizer provides descent-rate schedules for the SGD workloads.
+//
+// Section 6.2.2 of the paper studies the trade-off between approximation
+// error and adaption rate: a large static rate adapts quickly but plateaus
+// at high error; a small one reaches low error but cannot follow input
+// drift. Classical adaptive schedules (AdaGrad, AdaDelta) produce a
+// decreasing rate sequence and therefore also fail to track drift. Tornado's
+// main loop instead uses the bold-driver heuristic: shrink the rate when the
+// objective grows, grow it when the objective decreases too slowly.
+package optimizer
+
+import "math"
+
+// Schedule produces the descent rate for each step, optionally observing the
+// objective value to adapt.
+type Schedule interface {
+	// Rate returns the descent rate to use for the next step.
+	Rate() float64
+	// Observe feeds the objective value reached after the last step.
+	// Schedules that do not adapt ignore it.
+	Observe(objective float64)
+	// Name identifies the schedule in benchmark output.
+	Name() string
+}
+
+// Static is a constant-rate schedule.
+type Static struct {
+	Eta float64
+}
+
+// NewStatic returns a schedule with the fixed rate eta.
+func NewStatic(eta float64) *Static { return &Static{Eta: eta} }
+
+// Rate implements Schedule.
+func (s *Static) Rate() float64 { return s.Eta }
+
+// Observe implements Schedule (no-op).
+func (s *Static) Observe(float64) {}
+
+// Name implements Schedule.
+func (s *Static) Name() string { return "static" }
+
+// BoldDriver adapts the rate from the objective trajectory: when the
+// objective increases, the rate is decreased by DecayFactor; when it
+// decreases by less than SlowThreshold (relatively), the rate is increased
+// by GrowthFactor. The paper uses 10% steps and a 1% slow threshold.
+type BoldDriver struct {
+	// Eta is the current rate.
+	Eta float64
+	// GrowthFactor multiplies Eta on slow progress (default 1.10).
+	GrowthFactor float64
+	// DecayFactor multiplies Eta on regression (default 0.90).
+	DecayFactor float64
+	// SlowThreshold is the relative decrease below which progress counts as
+	// slow (default 0.01).
+	SlowThreshold float64
+	// MinEta / MaxEta clamp the adapted rate.
+	MinEta, MaxEta float64
+
+	prev    float64
+	hasPrev bool
+}
+
+// NewBoldDriver returns a bold-driver schedule with the paper's parameters
+// (±10%, 1% slow threshold) starting from eta.
+func NewBoldDriver(eta float64) *BoldDriver {
+	return &BoldDriver{
+		Eta:           eta,
+		GrowthFactor:  1.10,
+		DecayFactor:   0.90,
+		SlowThreshold: 0.01,
+		MinEta:        1e-8,
+		MaxEta:        10,
+	}
+}
+
+// Rate implements Schedule.
+func (b *BoldDriver) Rate() float64 { return b.Eta }
+
+// Observe implements Schedule.
+func (b *BoldDriver) Observe(objective float64) {
+	if !b.hasPrev {
+		b.prev, b.hasPrev = objective, true
+		return
+	}
+	switch {
+	case objective > b.prev:
+		b.Eta *= b.DecayFactor
+	case b.prev != 0 && (b.prev-objective)/math.Abs(b.prev) < b.SlowThreshold:
+		b.Eta *= b.GrowthFactor
+	}
+	if b.Eta < b.MinEta {
+		b.Eta = b.MinEta
+	}
+	if b.Eta > b.MaxEta {
+		b.Eta = b.MaxEta
+	}
+	b.prev = objective
+}
+
+// Name implements Schedule.
+func (b *BoldDriver) Name() string { return "bold-driver" }
+
+// AdaGrad implements the Adagrad schedule (Duchi et al., 2011) over a scalar
+// proxy: rate_t = eta0 / sqrt(sum of squared gradient norms). It is included
+// to demonstrate the paper's point that decreasing schedules cannot track an
+// evolving model; ObserveGradient must be called with each step's gradient
+// norm.
+type AdaGrad struct {
+	Eta0    float64
+	Epsilon float64
+	sumSq   float64
+}
+
+// NewAdaGrad returns an AdaGrad schedule starting from eta0.
+func NewAdaGrad(eta0 float64) *AdaGrad {
+	return &AdaGrad{Eta0: eta0, Epsilon: 1e-8}
+}
+
+// Rate implements Schedule.
+func (a *AdaGrad) Rate() float64 {
+	return a.Eta0 / math.Sqrt(a.sumSq+a.Epsilon)
+}
+
+// Observe implements Schedule (objective values are ignored; AdaGrad adapts
+// on gradients via ObserveGradient).
+func (a *AdaGrad) Observe(float64) {}
+
+// ObserveGradient accumulates a gradient norm.
+func (a *AdaGrad) ObserveGradient(norm float64) { a.sumSq += norm * norm }
+
+// Name implements Schedule.
+func (a *AdaGrad) Name() string { return "adagrad" }
+
+// AdaDelta implements the AdaDelta schedule (Zeiler, 2012) over scalar
+// proxies with decay rho.
+type AdaDelta struct {
+	Rho     float64
+	Epsilon float64
+	avgSqG  float64
+	avgSqDx float64
+}
+
+// NewAdaDelta returns an AdaDelta schedule with the usual rho=0.95.
+func NewAdaDelta() *AdaDelta {
+	return &AdaDelta{Rho: 0.95, Epsilon: 1e-6}
+}
+
+// Rate implements Schedule.
+func (a *AdaDelta) Rate() float64 {
+	return math.Sqrt(a.avgSqDx+a.Epsilon) / math.Sqrt(a.avgSqG+a.Epsilon)
+}
+
+// Observe implements Schedule (no-op; AdaDelta adapts on gradients).
+func (a *AdaDelta) Observe(float64) {}
+
+// ObserveGradient accumulates a gradient norm and the implied update.
+func (a *AdaDelta) ObserveGradient(norm float64) {
+	a.avgSqG = a.Rho*a.avgSqG + (1-a.Rho)*norm*norm
+	dx := a.Rate() * norm
+	a.avgSqDx = a.Rho*a.avgSqDx + (1-a.Rho)*dx*dx
+}
+
+// Name implements Schedule.
+func (a *AdaDelta) Name() string { return "adadelta" }

@@ -1,0 +1,111 @@
+package optimizer
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStatic(t *testing.T) {
+	s := NewStatic(0.5)
+	s.Observe(100)
+	s.Observe(1)
+	if s.Rate() != 0.5 {
+		t.Fatalf("static rate changed to %v", s.Rate())
+	}
+	if s.Name() != "static" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+}
+
+func TestBoldDriverDecaysOnRegression(t *testing.T) {
+	b := NewBoldDriver(0.1)
+	b.Observe(10) // baseline
+	b.Observe(11) // objective grew
+	if got := b.Rate(); math.Abs(got-0.09) > 1e-12 {
+		t.Fatalf("rate after regression = %v; want 0.09", got)
+	}
+}
+
+func TestBoldDriverGrowsOnSlowProgress(t *testing.T) {
+	b := NewBoldDriver(0.1)
+	b.Observe(10)
+	b.Observe(9.999) // decreased by 0.01% < 1% threshold
+	if got := b.Rate(); math.Abs(got-0.11) > 1e-12 {
+		t.Fatalf("rate after slow progress = %v; want 0.11", got)
+	}
+}
+
+func TestBoldDriverHoldsOnGoodProgress(t *testing.T) {
+	b := NewBoldDriver(0.1)
+	b.Observe(10)
+	b.Observe(5) // 50% decrease: healthy, keep rate
+	if got := b.Rate(); got != 0.1 {
+		t.Fatalf("rate after good progress = %v; want 0.1", got)
+	}
+}
+
+func TestBoldDriverClamps(t *testing.T) {
+	b := NewBoldDriver(0.1)
+	b.MinEta = 0.05
+	b.MaxEta = 0.2
+	obj := 1.0
+	for i := 0; i < 100; i++ {
+		b.Observe(obj)
+		obj *= 2 // always regressing
+	}
+	if b.Rate() < 0.05 {
+		t.Fatalf("rate %v fell below MinEta", b.Rate())
+	}
+	b2 := NewBoldDriver(0.1)
+	b2.MaxEta = 0.2
+	obj = 1.0
+	for i := 0; i < 100; i++ {
+		b2.Observe(obj)
+		obj *= 0.9999 // always slow progress
+	}
+	if b2.Rate() > 0.2 {
+		t.Fatalf("rate %v exceeded MaxEta", b2.Rate())
+	}
+}
+
+func TestBoldDriverFirstObservationIsBaseline(t *testing.T) {
+	b := NewBoldDriver(0.1)
+	b.Observe(math.Inf(1)) // ignored as baseline
+	if b.Rate() != 0.1 {
+		t.Fatalf("rate changed on baseline observation: %v", b.Rate())
+	}
+}
+
+func TestAdaGradDecreases(t *testing.T) {
+	a := NewAdaGrad(1.0)
+	prev := a.Rate()
+	for i := 0; i < 50; i++ {
+		a.ObserveGradient(1.0)
+		cur := a.Rate()
+		if cur > prev {
+			t.Fatalf("AdaGrad rate increased: %v -> %v", prev, cur)
+		}
+		prev = cur
+	}
+	if prev > 0.15 {
+		t.Fatalf("AdaGrad rate after 50 unit gradients = %v; want ~1/sqrt(50)", prev)
+	}
+}
+
+func TestAdaDeltaBounded(t *testing.T) {
+	a := NewAdaDelta()
+	for i := 0; i < 100; i++ {
+		a.ObserveGradient(1.0)
+		if r := a.Rate(); math.IsNaN(r) || math.IsInf(r, 0) || r < 0 {
+			t.Fatalf("AdaDelta rate invalid: %v", r)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	if NewBoldDriver(1).Name() != "bold-driver" ||
+		NewAdaGrad(1).Name() != "adagrad" ||
+		NewAdaDelta().Name() != "adadelta" {
+		t.Fatal("schedule names wrong")
+	}
+}

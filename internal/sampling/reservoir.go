@@ -1,0 +1,69 @@
+// Package sampling implements reservoir sampling (Vitter's Algorithm R).
+//
+// Section 3.2 of the paper: for SGD over an evolving instance stream, the
+// main loop's approximation is only a *valid* initial guess (correctness
+// condition) if instances are sampled uniformly regardless of arrival time.
+// Plain random sampling over-weights old instances; reservoir sampling keeps
+// every instance in the sample with identical probability k/n.
+package sampling
+
+import "math/rand"
+
+// Reservoir maintains a uniform sample of size at most k over a stream of
+// items. It is not safe for concurrent use; each sampler vertex owns one.
+type Reservoir[T any] struct {
+	k     int
+	n     int64 // items offered so far
+	items []T
+	rng   *rand.Rand
+}
+
+// NewReservoir returns a reservoir of capacity k drawing randomness from the
+// given seed. k must be positive.
+func NewReservoir[T any](k int, seed int64) *Reservoir[T] {
+	if k <= 0 {
+		panic("sampling: reservoir capacity must be positive")
+	}
+	return &Reservoir[T]{
+		k:     k,
+		items: make([]T, 0, k),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Offer presents one stream item to the reservoir. It reports whether the
+// item was admitted (either appended, or replacing an earlier sample).
+func (r *Reservoir[T]) Offer(item T) bool {
+	r.n++
+	if len(r.items) < r.k {
+		r.items = append(r.items, item)
+		return true
+	}
+	j := r.rng.Int63n(r.n)
+	if j < int64(r.k) {
+		r.items[j] = item
+		return true
+	}
+	return false
+}
+
+// Sample returns the current sample. The returned slice aliases the
+// reservoir's storage and is invalidated by the next Offer; copy it if it
+// must outlive the call.
+func (r *Reservoir[T]) Sample() []T { return r.items }
+
+// Snapshot returns an independent copy of the current sample.
+func (r *Reservoir[T]) Snapshot() []T {
+	out := make([]T, len(r.items))
+	copy(out, r.items)
+	return out
+}
+
+// Len returns the current sample size (min(k, items seen)).
+func (r *Reservoir[T]) Len() int { return len(r.items) }
+
+// Seen returns the number of items offered so far.
+func (r *Reservoir[T]) Seen() int64 { return r.n }
+
+// Cap returns the reservoir capacity k.
+func (r *Reservoir[T]) Cap() int { return r.k }

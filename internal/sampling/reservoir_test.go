@@ -1,0 +1,117 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFillPhaseKeepsEverything(t *testing.T) {
+	r := NewReservoir[int](5, 1)
+	for i := 0; i < 5; i++ {
+		if !r.Offer(i) {
+			t.Fatalf("Offer(%d) during fill phase rejected", i)
+		}
+	}
+	if r.Len() != 5 || r.Seen() != 5 {
+		t.Fatalf("Len=%d Seen=%d; want 5, 5", r.Len(), r.Seen())
+	}
+	got := map[int]bool{}
+	for _, v := range r.Sample() {
+		got[v] = true
+	}
+	for i := 0; i < 5; i++ {
+		if !got[i] {
+			t.Fatalf("item %d missing after fill phase: %v", i, r.Sample())
+		}
+	}
+}
+
+func TestSizeNeverExceedsCapacity(t *testing.T) {
+	r := NewReservoir[int](8, 2)
+	for i := 0; i < 1000; i++ {
+		r.Offer(i)
+		if r.Len() > 8 {
+			t.Fatalf("reservoir grew to %d > capacity 8", r.Len())
+		}
+	}
+	if r.Len() != 8 {
+		t.Fatalf("Len = %d; want 8", r.Len())
+	}
+	if r.Cap() != 8 {
+		t.Fatalf("Cap = %d; want 8", r.Cap())
+	}
+}
+
+// TestUniformity checks the defining property: after streaming n items
+// through a size-k reservoir, each item survives with probability ~k/n,
+// regardless of arrival position. This is what makes reservoir-sampled SGD a
+// valid initial guess per Section 3.2 of the paper.
+func TestUniformity(t *testing.T) {
+	const (
+		k      = 10
+		n      = 200
+		trials = 4000
+	)
+	counts := make([]int, n)
+	for trial := 0; trial < trials; trial++ {
+		r := NewReservoir[int](k, int64(trial))
+		for i := 0; i < n; i++ {
+			r.Offer(i)
+		}
+		for _, v := range r.Sample() {
+			counts[v]++
+		}
+	}
+	want := float64(trials) * k / n // expected survivals per item
+	// Compare the average survival rate of the oldest and newest deciles;
+	// biased sampling (the failure mode the paper warns about) would skew
+	// these badly.
+	decile := n / 10
+	var old, fresh float64
+	for i := 0; i < decile; i++ {
+		old += float64(counts[i])
+		fresh += float64(counts[n-1-i])
+	}
+	old /= float64(decile)
+	fresh /= float64(decile)
+	if math.Abs(old-want)/want > 0.15 || math.Abs(fresh-want)/want > 0.15 {
+		t.Fatalf("survival rates: oldest decile %.1f, newest decile %.1f; want ~%.1f each", old, fresh, want)
+	}
+}
+
+func TestSnapshotIndependent(t *testing.T) {
+	r := NewReservoir[int](2, 3)
+	r.Offer(1)
+	r.Offer(2)
+	snap := r.Snapshot()
+	for i := 0; i < 100; i++ {
+		r.Offer(100 + i)
+	}
+	if snap[0] != 1 || snap[1] != 2 {
+		t.Fatalf("snapshot mutated by later offers: %v", snap)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a := NewReservoir[int](4, 42)
+	b := NewReservoir[int](4, 42)
+	for i := 0; i < 500; i++ {
+		a.Offer(i)
+		b.Offer(i)
+	}
+	sa, sb := a.Sample(), b.Sample()
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("same seed diverged: %v vs %v", sa, sb)
+		}
+	}
+}
+
+func TestBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewReservoir(0) should panic")
+		}
+	}()
+	NewReservoir[int](0, 1)
+}

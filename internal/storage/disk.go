@@ -1,0 +1,230 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"tornado/internal/stream"
+)
+
+// DiskStore is a Store backed by a single append-only log file with an
+// in-memory index. It stands in for the paper's PostgreSQL backend: every
+// Put appends a record, Flush fsyncs the log and appends a checkpoint mark,
+// and Open replays the log to recover all state written before a crash
+// (truncated or corrupt tails are discarded, mirroring write-ahead-log
+// recovery).
+//
+// Record layout (little endian):
+//
+//	kind(1) loop(8) vertex(8) iteration(8) dataLen(4) data(dataLen) crc32(4)
+//
+// where crc32 covers everything before it. kind is recPut or recCheckpoint
+// (checkpoint records carry no data and reuse the iteration field).
+type DiskStore struct {
+	mu   sync.RWMutex
+	mem  *MemStore // index + cache; the log is the durable copy
+	f    *os.File
+	w    *bufio.Writer
+	path string
+}
+
+const (
+	recPut        = byte(1)
+	recCheckpoint = byte(2)
+	recDropLoop   = byte(3)
+
+	recHeaderLen = 1 + 8 + 8 + 8 + 4
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// OpenDisk opens (creating if needed) a disk store at path and recovers any
+// existing state from the log.
+func OpenDisk(path string) (*DiskStore, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("storage: create log dir: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open log: %w", err)
+	}
+	s := &DiskStore{mem: NewMemStore(), f: f, path: path}
+	valid, err := s.replay()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Discard a torn tail so new records append after the last valid one.
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: seek: %w", err)
+	}
+	s.w = bufio.NewWriterSize(f, 1<<16)
+	return s, nil
+}
+
+// replay scans the log, rebuilding the in-memory index. It returns the
+// offset just past the last valid record.
+func (s *DiskStore) replay() (int64, error) {
+	r := bufio.NewReaderSize(s.f, 1<<16)
+	var off int64
+	hdr := make([]byte, recHeaderLen)
+	for {
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			// Clean EOF or torn header: stop at the last valid offset.
+			return off, nil
+		}
+		kind := hdr[0]
+		loop := LoopID(binary.LittleEndian.Uint64(hdr[1:9]))
+		vertex := stream.VertexID(binary.LittleEndian.Uint64(hdr[9:17]))
+		iter := int64(binary.LittleEndian.Uint64(hdr[17:25]))
+		dataLen := binary.LittleEndian.Uint32(hdr[25:29])
+		if dataLen > 1<<30 {
+			return off, nil // implausible length: treat as torn tail
+		}
+		body := make([]byte, int(dataLen)+4)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return off, nil
+		}
+		data, crcBytes := body[:dataLen], body[dataLen:]
+		crc := crc32.Checksum(hdr, crcTable)
+		crc = crc32.Update(crc, crcTable, data)
+		if crc != binary.LittleEndian.Uint32(crcBytes) {
+			return off, nil // corrupt record: discard it and everything after
+		}
+		switch kind {
+		case recPut:
+			if err := s.mem.Put(loop, vertex, iter, data); err != nil {
+				return 0, err
+			}
+		case recCheckpoint:
+			if err := s.mem.Flush(loop, iter); err != nil {
+				return 0, err
+			}
+		case recDropLoop:
+			if err := s.mem.DropLoop(loop); err != nil {
+				return 0, err
+			}
+		default:
+			return off, nil // unknown kind: torn/garbage tail
+		}
+		off += int64(recHeaderLen) + int64(dataLen) + 4
+	}
+}
+
+func (s *DiskStore) append(kind byte, loop LoopID, vertex stream.VertexID, iter int64, data []byte) error {
+	hdr := make([]byte, recHeaderLen)
+	hdr[0] = kind
+	binary.LittleEndian.PutUint64(hdr[1:9], uint64(loop))
+	binary.LittleEndian.PutUint64(hdr[9:17], uint64(vertex))
+	binary.LittleEndian.PutUint64(hdr[17:25], uint64(iter))
+	binary.LittleEndian.PutUint32(hdr[25:29], uint32(len(data)))
+	crc := crc32.Checksum(hdr, crcTable)
+	crc = crc32.Update(crc, crcTable, data)
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], crc)
+	if _, err := s.w.Write(hdr); err != nil {
+		return fmt.Errorf("storage: append: %w", err)
+	}
+	if _, err := s.w.Write(data); err != nil {
+		return fmt.Errorf("storage: append: %w", err)
+	}
+	if _, err := s.w.Write(crcBuf[:]); err != nil {
+		return fmt.Errorf("storage: append: %w", err)
+	}
+	return nil
+}
+
+// Put implements Store.
+func (s *DiskStore) Put(loop LoopID, vertex stream.VertexID, iteration int64, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.append(recPut, loop, vertex, iteration, data); err != nil {
+		return err
+	}
+	return s.mem.Put(loop, vertex, iteration, data)
+}
+
+// Latest implements Store.
+func (s *DiskStore) Latest(loop LoopID, vertex stream.VertexID, maxIter int64) ([]byte, int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.mem.Latest(loop, vertex, maxIter)
+}
+
+// Scan implements Store.
+func (s *DiskStore) Scan(loop LoopID, maxIter int64, fn func(Record) error) error {
+	return s.mem.Scan(loop, maxIter, fn)
+}
+
+// Flush implements Store: it records the checkpoint mark, flushes the
+// buffered writer and fsyncs the log, making the checkpoint durable.
+func (s *DiskStore) Flush(loop LoopID, upTo int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.append(recCheckpoint, loop, 0, upTo, nil); err != nil {
+		return err
+	}
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("storage: flush: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("storage: fsync: %w", err)
+	}
+	return s.mem.Flush(loop, upTo)
+}
+
+// LastCheckpoint implements Store.
+func (s *DiskStore) LastCheckpoint(loop LoopID) (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.mem.LastCheckpoint(loop)
+}
+
+// Compact implements Store. Compaction drops superseded versions from the
+// index only; the log keeps history until rewritten (out of scope).
+func (s *DiskStore) Compact(loop LoopID, keepFrom int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mem.Compact(loop, keepFrom)
+}
+
+// DropLoop implements Store.
+func (s *DiskStore) DropLoop(loop LoopID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.append(recDropLoop, loop, 0, 0, nil); err != nil {
+		return err
+	}
+	return s.mem.DropLoop(loop)
+}
+
+// Close flushes buffers and closes the log file.
+func (s *DiskStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.w.Flush(); err != nil {
+		s.f.Close()
+		return fmt.Errorf("storage: flush on close: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return fmt.Errorf("storage: fsync on close: %w", err)
+	}
+	return s.f.Close()
+}
+
+// Path returns the log file path.
+func (s *DiskStore) Path() string { return s.path }
+
+var _ Store = (*DiskStore)(nil)

@@ -1,0 +1,285 @@
+// Package storage provides the multi-versioned state store backing Tornado's
+// loops.
+//
+// The paper's prototype materializes vertex state in an external store
+// (PostgreSQL by default, an LMDB-backed in-memory database for the system
+// comparison). The engine needs exactly four capabilities from it:
+//
+//   - Put a new version of a vertex, stamped with the iteration in which the
+//     update committed.
+//   - Read the most recent version of a vertex no newer than iteration i
+//     (this is how a branch loop snapshots the main loop: "the most recent
+//     versions of vertices that are not greater than i will be selected").
+//   - Flush all versions of an iteration before progress is reported, which
+//     makes every terminated iteration a checkpoint.
+//   - Recover the checkpoint after a failure.
+//
+// Two backends implement the Store interface: MemStore (the LMDB stand-in)
+// and DiskStore (an append-only log with an in-memory index and CRC-checked
+// records, the PostgreSQL stand-in whose Flush cost shapes the synchronous
+// loop's per-iteration time in the experiments).
+package storage
+
+import (
+	"errors"
+	"sort"
+	"sync"
+
+	"tornado/internal/stream"
+)
+
+// LoopID identifies a loop's namespace in the store. The main loop is
+// conventionally loop 0; every branch loop gets a fresh ID.
+type LoopID uint64
+
+// MainLoop is the LoopID of the main loop.
+const MainLoop LoopID = 0
+
+// ErrNotFound is returned when no version satisfies a read.
+var ErrNotFound = errors.New("storage: version not found")
+
+// Record is one versioned value surfaced by Scan.
+type Record struct {
+	Vertex    stream.VertexID
+	Iteration int64
+	Data      []byte
+}
+
+// Store is the versioned state store contract shared by all backends.
+// Implementations are safe for concurrent use.
+type Store interface {
+	// Put writes a version of vertex stamped with iteration. Writing the
+	// same (loop, vertex, iteration) twice overwrites (updates are
+	// idempotent under at-least-once delivery).
+	Put(loop LoopID, vertex stream.VertexID, iteration int64, data []byte) error
+
+	// Latest returns the freshest version of vertex with iteration <= maxIter,
+	// or ErrNotFound. The returned slice must not be modified.
+	Latest(loop LoopID, vertex stream.VertexID, maxIter int64) ([]byte, int64, error)
+
+	// Scan visits the freshest version <= maxIter of every vertex in the
+	// loop, in ascending vertex order. fn returning an error aborts the scan.
+	Scan(loop LoopID, maxIter int64, fn func(Record) error) error
+
+	// Flush makes all writes of the loop durable and records that iteration
+	// upTo has terminated (the checkpoint barrier of Section 5.3).
+	Flush(loop LoopID, upTo int64) error
+
+	// LastCheckpoint returns the highest iteration recorded by Flush for the
+	// loop, or ErrNotFound if the loop was never flushed.
+	LastCheckpoint(loop LoopID) (int64, error)
+
+	// Compact drops versions of the loop that are superseded by a version
+	// <= keepFrom (the freshest version <= keepFrom of each vertex is kept).
+	Compact(loop LoopID, keepFrom int64) error
+
+	// DropLoop discards all state of a loop (branch loops are dropped after
+	// their results are consumed or merged).
+	DropLoop(loop LoopID) error
+
+	// Close releases resources. The store must not be used afterwards.
+	Close() error
+}
+
+// versions is a per-vertex version chain ordered by ascending iteration.
+type versions struct {
+	iters []int64
+	data  [][]byte
+}
+
+// put inserts or overwrites the version at iteration.
+func (v *versions) put(iteration int64, data []byte) {
+	i := sort.Search(len(v.iters), func(i int) bool { return v.iters[i] >= iteration })
+	if i < len(v.iters) && v.iters[i] == iteration {
+		v.data[i] = data
+		return
+	}
+	v.iters = append(v.iters, 0)
+	v.data = append(v.data, nil)
+	copy(v.iters[i+1:], v.iters[i:])
+	copy(v.data[i+1:], v.data[i:])
+	v.iters[i] = iteration
+	v.data[i] = data
+}
+
+// latest returns the freshest version <= maxIter.
+func (v *versions) latest(maxIter int64) ([]byte, int64, bool) {
+	i := sort.Search(len(v.iters), func(i int) bool { return v.iters[i] > maxIter })
+	if i == 0 {
+		return nil, 0, false
+	}
+	return v.data[i-1], v.iters[i-1], true
+}
+
+// compact keeps the freshest version <= keepFrom plus all newer versions.
+func (v *versions) compact(keepFrom int64) {
+	i := sort.Search(len(v.iters), func(i int) bool { return v.iters[i] > keepFrom })
+	if i <= 1 {
+		return
+	}
+	keep := i - 1 // index of freshest version <= keepFrom
+	v.iters = append(v.iters[:0], v.iters[keep:]...)
+	v.data = append(v.data[:0], v.data[keep:]...)
+}
+
+// loopState is one loop's namespace in MemStore.
+type loopState struct {
+	verts      map[stream.VertexID]*versions
+	checkpoint int64
+	hasCkpt    bool
+}
+
+// MemStore is an in-memory Store. The zero value is not usable; call
+// NewMemStore.
+type MemStore struct {
+	mu    sync.RWMutex
+	loops map[LoopID]*loopState
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{loops: make(map[LoopID]*loopState)}
+}
+
+func (s *MemStore) loop(l LoopID) *loopState {
+	ls, ok := s.loops[l]
+	if !ok {
+		ls = &loopState{verts: make(map[stream.VertexID]*versions)}
+		s.loops[l] = ls
+	}
+	return ls
+}
+
+// Put implements Store.
+func (s *MemStore) Put(loop LoopID, vertex stream.VertexID, iteration int64, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ls := s.loop(loop)
+	vs, ok := ls.verts[vertex]
+	if !ok {
+		vs = &versions{}
+		ls.verts[vertex] = vs
+	}
+	vs.put(iteration, cp)
+	return nil
+}
+
+// Latest implements Store.
+func (s *MemStore) Latest(loop LoopID, vertex stream.VertexID, maxIter int64) ([]byte, int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ls, ok := s.loops[loop]
+	if !ok {
+		return nil, 0, ErrNotFound
+	}
+	vs, ok := ls.verts[vertex]
+	if !ok {
+		return nil, 0, ErrNotFound
+	}
+	data, iter, ok := vs.latest(maxIter)
+	if !ok {
+		return nil, 0, ErrNotFound
+	}
+	return data, iter, nil
+}
+
+// Scan implements Store.
+func (s *MemStore) Scan(loop LoopID, maxIter int64, fn func(Record) error) error {
+	s.mu.RLock()
+	ls, ok := s.loops[loop]
+	if !ok {
+		s.mu.RUnlock()
+		return nil
+	}
+	ids := make([]stream.VertexID, 0, len(ls.verts))
+	for v := range ls.verts {
+		ids = append(ids, v)
+	}
+	recs := make([]Record, 0, len(ids))
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, v := range ids {
+		if data, iter, ok := ls.verts[v].latest(maxIter); ok {
+			recs = append(recs, Record{Vertex: v, Iteration: iter, Data: data})
+		}
+	}
+	s.mu.RUnlock()
+	for _, r := range recs {
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush implements Store. For MemStore it only records the checkpoint mark.
+func (s *MemStore) Flush(loop LoopID, upTo int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ls := s.loop(loop)
+	if !ls.hasCkpt || upTo > ls.checkpoint {
+		ls.checkpoint = upTo
+		ls.hasCkpt = true
+	}
+	return nil
+}
+
+// LastCheckpoint implements Store.
+func (s *MemStore) LastCheckpoint(loop LoopID) (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ls, ok := s.loops[loop]
+	if !ok || !ls.hasCkpt {
+		return 0, ErrNotFound
+	}
+	return ls.checkpoint, nil
+}
+
+// Compact implements Store.
+func (s *MemStore) Compact(loop LoopID, keepFrom int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ls, ok := s.loops[loop]
+	if !ok {
+		return nil
+	}
+	for _, vs := range ls.verts {
+		vs.compact(keepFrom)
+	}
+	return nil
+}
+
+// DropLoop implements Store.
+func (s *MemStore) DropLoop(loop LoopID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.loops, loop)
+	return nil
+}
+
+// Close implements Store.
+func (s *MemStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.loops = make(map[LoopID]*loopState)
+	return nil
+}
+
+// NumVersions reports the total number of stored versions in a loop,
+// used by tests and by memory accounting.
+func (s *MemStore) NumVersions(loop LoopID) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ls, ok := s.loops[loop]
+	if !ok {
+		return 0
+	}
+	n := 0
+	for _, vs := range ls.verts {
+		n += len(vs.iters)
+	}
+	return n
+}
+
+var _ Store = (*MemStore)(nil)

@@ -1,0 +1,294 @@
+// Package stream defines Tornado's input model: the turnstile stream of
+// Section 3.1 of the paper. The input S is an unbounded sequence of stream
+// tuples; each tuple δt is an update (insertion or retraction) associated
+// with a timestamp t, and the value of S at an instant is the sum of all
+// updates happening before it.
+//
+// The package also provides the Source abstraction that ingesters pull from,
+// along with composable sources: slice replays, rate-limited and chunked
+// replays, and deterministic merges. Workload generators for the paper's
+// experiments live in internal/datasets and produce []Tuple consumed here.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// VertexID identifies a component of the iterative computation (a vertex of
+// the dependency graph). External inputs address vertices by ID.
+type VertexID uint64
+
+// Timestamp is the event time of a tuple, in opaque monotone units.
+type Timestamp int64
+
+// Kind discriminates the update carried by a Tuple.
+type Kind uint8
+
+const (
+	// KindAddEdge inserts the dependency edge Src -> Dst.
+	KindAddEdge Kind = iota
+	// KindRemoveEdge retracts the dependency edge Src -> Dst.
+	KindRemoveEdge
+	// KindValue delivers an application payload to vertex Dst (for example
+	// a training instance for an SGD sampler, or a point for KMeans).
+	KindValue
+	// KindRetractValue retracts a previously delivered payload from vertex
+	// Dst. Payload equality is application-defined.
+	KindRetractValue
+)
+
+// String returns a short human-readable name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindAddEdge:
+		return "add-edge"
+	case KindRemoveEdge:
+		return "remove-edge"
+	case KindValue:
+		return "value"
+	case KindRetractValue:
+		return "retract-value"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Tuple is one turnstile update δt.
+type Tuple struct {
+	Time  Timestamp
+	Kind  Kind
+	Src   VertexID // source endpoint for edge tuples; producer hint otherwise
+	Dst   VertexID // destination endpoint; the vertex the tuple is routed to
+	Value any      // payload for KindValue / KindRetractValue
+}
+
+// AddEdge returns an edge-insertion tuple.
+func AddEdge(t Timestamp, src, dst VertexID) Tuple {
+	return Tuple{Time: t, Kind: KindAddEdge, Src: src, Dst: dst}
+}
+
+// RemoveEdge returns an edge-retraction tuple.
+func RemoveEdge(t Timestamp, src, dst VertexID) Tuple {
+	return Tuple{Time: t, Kind: KindRemoveEdge, Src: src, Dst: dst}
+}
+
+// Value returns a payload tuple addressed to dst.
+func Value(t Timestamp, dst VertexID, v any) Tuple {
+	return Tuple{Time: t, Kind: KindValue, Dst: dst, Value: v}
+}
+
+// ErrExhausted is returned by Source.Next when the stream has ended.
+var ErrExhausted = errors.New("stream: source exhausted")
+
+// Source produces stream tuples in timestamp order. Sources are pulled by a
+// single ingester goroutine and need not be safe for concurrent use unless
+// documented otherwise.
+type Source interface {
+	// Next returns the next tuple, or ErrExhausted when the stream ends.
+	Next() (Tuple, error)
+}
+
+// SliceSource replays a fixed tuple slice. It is not safe for concurrent use.
+type SliceSource struct {
+	tuples []Tuple
+	pos    int
+}
+
+// FromSlice returns a Source replaying tuples in order.
+func FromSlice(tuples []Tuple) *SliceSource {
+	return &SliceSource{tuples: tuples}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (Tuple, error) {
+	if s.pos >= len(s.tuples) {
+		return Tuple{}, ErrExhausted
+	}
+	t := s.tuples[s.pos]
+	s.pos++
+	return t, nil
+}
+
+// Remaining returns the number of tuples not yet replayed.
+func (s *SliceSource) Remaining() int { return len(s.tuples) - s.pos }
+
+// Merge interleaves several sources by timestamp (stable on ties: earlier
+// source wins). All inputs must themselves be timestamp-ordered.
+type Merge struct {
+	srcs    []Source
+	heads   []*Tuple
+	drained []bool
+}
+
+// NewMerge returns a merging source over srcs.
+func NewMerge(srcs ...Source) *Merge {
+	return &Merge{
+		srcs:    srcs,
+		heads:   make([]*Tuple, len(srcs)),
+		drained: make([]bool, len(srcs)),
+	}
+}
+
+// Next implements Source.
+func (m *Merge) Next() (Tuple, error) {
+	best := -1
+	for i := range m.srcs {
+		if m.heads[i] == nil && !m.drained[i] {
+			t, err := m.srcs[i].Next()
+			if errors.Is(err, ErrExhausted) {
+				m.drained[i] = true
+				continue
+			}
+			if err != nil {
+				return Tuple{}, err
+			}
+			tt := t
+			m.heads[i] = &tt
+		}
+		if m.heads[i] != nil && (best < 0 || m.heads[i].Time < m.heads[best].Time) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Tuple{}, ErrExhausted
+	}
+	t := *m.heads[best]
+	m.heads[best] = nil
+	return t, nil
+}
+
+// Chunks splits a source into consecutive batches of at most size tuples;
+// the mini-batch baselines consume input epoch by epoch this way.
+func Chunks(src Source, size int) ([][]Tuple, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("stream: chunk size %d must be positive", size)
+	}
+	var out [][]Tuple
+	cur := make([]Tuple, 0, size)
+	for {
+		t, err := src.Next()
+		if errors.Is(err, ErrExhausted) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		cur = append(cur, t)
+		if len(cur) == size {
+			out = append(out, cur)
+			cur = make([]Tuple, 0, size)
+		}
+	}
+	if len(cur) > 0 {
+		out = append(out, cur)
+	}
+	return out, nil
+}
+
+// Drain reads every remaining tuple from src.
+func Drain(src Source) ([]Tuple, error) {
+	var out []Tuple
+	for {
+		t, err := src.Next()
+		if errors.Is(err, ErrExhausted) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+}
+
+// Throttle wraps a source so it yields at most perSecond tuples per second,
+// modelling a controlled arrival rate (the paper's experiments feed inputs
+// at fixed rates). A perSecond of zero or less passes tuples through
+// unthrottled.
+type Throttle struct {
+	src      Source
+	interval time.Duration
+	next     time.Time
+}
+
+// NewThrottle returns a rate-limited view of src.
+func NewThrottle(src Source, perSecond float64) *Throttle {
+	t := &Throttle{src: src}
+	if perSecond > 0 {
+		t.interval = time.Duration(float64(time.Second) / perSecond)
+	}
+	return t
+}
+
+// Next implements Source, sleeping as needed to honor the rate.
+func (t *Throttle) Next() (Tuple, error) {
+	if t.interval > 0 {
+		now := time.Now()
+		if t.next.After(now) {
+			time.Sleep(t.next.Sub(now))
+		}
+		t.next = time.Now().Add(t.interval)
+	}
+	return t.src.Next()
+}
+
+// Queue is an unbounded, concurrency-safe tuple queue used to feed a running
+// main loop from test or benchmark code: producers Push, the ingester Pops.
+// Close signals end of stream once the queue drains.
+type Queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []Tuple
+	closed bool
+}
+
+// NewQueue returns an empty open queue.
+func NewQueue() *Queue {
+	q := &Queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push appends tuples to the queue. Push after Close panics.
+func (q *Queue) Push(tuples ...Tuple) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		panic("stream: Push on closed Queue")
+	}
+	q.buf = append(q.buf, tuples...)
+	q.cond.Broadcast()
+}
+
+// Close marks the end of the stream. Pending tuples are still delivered.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// Next implements Source, blocking until a tuple is available or the queue
+// is closed and drained.
+func (q *Queue) Next() (Tuple, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.buf) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.buf) == 0 {
+		return Tuple{}, ErrExhausted
+	}
+	t := q.buf[0]
+	q.buf = q.buf[1:]
+	return t, nil
+}
+
+// Len returns the number of queued tuples.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buf)
+}

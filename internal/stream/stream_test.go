@@ -1,0 +1,227 @@
+package stream
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func mkTuples(times ...Timestamp) []Tuple {
+	out := make([]Tuple, len(times))
+	for i, t := range times {
+		out[i] = AddEdge(t, VertexID(i), VertexID(i+1))
+	}
+	return out
+}
+
+func TestSliceSourceReplaysInOrder(t *testing.T) {
+	in := mkTuples(1, 2, 3)
+	src := FromSlice(in)
+	for i, want := range in {
+		got, err := src.Next()
+		if err != nil {
+			t.Fatalf("Next #%d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("Next #%d = %+v; want %+v", i, got, want)
+		}
+	}
+	if _, err := src.Next(); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("after drain err = %v; want ErrExhausted", err)
+	}
+	if src.Remaining() != 0 {
+		t.Fatalf("Remaining = %d; want 0", src.Remaining())
+	}
+}
+
+func TestMergeInterleavesByTimestamp(t *testing.T) {
+	a := FromSlice(mkTuples(1, 4, 5))
+	b := FromSlice(mkTuples(2, 3, 6))
+	m := NewMerge(a, b)
+	got, err := Drain(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 6 {
+		t.Fatalf("drained %d tuples; want 6", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Time < got[i-1].Time {
+			t.Fatalf("merge output not time-ordered at %d: %v", i, got)
+		}
+	}
+}
+
+func TestMergeStableOnTies(t *testing.T) {
+	a := []Tuple{Value(5, 1, "a")}
+	b := []Tuple{Value(5, 2, "b")}
+	m := NewMerge(FromSlice(a), FromSlice(b))
+	first, err := m.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Value != "a" {
+		t.Fatalf("tie broken in favor of %v; want earlier source", first.Value)
+	}
+}
+
+func TestMergeProperty(t *testing.T) {
+	// Merging any two sorted streams yields the sorted multiset union.
+	f := func(raw1, raw2 []int16) bool {
+		mk := func(raw []int16) []Tuple {
+			ts := make([]Timestamp, len(raw))
+			for i, v := range raw {
+				ts[i] = Timestamp(v)
+			}
+			sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+			out := make([]Tuple, len(ts))
+			for i, v := range ts {
+				out[i] = Value(v, 0, nil)
+			}
+			return out
+		}
+		t1, t2 := mk(raw1), mk(raw2)
+		got, err := Drain(NewMerge(FromSlice(t1), FromSlice(t2)))
+		if err != nil {
+			return false
+		}
+		if len(got) != len(t1)+len(t2) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].Time < got[i-1].Time {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunks(t *testing.T) {
+	in := mkTuples(1, 2, 3, 4, 5)
+	got, err := Chunks(FromSlice(in), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || len(got[0]) != 2 || len(got[1]) != 2 || len(got[2]) != 1 {
+		t.Fatalf("chunk shapes wrong: %v", got)
+	}
+}
+
+func TestChunksRejectsBadSize(t *testing.T) {
+	if _, err := Chunks(FromSlice(nil), 0); err == nil {
+		t.Fatal("Chunks with size 0 should error")
+	}
+}
+
+func TestQueueDeliversThenExhausts(t *testing.T) {
+	q := NewQueue()
+	q.Push(Value(1, 7, 42))
+	got, err := q.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dst != 7 || got.Value != 42 {
+		t.Fatalf("got %+v", got)
+	}
+	q.Push(Value(2, 8, 43))
+	q.Close()
+	if got, err = q.Next(); err != nil || got.Dst != 8 {
+		t.Fatalf("pending tuple after Close: %+v, %v", got, err)
+	}
+	if _, err = q.Next(); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v; want ErrExhausted", err)
+	}
+}
+
+func TestQueueBlocksUntilPush(t *testing.T) {
+	q := NewQueue()
+	done := make(chan Tuple)
+	go func() {
+		tup, err := q.Next()
+		if err != nil {
+			t.Errorf("Next: %v", err)
+		}
+		done <- tup
+	}()
+	q.Push(Value(9, 1, "x"))
+	got := <-done
+	if got.Time != 9 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestQueueConcurrentProducers(t *testing.T) {
+	q := NewQueue()
+	const producers, per = 4, 250
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				q.Push(Value(Timestamp(p*per+i), VertexID(p), i))
+			}
+		}(p)
+	}
+	go func() { wg.Wait(); q.Close() }()
+	n := 0
+	for {
+		_, err := q.Next()
+		if errors.Is(err, ErrExhausted) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != producers*per {
+		t.Fatalf("drained %d tuples; want %d", n, producers*per)
+	}
+}
+
+func TestThrottlePacesDelivery(t *testing.T) {
+	in := mkTuples(1, 2, 3, 4, 5, 6)
+	src := NewThrottle(FromSlice(in), 1000) // 1ms apart
+	start := time.Now()
+	got, err := Drain(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("drained %d; want %d", len(got), len(in))
+	}
+	if elapsed := time.Since(start); elapsed < 4*time.Millisecond {
+		t.Fatalf("6 tuples at 1000/s drained in %v; want >= ~5ms", elapsed)
+	}
+}
+
+func TestThrottleZeroRatePassesThrough(t *testing.T) {
+	in := mkTuples(1, 2, 3)
+	got, err := Drain(NewThrottle(FromSlice(in), 0))
+	if err != nil || len(got) != 3 {
+		t.Fatalf("drained %d, %v", len(got), err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindAddEdge:      "add-edge",
+		KindRemoveEdge:   "remove-edge",
+		KindValue:        "value",
+		KindRetractValue: "retract-value",
+		Kind(99):         "kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q; want %q", k, got, want)
+		}
+	}
+}

@@ -1,0 +1,356 @@
+// Package transport is Tornado's transportation layer (Section 5.1): it
+// moves messages between the nodes of a topology (ingesters, processors,
+// master) and ensures they are delivered without error.
+//
+// The package provides an in-process Network of Endpoints. Delivery is
+// at-least-once: every message carries a sequence number, receivers
+// acknowledge, senders retransmit unacknowledged messages after a timeout,
+// and receivers drop duplicates (Section 5.3: "When a sent message is not
+// acknowledged in certain time, it will be resent to ensure at-least-once
+// message passing"). Exactly-once is deliberately NOT promised — the engine
+// layer above tolerates duplicates through the causality rule (stale updates
+// are discarded).
+//
+// Fault injection hooks (Kill, Recover, DropRate) let the benchmark harness
+// reproduce the paper's failure experiments (Figures 8c and 8d)
+// deterministically.
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"tornado/internal/metrics"
+)
+
+// NodeID identifies an endpoint of the network.
+type NodeID int32
+
+// Envelope is a delivered message as seen by the receiver.
+type Envelope struct {
+	From    NodeID
+	Payload any
+}
+
+// frame is the wire representation (data or ack).
+type frame struct {
+	from, to NodeID
+	seq      uint64
+	ack      bool
+	payload  any
+}
+
+// Options configure a Network.
+type Options struct {
+	// ResendAfter is how long a message may stay unacknowledged before it is
+	// retransmitted. Zero disables retransmission (exact-once channels).
+	ResendAfter time.Duration
+	// DropSeed seeds the fault-injection RNG.
+	DropSeed int64
+}
+
+// Network connects a set of endpoints. Create one per topology.
+type Network struct {
+	mu        sync.Mutex
+	endpoints map[NodeID]*Endpoint
+	opts      Options
+	rng       *rand.Rand
+	dropRate  float64 // probability of dropping a data frame in flight
+	dupRate   float64 // probability of duplicating a data frame in flight
+	closed    bool
+
+	// Sent counts every frame accepted for transmission (including resends
+	// and duplicates); Delivered counts frames handed to live receivers.
+	Sent      metrics.Counter
+	Delivered metrics.Counter
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork(opts Options) *Network {
+	return &Network{
+		endpoints: make(map[NodeID]*Endpoint),
+		opts:      opts,
+		rng:       rand.New(rand.NewSource(opts.DropSeed)),
+	}
+}
+
+// SetFaults configures in-flight fault injection: each data frame is dropped
+// with probability drop and duplicated with probability dup.
+func (n *Network) SetFaults(drop, dup float64) {
+	n.mu.Lock()
+	n.dropRate, n.dupRate = drop, dup
+	n.mu.Unlock()
+}
+
+// Register creates the endpoint for id. Registering the same id twice panics
+// (topology wiring bugs should fail loudly).
+func (n *Network) Register(id NodeID) *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.endpoints[id]; ok {
+		panic(fmt.Sprintf("transport: node %d registered twice", id))
+	}
+	ep := &Endpoint{
+		id:      id,
+		net:     n,
+		nextSeq: make(map[NodeID]uint64),
+		unacked: make(map[NodeID]map[uint64]*pending),
+		seen:    make(map[NodeID]map[uint64]bool),
+	}
+	ep.cond = sync.NewCond(&ep.mu)
+	n.endpoints[id] = ep
+	if n.opts.ResendAfter > 0 {
+		ep.resendStop = make(chan struct{})
+		go ep.resendLoop(n.opts.ResendAfter)
+	}
+	return ep
+}
+
+// Kill simulates a crash of node id: frames to it vanish (senders keep them
+// buffered for retransmission), and its own sends are suppressed.
+func (n *Network) Kill(id NodeID) {
+	n.mu.Lock()
+	ep := n.endpoints[id]
+	n.mu.Unlock()
+	if ep != nil {
+		ep.setDead(true)
+	}
+}
+
+// Recover reverses Kill: the node receives again, and retransmissions of
+// frames lost while it was down will reach it.
+func (n *Network) Recover(id NodeID) {
+	n.mu.Lock()
+	ep := n.endpoints[id]
+	n.mu.Unlock()
+	if ep != nil {
+		ep.setDead(false)
+	}
+}
+
+// Close shuts down every endpoint.
+func (n *Network) Close() {
+	n.mu.Lock()
+	eps := make([]*Endpoint, 0, len(n.endpoints))
+	for _, ep := range n.endpoints {
+		eps = append(eps, ep)
+	}
+	n.closed = true
+	n.mu.Unlock()
+	for _, ep := range eps {
+		ep.Close()
+	}
+}
+
+// route hands a frame to the destination endpoint, applying fault injection.
+func (n *Network) route(f frame) {
+	n.mu.Lock()
+	dst := n.endpoints[f.to]
+	drop, dup := n.dropRate, n.dupRate
+	var roll, roll2 float64
+	if drop > 0 || dup > 0 {
+		roll, roll2 = n.rng.Float64(), n.rng.Float64()
+	}
+	n.mu.Unlock()
+	if dst == nil {
+		return
+	}
+	if !f.ack && drop > 0 && roll < drop {
+		return // lost in flight; the resend loop will retry
+	}
+	dst.deliver(f)
+	if !f.ack && dup > 0 && roll2 < dup {
+		dst.deliver(f) // duplicated in flight; receiver must dedup
+	}
+}
+
+// pending is an unacknowledged outgoing frame.
+type pending struct {
+	f      frame
+	sentAt time.Time
+}
+
+// Endpoint is one node's attachment to the network. Send and Recv are safe
+// for concurrent use.
+type Endpoint struct {
+	id  NodeID
+	net *Network
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	inbox   []Envelope
+	closed  bool
+	dead    bool
+	nextSeq map[NodeID]uint64
+	unacked map[NodeID]map[uint64]*pending
+	seen    map[NodeID]map[uint64]bool
+
+	resendStop chan struct{}
+}
+
+// ID returns the endpoint's node ID.
+func (e *Endpoint) ID() NodeID { return e.id }
+
+// Send transmits payload to node to. It never blocks. Messages from a dead
+// (killed) node are silently suppressed; messages to a dead node stay
+// buffered and are retransmitted after the node recovers (when the network
+// has a resend timeout).
+func (e *Endpoint) Send(to NodeID, payload any) {
+	e.mu.Lock()
+	if e.closed || e.dead {
+		e.mu.Unlock()
+		return
+	}
+	seq := e.nextSeq[to]
+	e.nextSeq[to] = seq + 1
+	f := frame{from: e.id, to: to, seq: seq, payload: payload}
+	if e.net.opts.ResendAfter > 0 {
+		m := e.unacked[to]
+		if m == nil {
+			m = make(map[uint64]*pending)
+			e.unacked[to] = m
+		}
+		m[seq] = &pending{f: f, sentAt: time.Now()}
+	}
+	e.mu.Unlock()
+	e.net.Sent.Inc()
+	e.net.route(f)
+}
+
+// deliver is called by the network with an incoming frame.
+func (e *Endpoint) deliver(f frame) {
+	e.mu.Lock()
+	if e.closed || e.dead {
+		e.mu.Unlock()
+		return
+	}
+	if f.ack {
+		if m := e.unacked[f.from]; m != nil {
+			delete(m, f.seq)
+		}
+		e.mu.Unlock()
+		return
+	}
+	// Dedup, then ack.
+	s := e.seen[f.from]
+	if s == nil {
+		s = make(map[uint64]bool)
+		e.seen[f.from] = s
+	}
+	dup := s[f.seq]
+	if !dup {
+		s[f.seq] = true
+		e.inbox = append(e.inbox, Envelope{From: f.from, Payload: f.payload})
+		e.cond.Broadcast()
+	}
+	e.mu.Unlock()
+	if !dup {
+		e.net.Delivered.Inc()
+	}
+	if e.net.opts.ResendAfter > 0 {
+		e.net.route(frame{from: e.id, to: f.from, seq: f.seq, ack: true})
+	}
+}
+
+// Recv blocks until a message arrives or the endpoint closes. The second
+// result is false once the endpoint is closed and drained.
+func (e *Endpoint) Recv() (Envelope, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for len(e.inbox) == 0 && !e.closed {
+		e.cond.Wait()
+	}
+	if len(e.inbox) == 0 {
+		return Envelope{}, false
+	}
+	env := e.inbox[0]
+	e.inbox = e.inbox[1:]
+	return env, true
+}
+
+// TryRecv returns the next message without blocking.
+func (e *Endpoint) TryRecv() (Envelope, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.inbox) == 0 {
+		return Envelope{}, false
+	}
+	env := e.inbox[0]
+	e.inbox = e.inbox[1:]
+	return env, true
+}
+
+// Pending returns the number of queued incoming messages.
+func (e *Endpoint) Pending() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.inbox)
+}
+
+// Close shuts the endpoint down; blocked Recv calls return false.
+func (e *Endpoint) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	if e.resendStop != nil {
+		close(e.resendStop)
+	}
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+func (e *Endpoint) setDead(dead bool) {
+	e.mu.Lock()
+	e.dead = dead
+	e.mu.Unlock()
+}
+
+// resendLoop periodically retransmits unacknowledged frames.
+func (e *Endpoint) resendLoop(after time.Duration) {
+	tick := time.NewTicker(after / 2)
+	defer tick.Stop()
+	for {
+		select {
+		case <-e.resendStop:
+			return
+		case <-tick.C:
+		}
+		now := time.Now()
+		var retry []frame
+		e.mu.Lock()
+		if e.dead || e.closed {
+			e.mu.Unlock()
+			continue
+		}
+		for _, m := range e.unacked {
+			for _, p := range m {
+				if now.Sub(p.sentAt) >= after {
+					retry = append(retry, p.f)
+					p.sentAt = now
+				}
+			}
+		}
+		e.mu.Unlock()
+		for _, f := range retry {
+			e.net.Sent.Inc()
+			e.net.route(f)
+		}
+	}
+}
+
+// Unacked reports how many frames this endpoint is still waiting to have
+// acknowledged (diagnostics and tests).
+func (e *Endpoint) Unacked() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for _, m := range e.unacked {
+		n += len(m)
+	}
+	return n
+}

@@ -1,0 +1,277 @@
+// Package tornado is a Go implementation of Tornado, the system for
+// real-time iterative analysis over evolving data described in
+// "Tornado: A System For Real-Time Iterative Analysis Over Evolving Data"
+// (SIGMOD 2016).
+//
+// A Tornado System runs a graph-parallel vertex program (Program) over an
+// evolving input stream. The main loop continuously ingests stream tuples
+// and maintains an approximation of the fixed point at the current instant;
+// Query forks an independent branch loop from a consistent snapshot of the
+// main loop and iterates the program to convergence, so results arrive
+// quickly because the branch starts near the fixed point (Section 3 of the
+// paper). Iterations run under the bounded asynchronous model of Section 4:
+// updates carry iteration numbers negotiated with their consumers through a
+// three-phase protocol, and the delay bound B interpolates between
+// synchronous BSP execution (B = 1) and unbounded asynchrony.
+//
+// Minimal usage:
+//
+//	sys, err := tornado.New(algorithms.SSSP{Source: 0}, tornado.Options{})
+//	...
+//	sys.Ingest(stream.AddEdge(1, 0, 1))
+//	res, err := sys.Query(time.Minute)
+//	state, _, err := res.Read(1)
+//	res.Close()
+//	sys.Close()
+package tornado
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tornado/internal/engine"
+	"tornado/internal/storage"
+	"tornado/internal/stream"
+)
+
+// Re-exported core types, so applications only import this package plus the
+// stream vocabulary.
+type (
+	// Program defines per-vertex behavior; see engine.Program.
+	Program = engine.Program
+	// Context is the callback view handed to Program methods.
+	Context = engine.Context
+	// LoopKind distinguishes main and branch loops.
+	LoopKind = engine.LoopKind
+	// IterationRecord is one terminated iteration's statistics.
+	IterationRecord = engine.IterationRecord
+	// StatsSnapshot is a point-in-time copy of runtime counters.
+	StatsSnapshot = engine.StatsSnapshot
+	// VertexID identifies a vertex.
+	VertexID = stream.VertexID
+	// Tuple is one turnstile stream update.
+	Tuple = stream.Tuple
+)
+
+// Loop kind values.
+const (
+	MainLoop   = engine.MainLoop
+	BranchLoop = engine.BranchLoop
+)
+
+// RegisterStateType registers a concrete vertex-state type for
+// serialization; call it (typically from init) for every state type your
+// Program stores.
+func RegisterStateType(v any) { engine.RegisterStateType(v) }
+
+// Options configure a System. The zero value is usable.
+type Options struct {
+	// Processors is the number of processor workers (default 4).
+	Processors int
+	// DelayBound is the iteration delay bound B (default 64; 1 = BSP).
+	DelayBound int64
+	// Store holds versioned vertex state (default in-memory). Use
+	// storage.OpenDisk for durable checkpoints.
+	Store storage.Store
+	// ResendAfter enables at-least-once transport with the given
+	// retransmission timeout (default 0: trusted in-process delivery).
+	ResendAfter time.Duration
+	// Seed drives engine-internal randomness (default 1).
+	Seed int64
+}
+
+func (o *Options) fill() {
+	if o.Processors <= 0 {
+		o.Processors = 4
+	}
+	if o.DelayBound <= 0 {
+		o.DelayBound = 64
+	}
+	if o.Store == nil {
+		o.Store = storage.NewMemStore()
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// System is a running Tornado instance: one main loop plus on-demand branch
+// loops.
+type System struct {
+	mu       sync.RWMutex
+	main     *engine.Engine
+	store    storage.Store
+	program  Program
+	nextLoop atomic.Uint64
+}
+
+// engine returns the current main-loop engine (it can be swapped by
+// Reshard).
+func (s *System) engine() *engine.Engine {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.main
+}
+
+// New assembles and starts a System running program.
+func New(program Program, opts Options) (*System, error) {
+	opts.fill()
+	e, err := engine.New(engine.Config{
+		Processors:  opts.Processors,
+		DelayBound:  opts.DelayBound,
+		Kind:        engine.MainLoop,
+		LoopID:      storage.MainLoop,
+		Store:       opts.Store,
+		Program:     program,
+		ResendAfter: opts.ResendAfter,
+		Seed:        opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &System{main: e, store: opts.Store, program: program}
+	s.nextLoop.Store(1)
+	e.Start()
+	return s, nil
+}
+
+// Ingest feeds one stream tuple to the main loop. Edge tuples evolve the
+// dependency graph; value tuples are delivered to the program's OnInput.
+func (s *System) Ingest(t Tuple) { s.engine().Ingest(t) }
+
+// IngestAll feeds tuples in order.
+func (s *System) IngestAll(ts []Tuple) { s.engine().IngestAll(ts) }
+
+// WaitQuiesce blocks until the main loop has fully absorbed all ingested
+// input (approximation caught up) or the timeout expires.
+func (s *System) WaitQuiesce(timeout time.Duration) error {
+	return s.engine().WaitQuiesce(timeout)
+}
+
+// ReadApprox returns the main loop's current approximate state of a vertex.
+func (s *System) ReadApprox(id VertexID) (any, error) {
+	state, _, err := s.engine().ReadState(id, math.MaxInt64)
+	return state, err
+}
+
+// ScanApprox visits the main loop's approximate state of every vertex.
+func (s *System) ScanApprox(fn func(id VertexID, state any) error) error {
+	return s.engine().ScanStates(math.MaxInt64, func(id VertexID, _ int64, state any) error {
+		return fn(id, state)
+	})
+}
+
+// Result is a converged branch loop's result set. Close it when done.
+type Result struct {
+	branch *engine.Engine
+	spec   engine.ForkSpec
+	loop   storage.LoopID
+	store  storage.Store
+	// Latency is the wall-clock time from fork to convergence.
+	Latency time.Duration
+}
+
+// Read returns the branch's state of one vertex.
+func (r *Result) Read(id VertexID) (any, int64, error) {
+	return r.branch.ReadState(id, math.MaxInt64)
+}
+
+// Scan visits the branch's state of every vertex in ascending ID order.
+func (r *Result) Scan(fn func(id VertexID, state any) error) error {
+	return r.branch.ScanStates(math.MaxInt64, func(id VertexID, _ int64, state any) error {
+		return fn(id, state)
+	})
+}
+
+// Stats returns the branch loop's counters.
+func (r *Result) Stats() StatsSnapshot { return r.branch.StatsSnapshot() }
+
+// IterationLog returns the branch loop's per-iteration records.
+func (r *Result) IterationLog() []IterationRecord { return r.branch.IterationLog() }
+
+// ForkIteration returns the main-loop iteration the branch was forked at.
+func (r *Result) ForkIteration() int64 { return r.spec.ForkIter }
+
+// Engine exposes the underlying branch engine (advanced use: custom reads).
+func (r *Result) Engine() *engine.Engine { return r.branch }
+
+// Close releases the branch loop's resources and drops its stored versions.
+func (r *Result) Close() {
+	r.branch.Stop()
+	_ = r.store.DropLoop(r.loop)
+}
+
+// Query forks a branch loop at the current instant, waits for it to
+// converge, and returns its results (Section 5.2). Queries are independent:
+// any number may run concurrently while the main loop keeps ingesting.
+func (s *System) Query(timeout time.Duration) (*Result, error) {
+	return s.QueryWith(timeout, nil, nil)
+}
+
+// QueryWith is Query with pre-fork hooks: override tweaks the branch
+// configuration (e.g. a different delay bound), and seed, when non-nil, runs
+// under the branch's bootstrap guard before it may converge (e.g. to
+// activate extra vertices such as SGD samplers).
+func (s *System) QueryWith(timeout time.Duration, override func(*engine.Config), seed func(*engine.Engine)) (*Result, error) {
+	loop := storage.LoopID(s.nextLoop.Add(1))
+	start := time.Now()
+	br, spec, err := s.engine().ForkBranch(loop, override, seed)
+	if err != nil {
+		return nil, fmt.Errorf("tornado: fork branch: %w", err)
+	}
+	if err := br.WaitDone(timeout); err != nil {
+		br.Stop()
+		_ = s.store.DropLoop(loop)
+		return nil, err
+	}
+	return &Result{
+		branch:  br,
+		spec:    spec,
+		loop:    loop,
+		store:   s.store,
+		Latency: time.Since(start),
+	}, nil
+}
+
+// Merge folds a converged query result back into the main loop's
+// approximation (Section 5.2 of the paper): the branch's fixed point is
+// adopted at iteration lastTerminated+B, so subsequent queries start even
+// closer to their answers. Merging is only valid while no new inputs are
+// being ingested; if inputs raced the merge, ErrMergeConflict is returned
+// and the main loop is unchanged. The Result remains readable and must
+// still be closed by the caller.
+func (s *System) Merge(res *Result) error {
+	return s.engine().AdoptBranch(res.branch)
+}
+
+// Reshard rebalances the main loop onto a new processor count (the paper's
+// Section 5.1 repartitioning): the loop settles, stops, and resumes in place
+// from its last terminated iteration under the new partitioning. Pause
+// ingestion (and any attached Feed) around the call.
+func (s *System) Reshard(newProcs int, timeout time.Duration) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ne, err := engine.Reshard(s.main, newProcs, nil, timeout)
+	if err != nil {
+		return err
+	}
+	s.main = ne
+	return nil
+}
+
+// Stats returns the main loop's counters.
+func (s *System) Stats() StatsSnapshot { return s.engine().StatsSnapshot() }
+
+// IterationLog returns the main loop's per-iteration records.
+func (s *System) IterationLog() []IterationRecord { return s.engine().IterationLog() }
+
+// Engine exposes the underlying main-loop engine (advanced use: fault
+// injection, custom forks).
+func (s *System) Engine() *engine.Engine { return s.engine() }
+
+// Close stops the main loop. Branch results obtained earlier must be closed
+// separately.
+func (s *System) Close() { s.engine().Stop() }
