@@ -1,0 +1,34 @@
+# Tornado build and verify targets. `make check` is the documented verify
+# loop (README "Testing"): build, vet, full tests, then the data-race pass
+# over the concurrency-heavy observability and metrics packages.
+
+GO ?= go
+
+.PHONY: all build test race race-all vet bench check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The obs registry/tracer and metrics primitives are hammered concurrently;
+# keep them honest under the race detector on every change.
+race:
+	$(GO) test -race ./internal/obs/... ./internal/metrics/...
+
+race-all:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+check: build vet test race
+
+clean:
+	$(GO) clean ./...

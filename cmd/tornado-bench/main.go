@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"tornado/internal/bench"
+	"tornado/internal/obs"
 )
 
 type experiment struct {
@@ -52,7 +53,21 @@ func main() {
 	scaleFlag := flag.String("scale", "full", "workload scale: small or full")
 	expFlag := flag.String("experiment", "all", "experiment id or 'all'")
 	listFlag := flag.Bool("list", false, "list experiments and exit")
+	metricsFlag := flag.String("metrics", "", "serve /debug/pprof and /statusz on host:port while experiments run (\":0\" picks a port)")
 	flag.Parse()
+
+	if *metricsFlag != "" {
+		// The bench runners assemble their engines privately, so the
+		// endpoint's value here is live profiling (/debug/pprof) of the
+		// experiment process rather than per-loop counters.
+		hub := obs.NewHub(obs.HubOptions{})
+		addr, err := hub.Serve(*metricsFlag)
+		if err != nil {
+			log.Fatalf("metrics endpoint: %v", err)
+		}
+		defer func() { _ = hub.Close() }()
+		fmt.Printf("observability: http://%s/debug/pprof http://%s/statusz\n", addr, addr)
+	}
 
 	if *listFlag {
 		for _, e := range experiments {

@@ -16,9 +16,14 @@
 //	query                fork a branch loop and print the fixed point
 //	approx               print the main loop's current approximation
 //	merge                query, then merge the result back (Section 5.2)
-//	stats                runtime counters
+//	stats                runtime counters and loop snapshot
+//	trace <id>           print the vertex's recorded protocol events
+//	watch <id>           force tracing of a vertex (ignore sampling)
 //	help                 this text
 //	quit
+//
+// With -metrics host:port the session serves /metrics (Prometheus text),
+// /statusz (JSON) and /debug/pprof while it runs.
 package main
 
 import (
@@ -42,6 +47,8 @@ func main() {
 	source := flag.Uint64("source", 0, "SSSP source vertex")
 	procs := flag.Int("procs", 4, "processors")
 	bound := flag.Int64("bound", 64, "delay bound B (1 = synchronous)")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /statusz, /debug/pprof on host:port (\":0\" picks a port)")
+	traceEvery := flag.Int("trace-sample", 0, "trace 1 in N vertices (0 = default 64, 1 = all, negative = watched only)")
 	flag.Parse()
 
 	var prog tornado.Program
@@ -66,7 +73,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	sys, err := tornado.New(prog, tornado.Options{Processors: *procs, DelayBound: *bound})
+	sys, err := tornado.New(prog, tornado.Options{
+		Processors:       *procs,
+		DelayBound:       *bound,
+		MetricsAddr:      *metricsAddr,
+		TraceSampleEvery: *traceEvery,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -74,6 +86,9 @@ func main() {
 	defer sys.Close()
 
 	fmt.Printf("tornado-shell: %s, %d processors, B=%d (type 'help')\n", *algo, *procs, *bound)
+	if url := sys.MetricsURL(); url != "" {
+		fmt.Printf("observability: %s/metrics %s/statusz %s/debug/pprof\n", url, url, url)
+	}
 	ts := stream.Timestamp(0)
 	sc := bufio.NewScanner(os.Stdin)
 	for prompt(); sc.Scan(); prompt() {
@@ -122,10 +137,45 @@ func main() {
 			printSorted(lines)
 		case "stats":
 			s := sys.Stats()
-			fmt.Printf("updates=%d update-msgs=%d prepares=%d acks=%d inputs=%d iteration=%d\n",
-				s.Commits, s.UpdateMsgs, s.PrepareMsgs, s.AckMsgs, s.InputMsgs, s.Notified)
+			fmt.Printf("updates=%d update-msgs=%d prepares=%d acks=%d inputs=%d emits=%d\n",
+				s.Commits, s.UpdateMsgs, s.PrepareMsgs, s.AckMsgs, s.InputMsgs, s.Emits)
+			fmt.Printf("frontier=%d notified=%d pending-prepares=%d transport sent=%d delivered=%d resent=%d\n",
+				s.Frontier, s.Notified, s.PendingPrepares, s.TransportSent, s.TransportDelivered, s.TransportResent)
+			if url := sys.MetricsURL(); url != "" {
+				fmt.Printf("endpoint: %s/metrics\n", url)
+			}
+		case "trace":
+			if len(fields) != 2 {
+				fmt.Println("usage: trace <vertex-id>")
+				continue
+			}
+			id, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			events := sys.Trace(tornado.VertexID(id))
+			if len(events) == 0 {
+				fmt.Println("no events recorded (vertex sampled out? try 'watch' first)")
+				continue
+			}
+			for _, e := range events {
+				fmt.Println(" ", e)
+			}
+		case "watch":
+			if len(fields) != 2 {
+				fmt.Println("usage: watch <vertex-id>")
+				continue
+			}
+			id, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			sys.Watch(tornado.VertexID(id))
+			fmt.Printf("watching vertex %d (all its protocol events are now traced)\n", id)
 		case "help":
-			fmt.Println("commands: add s d | remove s d | load n epv seed | query | merge | approx | stats | quit")
+			fmt.Println("commands: add s d | remove s d | load n epv seed | query | merge | approx | stats | trace id | watch id | quit")
 		case "quit", "exit":
 			return
 		default:

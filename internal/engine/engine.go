@@ -10,6 +10,7 @@ import (
 
 	"tornado/internal/lamport"
 	"tornado/internal/metrics"
+	"tornado/internal/obs"
 	"tornado/internal/storage"
 	"tornado/internal/stream"
 	"tornado/internal/transport"
@@ -69,6 +70,14 @@ type Config struct {
 	// always happen at or above it, so they are unreachable). 0 disables
 	// compaction; the default for main loops is 64.
 	CompactEvery int64
+	// Obs, when non-nil, attaches the loop to an observability hub: protocol
+	// counters and frontier gauges register under per-loop labels, the
+	// three-phase protocol flows events into the hub's tracer, and the loop
+	// contributes a /statusz section. Branch loops forked from an observed
+	// main loop inherit only the tracer (see attachObs): they are too
+	// short-lived to scrape, and per-query collector registration would
+	// dominate the fork fast path.
+	Obs *obs.Hub
 
 	// Ablation switches (benchmarking only; both default off = optimized).
 
@@ -124,13 +133,19 @@ type Stats struct {
 	PrepareMsgs metrics.Counter
 	AckMsgs     metrics.Counter
 	InputMsgs   metrics.Counter
+	Emits       metrics.Counter
 }
 
 // StatsSnapshot is a point-in-time copy of the counters.
 type StatsSnapshot struct {
 	Commits, UpdateMsgs, PrepareMsgs, AckMsgs, InputMsgs int64
-	TransportSent, TransportDelivered                    int64
+	Emits                                                int64
+	TransportSent, TransportDelivered, TransportResent   int64
 	Notified                                             int64
+	// Frontier is the smallest iteration still holding an obligation token.
+	Frontier int64
+	// PendingPrepares is the number of PREPARE messages awaiting their ACK.
+	PendingPrepares int64
 }
 
 // Engine runs one loop (main or branch) of the iterative computation.
@@ -145,6 +160,16 @@ type Engine struct {
 	journal *inputJournal // main loops only
 	stats   Stats
 	start   time.Time
+	created time.Time
+
+	// Observability (nil / zero unless Config.Obs was set).
+	obsScope        *obs.Scope
+	obsDetach       func()
+	tracer          *obs.Tracer
+	pendingPrepares atomic.Int64
+	iterCommitsHist *obs.StreamHist
+	advanceGapHist  *obs.StreamHist
+	lastAdvance     time.Time // master goroutine only
 
 	iterMu   sync.Mutex
 	iterLog  []IterationRecord
@@ -180,11 +205,15 @@ func New(cfg Config) (*Engine, error) {
 		cfg:     cfg,
 		net:     transport.NewNetwork(transport.Options{ResendAfter: cfg.ResendAfter, DropSeed: cfg.Seed}),
 		tracker: NewTracker(cfg.StartIteration),
+		created: time.Now(),
 		done:    make(chan struct{}),
 		pins:    make(map[int64]int),
 	}
 	if cfg.Kind == MainLoop {
 		e.journal = newInputJournal()
+	}
+	if cfg.Obs != nil {
+		e.attachObs(cfg.Obs) // before the processors: they cache the tracer
 	}
 	for i := 0; i < cfg.Processors; i++ {
 		ep := e.net.Register(transport.NodeID(i))
@@ -271,11 +300,15 @@ func (e *Engine) masterRun() {
 			for k := from; k <= to; k++ {
 				commits, progress := e.tracker.IterStats(k)
 				e.iterLog = append(e.iterLog, IterationRecord{Iteration: k, At: at, Commits: commits, Progress: progress})
+				if e.iterCommitsHist != nil {
+					e.iterCommitsHist.Observe(float64(commits))
+				}
 				if e.cfg.Converge != nil && e.cfg.Converge(k, commits, progress) {
 					halt = true
 				}
 			}
 			e.iterMu.Unlock()
+			e.observeAdvance(to)
 			e.tracker.DropStatsThrough(to)
 			if e.journal != nil && !e.cfg.DisableJournalPrune {
 				e.journal.Prune(to)
@@ -299,6 +332,22 @@ func (e *Engine) masterRun() {
 			e.halt()
 			return
 		}
+	}
+}
+
+// observeAdvance records one frontier advance with the hub: a trace event
+// (frontier advances are rare, so they are never sampled out) and the
+// inter-advance gap histogram. Master goroutine only.
+func (e *Engine) observeAdvance(to int64) {
+	if e.tracer != nil {
+		e.tracer.Record(uint64(e.cfg.LoopID), obs.EvFrontier, obs.NoVertex, 0, to)
+	}
+	if e.advanceGapHist != nil {
+		now := time.Now()
+		if !e.lastAdvance.IsZero() {
+			e.advanceGapHist.Observe(now.Sub(e.lastAdvance).Seconds())
+		}
+		e.lastAdvance = now
 	}
 }
 
@@ -378,6 +427,9 @@ func (e *Engine) Stop() {
 		e.doneOnce.Do(func() { close(e.done) })
 		e.net.Close()
 		e.wg.Wait()
+		if e.obsDetach != nil {
+			e.obsDetach() // unregister per-loop series and status section
+		}
 		if e.onStop != nil {
 			e.onStop()
 		}
@@ -427,9 +479,13 @@ func (e *Engine) StatsSnapshot() StatsSnapshot {
 		PrepareMsgs:        e.stats.PrepareMsgs.Value(),
 		AckMsgs:            e.stats.AckMsgs.Value(),
 		InputMsgs:          e.stats.InputMsgs.Value(),
+		Emits:              e.stats.Emits.Value(),
 		TransportSent:      e.net.Sent.Value(),
 		TransportDelivered: e.net.Delivered.Value(),
+		TransportResent:    e.net.Resent.Value(),
 		Notified:           e.tracker.Notified(),
+		Frontier:           e.tracker.Frontier(),
+		PendingPrepares:    e.pendingPrepares.Load(),
 	}
 }
 

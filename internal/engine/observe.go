@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"tornado/internal/obs"
+	"tornado/internal/stream"
+)
+
+// attachObs hooks the engine into an observability hub: the hot-path
+// counters register themselves with the hub's registry under per-loop labels
+// (exposition reads the very atomics the engine already maintains, so the
+// protocol pays nothing extra), gauges read the tracker at scrape time, and
+// the shared protocol tracer is installed for the processors.
+// Branch loops are the exception: they fork per query and live for
+// milliseconds, so no scrape could ever observe their series, while
+// registering (and unregistering) the full collector set would dominate the
+// fork fast path (~2x on the fork/converge/close cycle). They therefore
+// inherit only the shared tracer — their protocol events still carry their
+// loop ID — and are accounted for in aggregate by the system-level
+// tornado_branches_* collectors and the convergence histogram.
+func (e *Engine) attachObs(hub *obs.Hub) {
+	e.tracer = hub.Tracer
+	if e.cfg.Kind == BranchLoop {
+		return
+	}
+	loopStr := strconv.FormatUint(uint64(e.cfg.LoopID), 10)
+	sc := hub.Registry.Scope(
+		obs.L("loop", loopStr),
+		obs.L("kind", e.cfg.Kind.String()),
+		obs.L("program", fmt.Sprintf("%T", e.cfg.Program)),
+	)
+	e.obsScope = sc
+
+	sc.RegisterCounter("tornado_commits_total",
+		"Vertex updates committed (phase three of the update protocol).", &e.stats.Commits)
+	sc.RegisterCounter("tornado_update_msgs_total",
+		"COMMIT (update) messages sent to consumers.", &e.stats.UpdateMsgs)
+	sc.RegisterCounter("tornado_prepare_msgs_total",
+		"PREPARE messages sent (phase two iteration negotiation).", &e.stats.PrepareMsgs)
+	sc.RegisterCounter("tornado_ack_msgs_total",
+		"ACK messages sent answering prepares.", &e.stats.AckMsgs)
+	sc.RegisterCounter("tornado_input_msgs_total",
+		"External stream tuples applied to vertices.", &e.stats.InputMsgs)
+	sc.RegisterCounter("tornado_emits_total",
+		"Values emitted by program Scatter calls.", &e.stats.Emits)
+
+	sc.RegisterCounter("tornado_transport_sent_total",
+		"Frames accepted for transmission, including resends and duplicates.", &e.net.Sent)
+	sc.RegisterCounter("tornado_transport_delivered_total",
+		"Frames handed to live receivers after deduplication.", &e.net.Delivered)
+	sc.RegisterCounter("tornado_transport_resent_total",
+		"Frames retransmitted after the at-least-once ack timeout.", &e.net.Resent)
+	sc.RegisterCounter("tornado_transport_ack_frames_total",
+		"Acknowledgement frames sent by receivers.", &e.net.AckFrames)
+	sc.RegisterCounter("tornado_transport_dropped_total",
+		"Data frames dropped in flight by fault injection.", &e.net.Dropped)
+	sc.RegisterCounter("tornado_transport_duplicated_total",
+		"Data frames duplicated in flight by fault injection.", &e.net.Duplicated)
+
+	sc.GaugeFunc("tornado_frontier_iteration",
+		"Smallest iteration still holding an obligation token (progress frontier).",
+		func() float64 { return float64(e.tracker.Frontier()) })
+	sc.GaugeFunc("tornado_notified_iteration",
+		"Highest iteration announced terminated by the master.",
+		func() float64 { return float64(e.tracker.Notified()) })
+	sc.GaugeFunc("tornado_frontier_lag_iterations",
+		"Distance between the frontier and the highest iteration that ever held a token; compare against the delay bound B when tuning bounded asynchrony.",
+		func() float64 { return float64(e.tracker.FrontierLag()) })
+	sc.GaugeFunc("tornado_obligations",
+		"Outstanding obligation tokens: in-flight inputs, dirty vertices and undelivered updates.",
+		func() float64 { return float64(e.tracker.TokenCount()) })
+	sc.GaugeFunc("tornado_pending_prepares",
+		"PREPARE messages still awaiting their ACK.",
+		func() float64 { return float64(e.pendingPrepares.Load()) })
+
+	e.iterCommitsHist = sc.Histogram("tornado_iteration_commits",
+		"Vertex commits per terminated iteration.", obs.ExpBuckets(1, 2, 24))
+	e.advanceGapHist = sc.Histogram("tornado_frontier_advance_seconds",
+		"Wall-clock gap between consecutive frontier advances.", nil)
+
+	statusName := "loop/" + loopStr
+	hub.AddStatus(statusName, e.statusz)
+	e.obsDetach = func() {
+		hub.RemoveStatus(statusName)
+		sc.Close()
+	}
+}
+
+// statusz is the engine's per-loop /statusz section.
+func (e *Engine) statusz() any {
+	s := e.StatsSnapshot()
+	uptime := time.Since(e.created)
+	return map[string]any{
+		"kind":             e.cfg.Kind.String(),
+		"program":          fmt.Sprintf("%T", e.cfg.Program),
+		"delay_bound":      e.cfg.DelayBound,
+		"processors":       e.cfg.Processors,
+		"frontier":         s.Frontier,
+		"notified":         s.Notified,
+		"frontier_lag":     e.tracker.FrontierLag(),
+		"obligations":      e.tracker.TokenCount(),
+		"pending_prepares": s.PendingPrepares,
+		"commits":          s.Commits,
+		"update_msgs":      s.UpdateMsgs,
+		"prepare_msgs":     s.PrepareMsgs,
+		"ack_msgs":         s.AckMsgs,
+		"input_msgs":       s.InputMsgs,
+		"emits":            s.Emits,
+		"ingest_rate":      rate(s.InputMsgs, uptime),
+		"commit_rate":      rate(s.Commits, uptime),
+		"uptime":           uptime.String(),
+	}
+}
+
+func rate(n int64, over time.Duration) float64 {
+	if sec := over.Seconds(); sec > 0 {
+		return float64(n) / sec
+	}
+	return 0
+}
+
+// Trace returns the tracer's retained protocol events for one vertex of this
+// loop, oldest first (nil without an attached hub). Sampled-out vertices
+// yield nothing; Watch them first.
+func (e *Engine) Trace(id stream.VertexID) []obs.Event {
+	if e.tracer == nil {
+		return nil
+	}
+	return e.tracer.Query(uint64(e.cfg.LoopID), uint64(id))
+}
+
+// Watch forces tracing of one vertex regardless of the sampling rate.
+func (e *Engine) Watch(id stream.VertexID) {
+	if e.tracer != nil {
+		e.tracer.Watch(uint64(id))
+	}
+}
+
+// Unwatch reverses Watch.
+func (e *Engine) Unwatch(id stream.VertexID) {
+	if e.tracer != nil {
+		e.tracer.Unwatch(uint64(id))
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"tornado/internal/lamport"
+	"tornado/internal/obs"
 	"tornado/internal/storage"
 	"tornado/internal/stream"
 	"tornado/internal/transport"
@@ -21,6 +22,12 @@ type processor struct {
 	idx int
 	eng *Engine
 	ep  *transport.Endpoint
+
+	// tr is the engine's protocol tracer (nil when unobserved), cached here
+	// with the numeric loop ID so the hot path pays one nil check plus, for
+	// sampled-out vertices, one hash.
+	tr    *obs.Tracer
+	loopU uint64
 
 	vertices   map[stream.VertexID]*vertex
 	notified   int64 // highest iteration the master announced terminated
@@ -42,6 +49,8 @@ func newProcessor(idx int, eng *Engine, ep *transport.Endpoint) *processor {
 		idx:        idx,
 		eng:        eng,
 		ep:         ep,
+		tr:         eng.tracer,
+		loopU:      uint64(eng.cfg.LoopID),
 		vertices:   make(map[stream.VertexID]*vertex),
 		notified:   eng.cfg.StartIteration - 1,
 		holdback:   make(map[int64][]msgUpdate),
@@ -88,6 +97,13 @@ func (p *processor) run() {
 		default:
 			panic(fmt.Sprintf("engine: processor %d: unknown message %T", p.idx, env.Payload))
 		}
+	}
+}
+
+// trace records one protocol event when the vertex is sampled or watched.
+func (p *processor) trace(kind obs.EventKind, vertex, peer stream.VertexID, iter int64) {
+	if t := p.tr; t != nil && t.Enabled(uint64(vertex)) {
+		t.Record(p.loopU, kind, uint64(vertex), uint64(peer), iter)
 	}
 }
 
@@ -168,6 +184,7 @@ func (p *processor) markDirty(v *vertex) {
 func (p *processor) handleInput(m msgInput) {
 	p.eng.stats.InputMsgs.Inc()
 	v := p.ensure(routeVertex(m.Tuple))
+	p.trace(obs.EvInput, v.id, 0, v.iter)
 	work := heldWork{tuple: m.Tuple, token: m.Token, jseq: m.JSeq, hasJSeq: m.HasJSeq}
 	if v.preparing() {
 		v.holdInput = append(v.holdInput, work)
@@ -179,6 +196,7 @@ func (p *processor) handleInput(m msgInput) {
 
 func (p *processor) handleActivate(m msgActivate) {
 	v := p.ensure(m.To)
+	p.trace(obs.EvActivate, v.id, 0, v.iter)
 	work := heldWork{token: m.Token, activate: true}
 	if v.preparing() {
 		v.holdInput = append(v.holdInput, work)
@@ -235,6 +253,7 @@ func (p *processor) handleUpdate(m msgUpdate) {
 	// the cap forever.
 	if m.Iteration >= p.cap() {
 		v := p.ensure(m.To)
+		p.trace(obs.EvHoldback, v.id, m.From, m.Iteration)
 		delete(v.prepareList, m.From)
 		p.holdback[m.Iteration] = append(p.holdback[m.Iteration], m)
 		p.maybeStart(v)
@@ -245,6 +264,7 @@ func (p *processor) handleUpdate(m msgUpdate) {
 
 func (p *processor) gatherUpdate(m msgUpdate) {
 	v := p.ensure(m.To)
+	p.trace(obs.EvGather, v.id, m.From, m.Iteration)
 	// Causality (Eq. 1): observing an update stamped i forces τ(x) > i.
 	if m.Iteration+1 > v.iter {
 		v.iter = m.Iteration + 1
@@ -269,6 +289,7 @@ func (p *processor) gatherUpdate(m msgUpdate) {
 
 func (p *processor) handlePrepare(m msgPrepare) {
 	v := p.ensure(m.To)
+	p.trace(obs.EvPrepareRecv, v.id, m.From, v.iter)
 	p.eng.clock.Witness(m.Stamp.Time)
 	v.prepareList[m.From] = struct{}{}
 	// Only acknowledge producers whose update happened before our own
@@ -276,6 +297,7 @@ func (p *processor) handlePrepare(m msgPrepare) {
 	// OnReceivePrepare). The Lamport order makes this deadlock-free.
 	if !v.preparing() || m.Stamp.Before(v.stamp) {
 		p.eng.stats.AckMsgs.Inc()
+		p.trace(obs.EvAckSend, v.id, m.From, v.iter)
 		p.sendVertex(m.From, msgAck{From: v.id, To: m.From, Iteration: v.iter})
 	} else {
 		v.pendingAcks = append(v.pendingAcks, m.From)
@@ -287,10 +309,14 @@ func (p *processor) handleAck(m msgAck) {
 	if !ok || !v.preparing() {
 		return // stale ack (e.g. duplicate delivery)
 	}
+	p.trace(obs.EvAckRecv, v.id, m.From, m.Iteration)
 	if m.Iteration > v.iter {
 		v.iter = m.Iteration
 	}
-	delete(v.waiting, m.From)
+	if _, owed := v.waiting[m.From]; owed {
+		delete(v.waiting, m.From)
+		p.eng.pendingPrepares.Add(-1)
+	}
 	if len(v.waiting) == 0 {
 		p.commit(v)
 	}
@@ -354,7 +380,9 @@ func (p *processor) maybeStart(v *vertex) {
 		v.waiting[t] = struct{}{}
 	}
 	p.eng.stats.PrepareMsgs.Add(int64(len(cons)))
+	p.eng.pendingPrepares.Add(int64(len(cons)))
 	for _, t := range cons {
+		p.trace(obs.EvPrepareSend, v.id, t, lower)
 		p.sendVertex(t, msgPrepare{From: v.id, To: t, Stamp: v.stamp})
 	}
 }
@@ -379,6 +407,7 @@ func (p *processor) commit(v *vertex) {
 	}
 	v.iter = tau
 	v.lastCommit = tau
+	p.trace(obs.EvCommit, v.id, 0, tau)
 
 	// User scatter collects emissions.
 	v.emits = v.emits[:0]
@@ -443,6 +472,7 @@ func (p *processor) commit(v *vertex) {
 	if len(v.pendingAcks) > 0 {
 		p.eng.stats.AckMsgs.Add(int64(len(v.pendingAcks)))
 		for _, producer := range v.pendingAcks {
+			p.trace(obs.EvAckSend, v.id, producer, v.iter)
 			p.sendVertex(producer, msgAck{From: v.id, To: producer, Iteration: v.iter})
 		}
 		v.pendingAcks = v.pendingAcks[:0]

@@ -208,6 +208,38 @@ func (t *Tracker) Frontier() int64 {
 	return upTo + 1
 }
 
+// TokenCount returns the total number of outstanding obligation tokens:
+// in-flight inputs, dirty vertices, and committed-but-ungathered updates.
+// It is an observability gauge (zero exactly when Quiesced).
+func (t *Tracker) TokenCount() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var n int64
+	for _, c := range t.counts {
+		n += c
+	}
+	return n
+}
+
+// FrontierLag returns how many iterations the frontier trails the highest
+// iteration that ever held a token (0 when fully settled). Under bounded
+// asynchrony the lag cannot exceed the delay bound B; watching it against B
+// is how the bound is tuned.
+func (t *Tracker) FrontierLag() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	upTo, quiet := t.pollLocked()
+	frontier := upTo + 1
+	if quiet {
+		frontier = t.notified + 1
+	}
+	lag := t.maxSeen - frontier + 1
+	if lag < 0 {
+		lag = 0
+	}
+	return lag
+}
+
 // Close unblocks Advance.
 func (t *Tracker) Close() {
 	t.mu.Lock()

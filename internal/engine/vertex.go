@@ -133,6 +133,9 @@ func (c *vertexContext) Emit(to stream.VertexID, value any) {
 			panic(fmt.Sprintf("engine: vertex %d Emit to %d, which is not a target", c.v.id, to))
 		}
 	}
+	if c.p != nil { // contexts built without a processor (tests) skip stats
+		c.p.eng.stats.Emits.Inc()
+	}
 	c.v.emits = append(c.v.emits, emission{to: to, value: value})
 }
 

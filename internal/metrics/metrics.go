@@ -36,16 +36,24 @@ func (c *Counter) Reset() int64 { return c.n.Swap(0) }
 // It stores raw samples (the experiments record at most a few hundred
 // thousand observations), which keeps percentiles exact. The zero value is
 // ready to use. Histogram is safe for concurrent use.
+//
+// For unbounded runs that must not grow with observation count, use the
+// bounded-memory obs.StreamHist instead.
 type Histogram struct {
 	mu      sync.Mutex
 	samples []float64
-	sum     float64
+	// sorted caches an ascending copy of samples; Observe invalidates it,
+	// so a burst of percentile queries (Min, Max, p50, p99 in one report
+	// row) sorts once instead of once per call.
+	sorted []float64
+	sum    float64
 }
 
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
 	h.mu.Lock()
 	h.samples = append(h.samples, v)
+	h.sorted = nil
 	h.sum += v
 	h.mu.Unlock()
 }
@@ -93,9 +101,7 @@ func (h *Histogram) Percentile(p float64) float64 {
 	if n == 0 {
 		return 0
 	}
-	sorted := make([]float64, n)
-	copy(sorted, h.samples)
-	sort.Float64s(sorted)
+	sorted := h.sortedLocked()
 	if p <= 0 {
 		return sorted[0]
 	}
@@ -109,6 +115,17 @@ func (h *Histogram) Percentile(p float64) float64 {
 	return sorted[rank-1]
 }
 
+// sortedLocked returns the cached ascending view, rebuilding it after an
+// invalidating Observe. Callers must hold h.mu.
+func (h *Histogram) sortedLocked() []float64 {
+	if h.sorted == nil {
+		h.sorted = make([]float64, len(h.samples))
+		copy(h.sorted, h.samples)
+		sort.Float64s(h.sorted)
+	}
+	return h.sorted
+}
+
 // Min returns the smallest sample, or 0 with no samples.
 func (h *Histogram) Min() float64 { return h.Percentile(0) }
 
@@ -119,6 +136,7 @@ func (h *Histogram) Max() float64 { return h.Percentile(100) }
 func (h *Histogram) Reset() {
 	h.mu.Lock()
 	h.samples = h.samples[:0]
+	h.sorted = nil
 	h.sum = 0
 	h.mu.Unlock()
 }
@@ -191,26 +209,50 @@ func (s *Series) Last() float64 {
 // one point per non-empty bucket whose value is the sum of the bucket's
 // observations divided by the bucket width in seconds (i.e. a rate), which is
 // how Figure 8c/8d plot "#updates per second".
+//
+// Contract: buckets with no observations are SKIPPED, not emitted as zeros —
+// each returned Point.At is the start offset of a bucket that actually
+// received data, and consecutive points may be more than one width apart. A
+// plot that connects consecutive points therefore interpolates across the
+// dead air (a stall reads as a line, not a drop to zero). When downstream
+// consumers need an explicit zero for every silent bucket, use
+// BucketizeFilled.
 func (s *Series) Bucketize(width time.Duration) []Point {
+	return s.bucketize(width, false)
+}
+
+// BucketizeFilled is Bucketize with gap filling: every bucket from the first
+// observation through the last emits a point, empty ones with rate 0, so
+// rate plots show stalls as drops to zero instead of interpolating across
+// them.
+func (s *Series) BucketizeFilled(width time.Duration) []Point {
+	return s.bucketize(width, true)
+}
+
+func (s *Series) bucketize(width time.Duration, fillGaps bool) []Point {
 	pts := s.Points()
 	if len(pts) == 0 || width <= 0 {
 		return nil
 	}
 	out := []Point{}
-	var cur time.Duration
+	cur := pts[0].At / width * width
 	var sum float64
 	var any bool
 	flush := func() {
-		if any {
+		if any || fillGaps {
 			out = append(out, Point{At: cur, Value: sum / width.Seconds()})
 		}
 		sum, any = 0, false
 	}
 	for _, p := range pts {
 		b := p.At / width * width
-		if b != cur {
+		for b != cur {
 			flush()
-			cur = b
+			if fillGaps {
+				cur += width // emit every silent bucket up to b
+			} else {
+				cur = b
+			}
 		}
 		sum += p.Value
 		any = true

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// HubOptions configure a Hub.
+type HubOptions struct {
+	// TraceCapacity is the tracer ring size (default 8192).
+	TraceCapacity int
+	// TraceSampleEvery traces 1 in N vertices (1 = all, 0 = default 64,
+	// negative = only watched vertices).
+	TraceSampleEvery int
+}
+
+// Hub is one process's observability root: a Registry every loop registers
+// its collectors into, a shared protocol Tracer, and the HTTP exposition
+// surface (/metrics in Prometheus text format, /statusz as JSON, and
+// /debug/pprof). Components contribute per-loop snapshots to /statusz via
+// AddStatus.
+type Hub struct {
+	Registry *Registry
+	Tracer   *Tracer
+	start    time.Time
+
+	statusMu sync.Mutex
+	status   map[string]func() any
+
+	srvMu sync.Mutex
+	srv   *http.Server
+	lis   net.Listener
+}
+
+// NewHub returns a hub with an empty registry and a running tracer.
+func NewHub(opts HubOptions) *Hub {
+	return &Hub{
+		Registry: NewRegistry(),
+		Tracer:   NewTracer(opts.TraceCapacity, opts.TraceSampleEvery),
+		start:    time.Now(),
+		status:   make(map[string]func() any),
+	}
+}
+
+// Uptime is the time since the hub was created.
+func (h *Hub) Uptime() time.Duration { return time.Since(h.start) }
+
+// AddStatus registers a named /statusz section; fn is called at request time
+// and must be safe to call from any goroutine. Re-registering a name
+// replaces the previous section.
+func (h *Hub) AddStatus(name string, fn func() any) {
+	h.statusMu.Lock()
+	h.status[name] = fn
+	h.statusMu.Unlock()
+}
+
+// RemoveStatus drops a /statusz section (loops unregister when they stop).
+func (h *Hub) RemoveStatus(name string) {
+	h.statusMu.Lock()
+	delete(h.status, name)
+	h.statusMu.Unlock()
+}
+
+// StatusSnapshot evaluates every registered status section.
+func (h *Hub) StatusSnapshot() map[string]any {
+	h.statusMu.Lock()
+	names := make([]string, 0, len(h.status))
+	fns := make([]func() any, 0, len(h.status))
+	for name, fn := range h.status {
+		names = append(names, name)
+		fns = append(fns, fn)
+	}
+	h.statusMu.Unlock()
+	out := make(map[string]any, len(names)+2)
+	for i, name := range names {
+		out[name] = fns[i]()
+	}
+	out["uptime"] = h.Uptime().String()
+	out["trace_events"] = h.Tracer.Recorded()
+	return out
+}
+
+// Handler returns the exposition mux: /metrics, /statusz, /debug/pprof/...
+func (h *Hub) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", h.serveMetrics)
+	mux.HandleFunc("/statusz", h.serveStatusz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("tornado observability\n  /metrics\n  /statusz\n  /debug/pprof/\n"))
+	})
+	return mux
+}
+
+func (h *Hub) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = h.Registry.WritePrometheus(w)
+}
+
+func (h *Hub) serveStatusz(w http.ResponseWriter, _ *http.Request) {
+	snap := h.StatusSnapshot()
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(snap) // map keys marshal sorted: stable for curl | diff
+
+}
+
+// Serve starts the exposition server on addr (host:port; port 0 picks a free
+// one) and returns the bound address. It is idempotent per hub: a second
+// call returns the first server's address.
+func (h *Hub) Serve(addr string) (string, error) {
+	h.srvMu.Lock()
+	defer h.srvMu.Unlock()
+	if h.lis != nil {
+		return h.lis.Addr().String(), nil
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	h.lis = lis
+	h.srv = &http.Server{Handler: h.Handler()}
+	go func() { _ = h.srv.Serve(lis) }()
+	return lis.Addr().String(), nil
+}
+
+// Addr returns the bound exposition address, or "" when not serving.
+func (h *Hub) Addr() string {
+	h.srvMu.Lock()
+	defer h.srvMu.Unlock()
+	if h.lis == nil {
+		return ""
+	}
+	return h.lis.Addr().String()
+}
+
+// Close stops the exposition server (a no-op when none is running).
+func (h *Hub) Close() error {
+	h.srvMu.Lock()
+	srv := h.srv
+	h.srv, h.lis = nil, nil
+	h.srvMu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHubEndpoints(t *testing.T) {
+	hub := NewHub(HubOptions{TraceCapacity: 16, TraceSampleEvery: 1})
+	hub.Registry.Scope(L("loop", "0")).Counter("tornado_commits_total", "c").Add(11)
+	hub.Tracer.Record(0, EvCommit, 3, 0, 1)
+	hub.AddStatus("loop/0", func() any { return map[string]any{"frontier": 4} })
+
+	srv := httptest.NewServer(hub.Handler())
+	defer srv.Close()
+
+	get := func(path string) (int, string, http.Header) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body), resp.Header
+	}
+
+	code, body, hdr := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.HasPrefix(hdr.Get("Content-Type"), "text/plain; version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q", hdr.Get("Content-Type"))
+	}
+	if !strings.Contains(body, `tornado_commits_total{loop="0"} 11`) {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+
+	code, body, _ = get("/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("/statusz status %d", code)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/statusz not JSON: %v\n%s", err, body)
+	}
+	loop, ok := snap["loop/0"].(map[string]any)
+	if !ok || loop["frontier"] != float64(4) {
+		t.Errorf("/statusz loop section = %v", snap["loop/0"])
+	}
+	if snap["trace_events"] != float64(1) {
+		t.Errorf("/statusz trace_events = %v; want 1", snap["trace_events"])
+	}
+	if _, ok := snap["uptime"]; !ok {
+		t.Error("/statusz missing uptime")
+	}
+
+	if code, _, _ = get("/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+	if code, body, _ = get("/"); code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Errorf("index status %d body %q", code, body)
+	}
+	if code, _, _ = get("/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path status %d; want 404", code)
+	}
+}
+
+func TestHubServeIdempotentAndClose(t *testing.T) {
+	hub := NewHub(HubOptions{})
+	addr, err := hub.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := hub.Serve("127.0.0.1:0")
+	if err != nil || again != addr {
+		t.Fatalf("second Serve = %q, %v; want first address %q", again, err, addr)
+	}
+	if hub.Addr() != addr {
+		t.Fatalf("Addr = %q; want %q", hub.Addr(), addr)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET live server: %v", err)
+	}
+	resp.Body.Close()
+	if err := hub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if hub.Addr() != "" {
+		t.Fatal("Addr after Close must be empty")
+	}
+	if err := hub.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestStatusRemove(t *testing.T) {
+	hub := NewHub(HubOptions{})
+	hub.AddStatus("x", func() any { return 1 })
+	hub.RemoveStatus("x")
+	if _, ok := hub.StatusSnapshot()["x"]; ok {
+		t.Fatal("removed status section still present")
+	}
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestStreamHistBasics(t *testing.T) {
+	h := NewStreamHist([]float64{1, 2, 4, 8})
+	for _, v := range []float64{0.5, 1.5, 3, 3, 6, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 6 {
+		t.Fatalf("Count = %d; want 6", got)
+	}
+	if got := h.Sum(); got != 114 {
+		t.Fatalf("Sum = %v; want 114", got)
+	}
+	if got := h.Mean(); got != 19 {
+		t.Fatalf("Mean = %v; want 19", got)
+	}
+	if got := h.Min(); got != 0.5 {
+		t.Fatalf("Min = %v; want 0.5", got)
+	}
+	if got := h.Max(); got != 100 {
+		t.Fatalf("Max = %v; want 100", got)
+	}
+}
+
+func TestStreamHistQuantile(t *testing.T) {
+	h := NewStreamHist(LinearBuckets(1, 1, 100))
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	// With unit buckets and one sample per bucket, interpolated quantiles
+	// land within one bucket width of the exact percentile.
+	for _, c := range []struct{ q, want float64 }{
+		{0.5, 50}, {0.9, 90}, {0.99, 99},
+	} {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1.5 {
+			t.Errorf("Quantile(%v) = %v; want within 1.5 of %v", c.q, got, c.want)
+		}
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %v; want min 1", got)
+	}
+	if got := h.Quantile(1); got != 100 {
+		t.Errorf("Quantile(1) = %v; want max 100", got)
+	}
+}
+
+func TestStreamHistQuantileClampedToObservedRange(t *testing.T) {
+	// All mass in one wide bucket: interpolation must not extrapolate
+	// past the observed min/max.
+	h := NewStreamHist([]float64{1000})
+	h.Observe(5)
+	h.Observe(7)
+	if got := h.Quantile(0.99); got < 5 || got > 7 {
+		t.Fatalf("Quantile(0.99) = %v; want within [5, 7]", got)
+	}
+}
+
+func TestStreamHistEmpty(t *testing.T) {
+	h := NewStreamHist(nil)
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty StreamHist must report zeros")
+	}
+}
+
+func TestStreamHistBoundedMemory(t *testing.T) {
+	h := NewStreamHist(DefaultBuckets())
+	before := len(h.Snapshot().Counts)
+	for i := 0; i < 100000; i++ {
+		h.Observe(float64(i % 1000))
+	}
+	s := h.Snapshot()
+	if len(s.Counts) != before {
+		t.Fatalf("bucket count changed %d -> %d; memory must stay fixed", before, len(s.Counts))
+	}
+	if s.Count != 100000 {
+		t.Fatalf("Count = %d; want 100000", s.Count)
+	}
+}
+
+func TestStreamHistOverflowBucket(t *testing.T) {
+	h := NewStreamHist([]float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1e12) // above the last bound: lands in +Inf overflow
+	s := h.Snapshot()
+	if got := s.Counts[len(s.Counts)-1]; got != 1 {
+		t.Fatalf("overflow bucket = %d; want 1", got)
+	}
+	if got := h.Max(); got != 1e12 {
+		t.Fatalf("Max = %v; want 1e12", got)
+	}
+}
+
+func TestStreamHistReset(t *testing.T) {
+	h := NewStreamHist(nil)
+	h.Observe(3)
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("Reset must clear counts and sum")
+	}
+}
+
+func TestBucketBuilders(t *testing.T) {
+	exp := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i, b := range exp {
+		if b != want[i] {
+			t.Fatalf("ExpBuckets = %v; want %v", exp, want)
+		}
+	}
+	lin := LinearBuckets(0, 5, 3)
+	wantLin := []float64{0, 5, 10}
+	for i, b := range lin {
+		if b != wantLin[i] {
+			t.Fatalf("LinearBuckets = %v; want %v", lin, wantLin)
+		}
+	}
+}
+
+func TestNewStreamHistRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on non-ascending bounds")
+		}
+	}()
+	NewStreamHist([]float64{2, 1})
+}
+
+func TestStreamHistConcurrent(t *testing.T) {
+	h := NewStreamHist(DefaultBuckets())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(i))
+				if i%250 == 0 {
+					_ = h.Quantile(0.99)
+					_ = h.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("Count = %d; want 8000", got)
+	}
+}

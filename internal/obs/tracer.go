@@ -1,0 +1,273 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EventKind labels one protocol transition in the trace.
+type EventKind uint8
+
+const (
+	// EvInput: an external stream tuple was applied to the vertex.
+	EvInput EventKind = iota + 1
+	// EvActivate: the vertex was re-activated (branch seed, recovery).
+	EvActivate
+	// EvGather: a committed update (COMMIT message) was gathered; Peer is
+	// the producer, Iteration the producer's commit iteration.
+	EvGather
+	// EvHoldback: an update at or above the delay cap was held back until
+	// the frontier advances (Section 4.4 delay bounding).
+	EvHoldback
+	// EvPrepareSend: phase two began; one event per consumer asked for its
+	// iteration number (Peer is the consumer).
+	EvPrepareSend
+	// EvPrepareRecv: a producer's PREPARE arrived (Peer is the producer).
+	EvPrepareRecv
+	// EvAckSend: the vertex answered a PREPARE with its iteration number.
+	EvAckSend
+	// EvAckRecv: a consumer's ACK arrived; Iteration is the consumer's
+	// iteration number folded into the negotiation.
+	EvAckRecv
+	// EvCommit: phase three; Iteration is the assigned iteration number τ.
+	EvCommit
+	// EvFrontier: the master announced iterations <= Iteration terminated.
+	// Vertex is NoVertex.
+	EvFrontier
+)
+
+// String returns the event kind's wire name.
+func (k EventKind) String() string {
+	switch k {
+	case EvInput:
+		return "input"
+	case EvActivate:
+		return "activate"
+	case EvGather:
+		return "gather"
+	case EvHoldback:
+		return "holdback"
+	case EvPrepareSend:
+		return "prepare-send"
+	case EvPrepareRecv:
+		return "prepare-recv"
+	case EvAckSend:
+		return "ack-send"
+	case EvAckRecv:
+		return "ack-recv"
+	case EvCommit:
+		return "commit"
+	case EvFrontier:
+		return "frontier"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// NoVertex marks events not tied to a vertex (frontier advances).
+const NoVertex = ^uint64(0)
+
+// Event is one recorded protocol transition.
+type Event struct {
+	// Seq is a global, strictly increasing sequence number; events with
+	// ascending Seq happened in recording order.
+	Seq uint64
+	// At is the offset from the tracer's start.
+	At time.Duration
+	// Loop is the loop the event belongs to (storage.LoopID value).
+	Loop uint64
+	// Kind is the transition recorded.
+	Kind EventKind
+	// Vertex is the vertex the event happened at (NoVertex for frontier
+	// advances).
+	Vertex uint64
+	// Peer is the other endpoint of a message event (0 when n/a).
+	Peer uint64
+	// Iteration is the iteration number carried by the transition.
+	Iteration int64
+}
+
+// String renders the event for the shell's trace command.
+func (e Event) String() string {
+	v := fmt.Sprintf("v%d", e.Vertex)
+	if e.Vertex == NoVertex {
+		v = "master"
+	}
+	return fmt.Sprintf("#%d %9.3fms loop=%d %s %s peer=%d iter=%d",
+		e.Seq, float64(e.At.Microseconds())/1000, e.Loop, v, e.Kind, e.Peer, e.Iteration)
+}
+
+// Tracer records protocol events into a fixed-capacity ring buffer. Vertices
+// are sampled (1 in SampleEvery by identifier hash) so tracing a large graph
+// stays cheap; individual vertices can additionally be watched, which traces
+// them regardless of sampling. The hot-path contract is: call Enabled first
+// (one atomic load plus a hash for sampled-out vertices) and Record only
+// when it returns true. Tracer is safe for concurrent use. A nil *Tracer is
+// valid and permanently disabled.
+type Tracer struct {
+	start     time.Time
+	sampleMod atomic.Uint64
+	watchN    atomic.Int64
+	watch     sync.Map // uint64 -> struct{}
+	recorded  atomic.Uint64
+
+	mu   sync.Mutex
+	buf  []Event
+	head int // next write position
+	n    int // valid entries
+	seq  uint64
+}
+
+// NewTracer returns a tracer with the given ring capacity (default 8192 when
+// <= 0) sampling 1 in sampleEvery vertices (1 traces every vertex; 0 uses
+// the default of 64; negative disables sampling so only watched vertices are
+// traced).
+func NewTracer(capacity, sampleEvery int) *Tracer {
+	if capacity <= 0 {
+		capacity = 8192
+	}
+	t := &Tracer{start: time.Now(), buf: make([]Event, capacity)}
+	t.SetSampleEvery(sampleEvery)
+	return t
+}
+
+// SetSampleEvery adjusts the sampling rate (semantics as in NewTracer).
+func (t *Tracer) SetSampleEvery(n int) {
+	switch {
+	case n == 0:
+		t.sampleMod.Store(64)
+	case n < 0:
+		t.sampleMod.Store(0)
+	default:
+		t.sampleMod.Store(uint64(n))
+	}
+}
+
+// vhash mixes a vertex ID so modulo sampling is unbiased for sequential IDs.
+func vhash(v uint64) uint64 {
+	v *= 0x9E3779B97F4A7C15
+	v ^= v >> 32
+	return v
+}
+
+// Enabled reports whether events of the given vertex are being traced.
+func (t *Tracer) Enabled(vertex uint64) bool {
+	if t == nil {
+		return false
+	}
+	if t.watchN.Load() > 0 {
+		if _, ok := t.watch.Load(vertex); ok {
+			return true
+		}
+	}
+	mod := t.sampleMod.Load()
+	return mod != 0 && vhash(vertex)%mod == 0
+}
+
+// Watch forces tracing of one vertex regardless of sampling.
+func (t *Tracer) Watch(vertex uint64) {
+	if _, loaded := t.watch.LoadOrStore(vertex, struct{}{}); !loaded {
+		t.watchN.Add(1)
+	}
+}
+
+// Unwatch reverses Watch.
+func (t *Tracer) Unwatch(vertex uint64) {
+	if _, loaded := t.watch.LoadAndDelete(vertex); loaded {
+		t.watchN.Add(-1)
+	}
+}
+
+// Record appends one event to the ring, overwriting the oldest when full.
+func (t *Tracer) Record(loop uint64, kind EventKind, vertex, peer uint64, iter int64) {
+	if t == nil {
+		return
+	}
+	at := time.Since(t.start)
+	t.recorded.Add(1)
+	t.mu.Lock()
+	t.seq++
+	t.buf[t.head] = Event{Seq: t.seq, At: at, Loop: loop, Kind: kind, Vertex: vertex, Peer: peer, Iteration: iter}
+	t.head = (t.head + 1) % len(t.buf)
+	if t.n < len(t.buf) {
+		t.n++
+	}
+	t.mu.Unlock()
+}
+
+// Recorded returns the total number of events ever recorded (including ones
+// the ring has since overwritten).
+func (t *Tracer) Recorded() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.recorded.Load()
+}
+
+// Len returns the number of events currently held.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// snapshot returns the ring's contents oldest-first.
+func (t *Tracer) snapshot() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, t.n)
+	startIdx := t.head - t.n
+	if startIdx < 0 {
+		startIdx += len(t.buf)
+	}
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.buf[(startIdx+i)%len(t.buf)])
+	}
+	return out
+}
+
+// Query returns the retained events of one vertex in one loop, oldest first
+// (ascending Seq).
+func (t *Tracer) Query(loop, vertex uint64) []Event {
+	if t == nil {
+		return nil
+	}
+	var out []Event
+	for _, e := range t.snapshot() {
+		if e.Loop == loop && e.Vertex == vertex {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// QueryVertex returns the retained events of one vertex across all loops.
+func (t *Tracer) QueryVertex(vertex uint64) []Event {
+	if t == nil {
+		return nil
+	}
+	var out []Event
+	for _, e := range t.snapshot() {
+		if e.Vertex == vertex {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Recent returns the newest n retained events, oldest first.
+func (t *Tracer) Recent(n int) []Event {
+	if t == nil {
+		return nil
+	}
+	all := t.snapshot()
+	if n < len(all) {
+		all = all[len(all)-n:]
+	}
+	return all
+}

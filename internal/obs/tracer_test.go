@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled(1) {
+		t.Fatal("nil tracer must be disabled")
+	}
+	tr.Record(0, EvCommit, 1, 0, 3) // must not panic
+	if tr.Recorded() != 0 || tr.Len() != 0 {
+		t.Fatal("nil tracer must report zero events")
+	}
+	if tr.Query(0, 1) != nil || tr.QueryVertex(1) != nil || tr.Recent(5) != nil {
+		t.Fatal("nil tracer queries must return nil")
+	}
+}
+
+func TestTracerWatchOverridesSampling(t *testing.T) {
+	tr := NewTracer(64, -1) // sampling disabled: watched-only
+	if tr.Enabled(7) {
+		t.Fatal("unwatched vertex must be disabled with negative sampling")
+	}
+	tr.Watch(7)
+	if !tr.Enabled(7) {
+		t.Fatal("watched vertex must be enabled")
+	}
+	tr.Unwatch(7)
+	if tr.Enabled(7) {
+		t.Fatal("unwatched vertex must be disabled again")
+	}
+}
+
+func TestTracerSampleAll(t *testing.T) {
+	tr := NewTracer(64, 1)
+	for v := uint64(0); v < 100; v++ {
+		if !tr.Enabled(v) {
+			t.Fatalf("sampleEvery=1 must trace every vertex, %d missing", v)
+		}
+	}
+}
+
+func TestTracerSamplingRate(t *testing.T) {
+	tr := NewTracer(64, 8)
+	hits := 0
+	for v := uint64(0); v < 8000; v++ {
+		if tr.Enabled(v) {
+			hits++
+		}
+	}
+	// Hash-based 1-in-8 over 8000 sequential IDs: expect ~1000, allow wide
+	// slack for hash clumping.
+	if hits < 500 || hits > 1500 {
+		t.Fatalf("1-in-8 sampling hit %d of 8000; want roughly 1000", hits)
+	}
+}
+
+func TestTracerQueryOrdering(t *testing.T) {
+	tr := NewTracer(64, 1)
+	tr.Record(0, EvInput, 5, 0, 0)
+	tr.Record(0, EvPrepareSend, 5, 6, 2)
+	tr.Record(0, EvCommit, 9, 0, 2) // other vertex: filtered out
+	tr.Record(1, EvCommit, 5, 0, 2) // other loop: filtered out
+	tr.Record(0, EvAckRecv, 5, 6, 2)
+	tr.Record(0, EvCommit, 5, 0, 2)
+
+	got := tr.Query(0, 5)
+	wantKinds := []EventKind{EvInput, EvPrepareSend, EvAckRecv, EvCommit}
+	if len(got) != len(wantKinds) {
+		t.Fatalf("Query returned %d events; want %d: %v", len(got), len(wantKinds), got)
+	}
+	var lastSeq uint64
+	for i, e := range got {
+		if e.Kind != wantKinds[i] {
+			t.Errorf("event %d kind = %v; want %v", i, e.Kind, wantKinds[i])
+		}
+		if e.Seq <= lastSeq {
+			t.Errorf("event %d out of order: seq %d after %d", i, e.Seq, lastSeq)
+		}
+		lastSeq = e.Seq
+	}
+	if all := tr.QueryVertex(5); len(all) != 5 {
+		t.Fatalf("QueryVertex(5) = %d events; want 5 across both loops", len(all))
+	}
+}
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(4, 1)
+	for i := int64(0); i < 10; i++ {
+		tr.Record(0, EvCommit, 1, 0, i)
+	}
+	if got := tr.Len(); got != 4 {
+		t.Fatalf("Len = %d; want capacity 4", got)
+	}
+	if got := tr.Recorded(); got != 10 {
+		t.Fatalf("Recorded = %d; want 10", got)
+	}
+	events := tr.Recent(10)
+	if len(events) != 4 {
+		t.Fatalf("Recent = %d events; want 4", len(events))
+	}
+	// Ring keeps the newest 4 (iterations 6..9), oldest first.
+	for i, e := range events {
+		if want := int64(6 + i); e.Iteration != want {
+			t.Fatalf("event %d iteration = %d; want %d", i, e.Iteration, want)
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	tr := NewTracer(8, 1)
+	tr.Record(2, EvPrepareSend, 5, 9, 3)
+	s := tr.Recent(1)[0].String()
+	for _, want := range []string{"prepare-send", "v5", "peer=9", "iter=3", "loop=2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Event.String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(1024, 1)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			v := uint64(w)
+			for i := int64(0); i < 500; i++ {
+				if tr.Enabled(v) {
+					tr.Record(0, EvCommit, v, 0, i)
+				}
+				if i%100 == 0 {
+					_ = tr.Query(0, v)
+					_ = tr.Recent(16)
+					tr.Watch(v)
+					tr.Unwatch(v)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tr.Recorded(); got != 8*500 {
+		t.Fatalf("Recorded = %d; want 4000", got)
+	}
+	// Per-vertex events must still be in ascending Seq order.
+	for v := uint64(0); v < 8; v++ {
+		var last uint64
+		for _, e := range tr.QueryVertex(v) {
+			if e.Seq <= last {
+				t.Fatalf("vertex %d events out of order", v)
+			}
+			last = e.Seq
+		}
+	}
+}

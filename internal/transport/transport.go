@@ -65,6 +65,14 @@ type Network struct {
 	// and duplicates); Delivered counts frames handed to live receivers.
 	Sent      metrics.Counter
 	Delivered metrics.Counter
+	// Resent counts retransmissions after the ack timeout; AckFrames counts
+	// acknowledgement frames sent by receivers; Dropped and Duplicated count
+	// fault-injected in-flight losses and duplications. All are observability
+	// counters the engine exposes through its registry scope.
+	Resent     metrics.Counter
+	AckFrames  metrics.Counter
+	Dropped    metrics.Counter
+	Duplicated metrics.Counter
 }
 
 // NewNetwork returns an empty network.
@@ -158,10 +166,12 @@ func (n *Network) route(f frame) {
 		return
 	}
 	if !f.ack && drop > 0 && roll < drop {
+		n.Dropped.Inc()
 		return // lost in flight; the resend loop will retry
 	}
 	dst.deliver(f)
 	if !f.ack && dup > 0 && roll2 < dup {
+		n.Duplicated.Inc()
 		dst.deliver(f) // duplicated in flight; receiver must dedup
 	}
 }
@@ -250,6 +260,7 @@ func (e *Endpoint) deliver(f frame) {
 		e.net.Delivered.Inc()
 	}
 	if e.net.opts.ResendAfter > 0 {
+		e.net.AckFrames.Inc()
 		e.net.route(frame{from: e.id, to: f.from, seq: f.seq, ack: true})
 	}
 }
@@ -338,6 +349,7 @@ func (e *Endpoint) resendLoop(after time.Duration) {
 		e.mu.Unlock()
 		for _, f := range retry {
 			e.net.Sent.Inc()
+			e.net.Resent.Inc()
 			e.net.route(f)
 		}
 	}

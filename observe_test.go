@@ -1,0 +1,148 @@
+package tornado
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"tornado/internal/algorithms"
+	"tornado/internal/obs"
+	"tornado/internal/stream"
+)
+
+// TestMetricsEndpointQuickstart is the issue's acceptance scenario: a
+// quickstart-style run with MetricsAddr set exposes /metrics with the main
+// loop's protocol counters, the frontier gauge, and — after a query — the
+// branch-loop convergence histogram; sys.Trace returns the watched vertex's
+// protocol events in order.
+func TestMetricsEndpointQuickstart(t *testing.T) {
+	sys := newSSSP(t, Options{
+		Processors:       2,
+		DelayBound:       8,
+		MetricsAddr:      "127.0.0.1:0",
+		TraceSampleEvery: -1, // watched-only: exercises Watch below
+	})
+	url := sys.MetricsURL()
+	if url == "" {
+		t.Fatal("MetricsURL empty with MetricsAddr set")
+	}
+
+	const watched = VertexID(2)
+	sys.Watch(watched)
+	sys.IngestAll([]Tuple{
+		stream.AddEdge(1, 0, 1),
+		stream.AddEdge(2, 1, 2),
+		stream.AddEdge(3, 2, 3),
+		stream.AddEdge(4, 3, 0),
+	})
+	res, err := sys.Query(waitFor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Close()
+	if err := sys.WaitQuiesce(waitFor); err != nil {
+		t.Fatal(err)
+	}
+
+	body := httpGet(t, url+"/metrics")
+	mainSeries := `{kind="main",loop="0",program="algorithms.SSSP"}`
+	for _, want := range []string{
+		"# TYPE tornado_commits_total counter",
+		"tornado_commits_total" + mainSeries,
+		"tornado_update_msgs_total" + mainSeries,
+		"tornado_prepare_msgs_total" + mainSeries,
+		"tornado_ack_msgs_total" + mainSeries,
+		"tornado_frontier_iteration" + mainSeries,
+		`tornado_branches_total{kind="system"} 1`,
+		`tornado_branch_converge_seconds_count{kind="system"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	// The finished query's branch loop must not leak series.
+	if strings.Contains(body, `kind="branch"`) {
+		t.Errorf("closed branch loop leaked series:\n%s", body)
+	}
+
+	// /statusz carries the per-loop and system sections as JSON.
+	var status map[string]any
+	if err := json.Unmarshal([]byte(httpGet(t, url+"/statusz")), &status); err != nil {
+		t.Fatalf("/statusz not JSON: %v", err)
+	}
+	if _, ok := status["loop/0"]; !ok {
+		t.Errorf("/statusz missing loop/0: %v", status)
+	}
+	if _, ok := status["system"]; !ok {
+		t.Errorf("/statusz missing system section: %v", status)
+	}
+
+	// With watched-only sampling, an unwatched vertex yields nothing while
+	// the watched one shows the ordered three-phase protocol.
+	if evs := sys.Trace(0); len(evs) != 0 {
+		t.Errorf("unwatched vertex traced under watched-only sampling: %v", evs)
+	}
+	events := sys.Trace(watched)
+	if len(events) == 0 {
+		t.Fatal("Trace(watched) returned no events")
+	}
+	var lastSeq uint64
+	sawCommit := false
+	for i, ev := range events {
+		if ev.Seq <= lastSeq {
+			t.Fatalf("event %d out of order: %v", i, events)
+		}
+		lastSeq = ev.Seq
+		if ev.Kind == obs.EvCommit {
+			sawCommit = true
+		}
+	}
+	if !sawCommit {
+		t.Fatalf("watched vertex never committed: %v", events)
+	}
+
+	// Stats() mirrors what the endpoint exposes.
+	s := sys.Stats()
+	if s.Commits == 0 || s.Frontier <= 0 {
+		t.Fatalf("StatsSnapshot empty after run: %+v", s)
+	}
+	if s.PendingPrepares != 0 {
+		t.Fatalf("PendingPrepares = %d after quiescence", s.PendingPrepares)
+	}
+}
+
+func TestNoMetricsAddrMeansNoServer(t *testing.T) {
+	sys := newSSSP(t, Options{})
+	if url := sys.MetricsURL(); url != "" {
+		t.Fatalf("MetricsURL = %q without MetricsAddr; want empty", url)
+	}
+	if sys.Obs() == nil {
+		t.Fatal("Obs hub must exist even without an endpoint")
+	}
+}
+
+func TestNewRejectsBadMetricsAddr(t *testing.T) {
+	_, err := New(algorithms.SSSP{Source: 0}, Options{MetricsAddr: "256.256.256.256:-1"})
+	if err == nil {
+		t.Fatal("want error for unusable metrics address")
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

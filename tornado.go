@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"tornado/internal/engine"
+	"tornado/internal/obs"
 	"tornado/internal/storage"
 	"tornado/internal/stream"
 )
@@ -54,6 +55,8 @@ type (
 	VertexID = stream.VertexID
 	// Tuple is one turnstile stream update.
 	Tuple = stream.Tuple
+	// TraceEvent is one recorded protocol transition (see obs.Event).
+	TraceEvent = obs.Event
 )
 
 // Loop kind values.
@@ -81,6 +84,22 @@ type Options struct {
 	ResendAfter time.Duration
 	// Seed drives engine-internal randomness (default 1).
 	Seed int64
+
+	// Observability. Every System carries an obs.Hub: protocol counters,
+	// frontier gauges and a sampled three-phase protocol tracer register
+	// per loop, readable via Obs(), Trace() and the HTTP endpoint.
+
+	// MetricsAddr, when non-empty, serves the exposition endpoint
+	// (/metrics in Prometheus text format, /statusz JSON snapshots,
+	// /debug/pprof) on this host:port; ":0" picks a free port. Read the
+	// bound address from MetricsURL.
+	MetricsAddr string
+	// TraceCapacity is the protocol tracer's ring size (default 8192).
+	TraceCapacity int
+	// TraceSampleEvery traces 1 in N vertices by identifier hash
+	// (default 64; 1 traces every vertex; negative disables sampling so
+	// only watched vertices are traced).
+	TraceSampleEvery int
 }
 
 func (o *Options) fill() {
@@ -106,6 +125,12 @@ type System struct {
 	store    storage.Store
 	program  Program
 	nextLoop atomic.Uint64
+
+	hub          *obs.Hub
+	branchesLive atomic.Int64
+	branchTotal  atomic.Int64
+	branchHist   *obs.StreamHist
+	obsScope     *obs.Scope
 }
 
 // engine returns the current main-loop engine (it can be swapped by
@@ -119,6 +144,10 @@ func (s *System) engine() *engine.Engine {
 // New assembles and starts a System running program.
 func New(program Program, opts Options) (*System, error) {
 	opts.fill()
+	hub := obs.NewHub(obs.HubOptions{
+		TraceCapacity:    opts.TraceCapacity,
+		TraceSampleEvery: opts.TraceSampleEvery,
+	})
 	e, err := engine.New(engine.Config{
 		Processors:  opts.Processors,
 		DelayBound:  opts.DelayBound,
@@ -128,15 +157,71 @@ func New(program Program, opts Options) (*System, error) {
 		Program:     program,
 		ResendAfter: opts.ResendAfter,
 		Seed:        opts.Seed,
+		Obs:         hub,
 	})
 	if err != nil {
 		return nil, err
 	}
-	s := &System{main: e, store: opts.Store, program: program}
+	s := &System{main: e, store: opts.Store, program: program, hub: hub}
 	s.nextLoop.Store(1)
+	s.attachObs()
+	if opts.MetricsAddr != "" {
+		if _, err := hub.Serve(opts.MetricsAddr); err != nil {
+			e.Stop()
+			return nil, fmt.Errorf("tornado: metrics endpoint: %w", err)
+		}
+	}
 	e.Start()
 	return s, nil
 }
+
+// attachObs registers the system-level collectors: branch-loop lifecycle
+// counters, the branch convergence-latency histogram, and the system
+// /statusz section.
+func (s *System) attachObs() {
+	sc := s.hub.Registry.Scope(obs.L("kind", "system"))
+	s.obsScope = sc
+	sc.GaugeFunc("tornado_branches_live",
+		"Branch loops currently running (forked queries not yet closed).",
+		func() float64 { return float64(s.branchesLive.Load()) })
+	sc.GaugeFunc("tornado_branches_total",
+		"Branch loops ever forked by Query.",
+		func() float64 { return float64(s.branchTotal.Load()) })
+	s.branchHist = sc.Histogram("tornado_branch_converge_seconds",
+		"Wall-clock time from fork to branch-loop convergence.", nil)
+	s.hub.AddStatus("system", func() any {
+		return map[string]any{
+			"branches_live":  s.branchesLive.Load(),
+			"branches_total": s.branchTotal.Load(),
+			"program":        fmt.Sprintf("%T", s.program),
+		}
+	})
+}
+
+// Obs returns the system's observability hub (advanced use: custom
+// collectors, status sections, direct tracer access).
+func (s *System) Obs() *obs.Hub { return s.hub }
+
+// MetricsURL returns the base URL of the exposition endpoint, or "" when
+// Options.MetricsAddr was empty.
+func (s *System) MetricsURL() string {
+	if addr := s.hub.Addr(); addr != "" {
+		return "http://" + addr
+	}
+	return ""
+}
+
+// Trace returns the retained protocol events of one main-loop vertex, oldest
+// first: input applications, PREPARE/ACK negotiations, iteration-number
+// assignments at commit, and gathered updates. Only sampled or watched
+// vertices have events; call Watch(id) before the run to guarantee coverage.
+func (s *System) Trace(id VertexID) []TraceEvent { return s.engine().Trace(id) }
+
+// Watch forces tracing of one vertex regardless of the sampling rate.
+func (s *System) Watch(id VertexID) { s.engine().Watch(id) }
+
+// Unwatch reverses Watch.
+func (s *System) Unwatch(id VertexID) { s.engine().Unwatch(id) }
 
 // Ingest feeds one stream tuple to the main loop. Edge tuples evolve the
 // dependency graph; value tuples are delivered to the program's OnInput.
@@ -170,6 +255,7 @@ type Result struct {
 	spec   engine.ForkSpec
 	loop   storage.LoopID
 	store  storage.Store
+	sys    *System
 	// Latency is the wall-clock time from fork to convergence.
 	Latency time.Duration
 }
@@ -202,6 +288,10 @@ func (r *Result) Engine() *engine.Engine { return r.branch }
 func (r *Result) Close() {
 	r.branch.Stop()
 	_ = r.store.DropLoop(r.loop)
+	if r.sys != nil {
+		r.sys.branchesLive.Add(-1)
+		r.sys = nil
+	}
 }
 
 // Query forks a branch loop at the current instant, waits for it to
@@ -222,17 +312,25 @@ func (s *System) QueryWith(timeout time.Duration, override func(*engine.Config),
 	if err != nil {
 		return nil, fmt.Errorf("tornado: fork branch: %w", err)
 	}
+	s.branchTotal.Add(1)
+	s.branchesLive.Add(1)
 	if err := br.WaitDone(timeout); err != nil {
 		br.Stop()
 		_ = s.store.DropLoop(loop)
+		s.branchesLive.Add(-1)
 		return nil, err
+	}
+	latency := time.Since(start)
+	if s.branchHist != nil {
+		s.branchHist.Observe(latency.Seconds())
 	}
 	return &Result{
 		branch:  br,
 		spec:    spec,
 		loop:    loop,
 		store:   s.store,
-		Latency: time.Since(start),
+		sys:     s,
+		Latency: latency,
 	}, nil
 }
 
@@ -272,6 +370,13 @@ func (s *System) IterationLog() []IterationRecord { return s.engine().IterationL
 // injection, custom forks).
 func (s *System) Engine() *engine.Engine { return s.engine() }
 
-// Close stops the main loop. Branch results obtained earlier must be closed
-// separately.
-func (s *System) Close() { s.engine().Stop() }
+// Close stops the main loop and the exposition endpoint. Branch results
+// obtained earlier must be closed separately.
+func (s *System) Close() {
+	s.engine().Stop()
+	if s.obsScope != nil {
+		s.hub.RemoveStatus("system")
+		s.obsScope.Close()
+	}
+	_ = s.hub.Close()
+}
