@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-all vet bench check clean
+.PHONY: all build test race race-all vet bench chaos check clean
 
 all: check
 
@@ -25,10 +25,16 @@ race-all:
 vet:
 	$(GO) vet ./...
 
+# Crash-recovery and chaos suite under the race detector: true crash
+# semantics, supervised checkpoint restart, quarantine, fault plans and the
+# seeded chaos soak (crashes + lossy transport in one run).
+chaos:
+	$(GO) test -race ./internal/engine/ -run 'TestCrash|TestSupervisor|TestFlapping|TestFaultPlan|TestChaos'
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
-check: build vet test race
+check: build vet test race chaos
 
 clean:
 	$(GO) clean ./...

@@ -19,6 +19,12 @@
 //	stats                runtime counters and loop snapshot
 //	trace <id>           print the vertex's recorded protocol events
 //	watch <id>           force tracing of a vertex (ignore sampling)
+//	crash <i|master>     crash processor i (or the master) for real:
+//	                     its in-memory state dies; the heartbeat
+//	                     supervisor restarts the loop from the last
+//	                     checkpoint (Section 5.3)
+//	recover              manual checkpoint restart (when -heartbeat 0)
+//	faults               print the recovery log and quarantined set
 //	help                 this text
 //	quit
 //
@@ -49,6 +55,7 @@ func main() {
 	bound := flag.Int64("bound", 64, "delay bound B (1 = synchronous)")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /statusz, /debug/pprof on host:port (\":0\" picks a port)")
 	traceEvery := flag.Int("trace-sample", 0, "trace 1 in N vertices (0 = default 64, 1 = all, negative = watched only)")
+	heartbeat := flag.Duration("heartbeat", 25*time.Millisecond, "supervision heartbeat interval (0 = unsupervised; 'crash' then needs 'recover')")
 	flag.Parse()
 
 	var prog tornado.Program
@@ -74,10 +81,11 @@ func main() {
 	}
 
 	sys, err := tornado.New(prog, tornado.Options{
-		Processors:       *procs,
-		DelayBound:       *bound,
-		MetricsAddr:      *metricsAddr,
-		TraceSampleEvery: *traceEvery,
+		Processors:        *procs,
+		DelayBound:        *bound,
+		MetricsAddr:       *metricsAddr,
+		TraceSampleEvery:  *traceEvery,
+		HeartbeatInterval: *heartbeat,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -141,8 +149,63 @@ func main() {
 				s.Commits, s.UpdateMsgs, s.PrepareMsgs, s.AckMsgs, s.InputMsgs, s.Emits)
 			fmt.Printf("frontier=%d notified=%d pending-prepares=%d transport sent=%d delivered=%d resent=%d\n",
 				s.Frontier, s.Notified, s.PendingPrepares, s.TransportSent, s.TransportDelivered, s.TransportResent)
+			fmt.Printf("generation=%d crashes=%d recoveries=%d quarantined=%d dead-letters=%d\n",
+				s.Generation, s.Crashes, s.Recoveries, s.Quarantined, s.TransportDeadLetters)
 			if url := sys.MetricsURL(); url != "" {
 				fmt.Printf("endpoint: %s/metrics\n", url)
+			}
+		case "crash":
+			if len(fields) != 2 {
+				fmt.Println("usage: crash <processor-index|master>")
+				continue
+			}
+			if fields[1] == "master" {
+				sys.CrashMaster()
+				fmt.Println("master crashed: termination notifications stopped")
+			} else {
+				i, err := strconv.Atoi(fields[1])
+				if err != nil {
+					fmt.Println("error:", err)
+					continue
+				}
+				sys.CrashProcessor(i)
+				fmt.Printf("processor %d crashed: its in-memory state is gone\n", i)
+			}
+			if *heartbeat > 0 {
+				fmt.Println("(the supervisor will restart the loop from the last checkpoint)")
+			} else {
+				fmt.Println("(unsupervised: run 'recover' to restart from the checkpoint)")
+			}
+		case "recover":
+			if sys.RecoverFromCheckpoint() {
+				fmt.Println("restarted from the last terminated iteration's checkpoint")
+			} else {
+				fmt.Println("nothing to do (a concurrent recovery already ran?)")
+			}
+		case "faults":
+			log := sys.RecoveryLog()
+			if len(log) == 0 {
+				fmt.Println("no failures recorded")
+			}
+			for _, ev := range log {
+				who := strconv.Itoa(ev.Proc)
+				switch ev.Proc {
+				case -1:
+					who = "master"
+				case -2:
+					who = "loop"
+				}
+				line := fmt.Sprintf("  %s  gen %d  %-10s %s", ev.Time.Format("15:04:05.000"), ev.Gen, ev.Kind, who)
+				if ev.Kind == "recovery" {
+					line += fmt.Sprintf("  resumed above iteration %d", ev.Resume)
+				}
+				if ev.Detail != "" {
+					line += "  (" + ev.Detail + ")"
+				}
+				fmt.Println(line)
+			}
+			if q := sys.Quarantined(); len(q) > 0 {
+				fmt.Printf("quarantined processors: %v\n", q)
 			}
 		case "trace":
 			if len(fields) != 2 {
@@ -175,7 +238,7 @@ func main() {
 			sys.Watch(tornado.VertexID(id))
 			fmt.Printf("watching vertex %d (all its protocol events are now traced)\n", id)
 		case "help":
-			fmt.Println("commands: add s d | remove s d | load n epv seed | query | merge | approx | stats | trace id | watch id | quit")
+			fmt.Println("commands: add s d | remove s d | load n epv seed | query | merge | approx | stats | trace id | watch id | crash i|master | recover | faults | quit")
 		case "quit", "exit":
 			return
 		default:

@@ -329,9 +329,9 @@ func runFailure(s Scale, kind string) (FailureReport, error) {
 			time.Sleep(time.Millisecond)
 		}
 		if kind == "master" {
-			e.KillMaster()
+			e.PauseMaster()
 		} else {
-			e.KillProcessor(1)
+			e.PauseProcessor(1)
 		}
 		atKill := e.StatsSnapshot().Commits
 		stop := time.Now().Add(downFor)
@@ -342,9 +342,9 @@ func runFailure(s Scale, kind string) (FailureReport, error) {
 		atRecover := e.StatsSnapshot().Commits
 		quiesced := e.Quiesced()
 		if kind == "master" {
-			e.RecoverMaster()
+			e.ResumeMaster()
 		} else {
-			e.RecoverProcessor(1)
+			e.ResumeProcessor(1)
 		}
 		if err := e.WaitQuiesce(5 * time.Minute); err != nil {
 			e.Stop()

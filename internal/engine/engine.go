@@ -60,6 +60,12 @@ type Config struct {
 	// ResendAfter enables at-least-once delivery with the given
 	// retransmission timeout (0 = trusted in-process channels).
 	ResendAfter time.Duration
+	// MaxResends caps transport retransmission attempts per frame; frames
+	// exceeding it are dead-lettered (visible as dead_letters in /metrics).
+	// 0 retries forever. Leave it 0 unless a supervisor is running: a
+	// dead-lettered frame to a live processor leaks its obligation token,
+	// which only a checkpoint recovery can reclaim.
+	MaxResends int
 	// CommitDelay, when non-nil, injects per-commit latency into a
 	// processor (straggler and I/O-cost modelling in the experiments).
 	CommitDelay func(proc int) time.Duration
@@ -78,6 +84,27 @@ type Config struct {
 	// short-lived to scrape, and per-query collector registration would
 	// dominate the fork fast path.
 	Obs *obs.Hub
+
+	// Supervision (main loops only; all zero = no supervisor).
+
+	// HeartbeatInterval makes every processor and the master send liveness
+	// beats to a supervisor at this interval; the supervisor restarts the
+	// loop from the last terminated-iteration checkpoint when beats stop.
+	// 0 disables supervision (crashes must be recovered manually with
+	// RecoverFromCheckpoint).
+	HeartbeatInterval time.Duration
+	// SuspectAfter is how many consecutive missed beats declare a node dead
+	// (default 3).
+	SuspectAfter int
+	// MaxRestarts is how many times one processor may crash within
+	// RestartWindow before it is quarantined and its partition reassigned
+	// to the survivors (default 5).
+	MaxRestarts int
+	// RestartWindow is the sliding window for MaxRestarts (default 1m).
+	RestartWindow time.Duration
+	// RestartBackoff is the base of the exponential restart backoff
+	// (default HeartbeatInterval).
+	RestartBackoff time.Duration
 
 	// Ablation switches (benchmarking only; both default off = optimized).
 
@@ -111,6 +138,20 @@ func (c *Config) validate() error {
 	if c.CompactEvery == 0 && c.Kind == MainLoop {
 		c.CompactEvery = 64
 	}
+	if c.HeartbeatInterval > 0 {
+		if c.SuspectAfter < 1 {
+			c.SuspectAfter = 3
+		}
+		if c.MaxRestarts < 1 {
+			c.MaxRestarts = 5
+		}
+		if c.RestartWindow <= 0 {
+			c.RestartWindow = time.Minute
+		}
+		if c.RestartBackoff <= 0 {
+			c.RestartBackoff = c.HeartbeatInterval
+		}
+	}
 	return nil
 }
 
@@ -141,26 +182,92 @@ type StatsSnapshot struct {
 	Commits, UpdateMsgs, PrepareMsgs, AckMsgs, InputMsgs int64
 	Emits                                                int64
 	TransportSent, TransportDelivered, TransportResent   int64
+	TransportDeadLetters                                 int64
 	Notified                                             int64
 	// Frontier is the smallest iteration still holding an obligation token.
 	Frontier int64
 	// PendingPrepares is the number of PREPARE messages awaiting their ACK.
 	PendingPrepares int64
+	// Crashes and Recoveries count injected crashes and completed
+	// checkpoint restarts; Quarantined is the number of processors removed
+	// from rotation after exceeding MaxRestarts.
+	Crashes, Recoveries, Quarantined int64
+	// Generation counts loop incarnations (0 = never recovered).
+	Generation int64
+}
+
+// incarnation is one generation of the loop's running topology: network,
+// tracker, processors and control endpoints. A crash recovery tears the
+// current incarnation down wholesale and builds the next one from the last
+// terminated-iteration checkpoint; everything durable (store, journal,
+// counters, Lamport clock) lives on the Engine and survives.
+type incarnation struct {
+	gen     int
+	net     *transport.Network
+	tracker *Tracker
+	procs   []*processor // nil entries are quarantined processors
+	masterE *transport.Endpoint
+	ingestE *transport.Endpoint
+	supE    *transport.Endpoint // heartbeat sink; nil when unsupervised
+	route   func(stream.VertexID) transport.NodeID
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	// ready is closed once the incarnation is fully bootstrapped (checkpoint
+	// re-activation and residual replay done). The supervisor waits for it
+	// before it starts judging heartbeats: the replay storm of a large
+	// recovery can starve the sender goroutines long enough to look like
+	// death, and suspecting during it livelocks recovery.
+	ready     chan struct{}
+	readyOnce sync.Once
+
+	masterCrashed atomic.Bool
+}
+
+func (inc *incarnation) stopNow() {
+	inc.stopOnce.Do(func() { close(inc.stop) })
+}
+
+func (inc *incarnation) markReady() {
+	inc.readyOnce.Do(func() { close(inc.ready) })
 }
 
 // Engine runs one loop (main or branch) of the iterative computation.
 type Engine struct {
-	cfg     Config
-	net     *transport.Network
-	tracker *Tracker
-	clock   lamport.Clock
-	procs   []*processor
-	masterE *transport.Endpoint
-	ingestE *transport.Endpoint
-	journal *inputJournal // main loops only
-	stats   Stats
-	start   time.Time
-	created time.Time
+	// genMu guards the current incarnation and the per-incarnation parts of
+	// cfg (Snapshot, StartIteration), plus the quarantine and restart
+	// bookkeeping. Processor goroutines never take it: they capture their
+	// incarnation's tracker/route/snapshot at construction, so a recovery
+	// holding the write lock can wait for them to drain without deadlock.
+	genMu       sync.RWMutex
+	cfg         Config
+	inc         *incarnation
+	quarantined map[int]struct{}
+	restartLog  map[int][]time.Time // per-processor restart times (-1 = master)
+	stopped     bool
+
+	clock    lamport.Clock
+	journal  *inputJournal // main loops only
+	stats    Stats
+	netStats *transport.Stats // shared across incarnations
+	start    time.Time
+	created  time.Time
+
+	// Supervision counters and event log.
+	crashes    metrics.Counter
+	recoveries metrics.Counter
+	recMu      sync.Mutex
+	recoveryLog []RecoveryEvent
+
+	// Fault injection (chaos schedules + transport faults, re-applied to
+	// every incarnation's network).
+	faultMu       sync.Mutex
+	faultDrop     float64
+	faultDup      float64
+	pendingFaults []Fault
+	watcherOn     bool
 
 	// Observability (nil / zero unless Config.Obs was set).
 	obsScope        *obs.Scope
@@ -169,6 +276,7 @@ type Engine struct {
 	pendingPrepares atomic.Int64
 	iterCommitsHist *obs.StreamHist
 	advanceGapHist  *obs.StreamHist
+	mttrHist        *obs.StreamHist
 	lastAdvance     time.Time // master goroutine only
 
 	iterMu   sync.Mutex
@@ -179,7 +287,7 @@ type Engine struct {
 	done         chan struct{}
 	doneOnce     sync.Once
 	stopOnce     sync.Once
-	wg           sync.WaitGroup
+	supWG        sync.WaitGroup
 	started      atomic.Bool
 
 	// pins holds the fork iterations of live branches; compaction never
@@ -202,31 +310,142 @@ func New(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		cfg:     cfg,
-		net:     transport.NewNetwork(transport.Options{ResendAfter: cfg.ResendAfter, DropSeed: cfg.Seed}),
-		tracker: NewTracker(cfg.StartIteration),
-		created: time.Now(),
-		done:    make(chan struct{}),
-		pins:    make(map[int64]int),
+		cfg:         cfg,
+		netStats:    &transport.Stats{},
+		quarantined: make(map[int]struct{}),
+		restartLog:  make(map[int][]time.Time),
+		created:     time.Now(),
+		done:        make(chan struct{}),
+		pins:        make(map[int64]int),
 	}
 	if cfg.Kind == MainLoop {
 		e.journal = newInputJournal()
 	}
 	if cfg.Obs != nil {
-		e.attachObs(cfg.Obs) // before the processors: they cache the tracer
+		e.tracer = cfg.Obs.Tracer // before the processors: they cache it
 	}
-	for i := 0; i < cfg.Processors; i++ {
-		ep := e.net.Register(transport.NodeID(i))
-		e.procs = append(e.procs, newProcessor(i, e, ep))
+	e.inc = e.buildIncarnation(0)
+	if cfg.Obs != nil {
+		e.attachObs(cfg.Obs)
 	}
-	e.masterE = e.net.Register(transport.NodeID(cfg.Processors))
-	e.ingestE = e.net.Register(transport.NodeID(cfg.Processors + 1))
 	return e, nil
 }
 
-// procNode maps a vertex to its owning processor's transport node.
-func (e *Engine) procNode(id stream.VertexID) transport.NodeID {
-	return transport.NodeID(e.cfg.Partition(id, e.cfg.Processors))
+// supervised reports whether this engine runs a heartbeat supervisor.
+func (e *Engine) supervised() bool {
+	return e.cfg.Kind == MainLoop && e.cfg.HeartbeatInterval > 0
+}
+
+// buildIncarnation assembles generation gen's topology from the engine's
+// current configuration and quarantine set. Caller holds genMu (or is New).
+func (e *Engine) buildIncarnation(gen int) *incarnation {
+	inc := &incarnation{gen: gen, stop: make(chan struct{}), ready: make(chan struct{})}
+	inc.net = transport.NewNetwork(transport.Options{
+		ResendAfter: e.cfg.ResendAfter,
+		MaxResends:  e.cfg.MaxResends,
+		DropSeed:    e.cfg.Seed,
+		Stats:       e.netStats,
+	})
+	e.faultMu.Lock()
+	if e.faultDrop > 0 || e.faultDup > 0 {
+		inc.net.SetFaults(e.faultDrop, e.faultDup)
+	}
+	e.faultMu.Unlock()
+	inc.tracker = NewTracker(e.cfg.StartIteration)
+	inc.route = e.routeFn()
+	inc.procs = make([]*processor, e.cfg.Processors)
+	for i := 0; i < e.cfg.Processors; i++ {
+		if _, q := e.quarantined[i]; q {
+			continue
+		}
+		ep := inc.net.Register(transport.NodeID(i))
+		inc.procs[i] = newProcessor(i, e, ep, inc.tracker, e.cfg.Snapshot, inc.route, e.cfg.StartIteration)
+	}
+	inc.masterE = inc.net.Register(transport.NodeID(e.cfg.Processors))
+	inc.ingestE = inc.net.Register(transport.NodeID(e.cfg.Processors + 1))
+	if e.supervised() {
+		inc.supE = inc.net.Register(transport.NodeID(e.cfg.Processors + 2))
+	}
+	return inc
+}
+
+// routeFn builds the effective vertex→node mapping: the configured partition
+// with quarantined processors remapped onto the survivors. Caller holds genMu
+// (or is New).
+func (e *Engine) routeFn() func(stream.VertexID) transport.NodeID {
+	base, n := e.cfg.Partition, e.cfg.Processors
+	if len(e.quarantined) == 0 {
+		return func(id stream.VertexID) transport.NodeID {
+			return transport.NodeID(base(id, n))
+		}
+	}
+	bad := make(map[int]struct{}, len(e.quarantined))
+	for i := range e.quarantined {
+		bad[i] = struct{}{}
+	}
+	var survivors []int
+	for i := 0; i < n; i++ {
+		if _, q := bad[i]; !q {
+			survivors = append(survivors, i)
+		}
+	}
+	return func(id stream.VertexID) transport.NodeID {
+		p := base(id, n)
+		if _, q := bad[p]; q {
+			p = survivors[int(uint64(id)%uint64(len(survivors)))]
+		}
+		return transport.NodeID(p)
+	}
+}
+
+// startIncarnation launches an incarnation's goroutines: processors, master,
+// and (when supervised) heartbeat senders plus the supervisor.
+func (e *Engine) startIncarnation(inc *incarnation) {
+	for _, p := range inc.procs {
+		if p == nil {
+			continue
+		}
+		inc.wg.Add(1)
+		go func(p *processor) {
+			defer inc.wg.Done()
+			p.run()
+		}(p)
+	}
+	inc.wg.Add(1)
+	go func() {
+		defer inc.wg.Done()
+		e.masterRun(inc)
+	}()
+	if e.supervised() && inc.supE != nil {
+		for i, p := range inc.procs {
+			if p == nil {
+				continue
+			}
+			inc.wg.Add(1)
+			go e.heartbeatRun(inc, i, p.ep)
+		}
+		inc.wg.Add(1)
+		go e.heartbeatRun(inc, -1, inc.masterE)
+		e.supWG.Add(1)
+		go e.superviseRun(inc)
+	}
+}
+
+// cur returns the current incarnation (a snapshot: a recovery may replace it
+// at any time; stale incarnations stay safe to poke, their tracker and
+// endpoints are simply inert).
+func (e *Engine) cur() *incarnation {
+	e.genMu.RLock()
+	defer e.genMu.RUnlock()
+	return e.inc
+}
+
+// snapshot returns the engine's current snapshot source (recovery rewrites
+// it).
+func (e *Engine) snapshot() *SnapshotSource {
+	e.genMu.RLock()
+	defer e.genMu.RUnlock()
+	return e.cfg.Snapshot
 }
 
 // Start launches the processors and the master. It may be called once.
@@ -235,24 +454,26 @@ func (e *Engine) Start() {
 		panic("engine: Start called twice")
 	}
 	e.start = time.Now()
-	for _, p := range e.procs {
-		e.wg.Add(1)
-		go p.run()
-	}
-	e.wg.Add(1)
-	go e.masterRun()
+	inc := e.cur()
+	e.startIncarnation(inc)
+	inc.markReady()
 }
 
 // Ingest routes one external tuple into the loop. It acquires the input's
 // obligation token before returning, so a subsequent WaitQuiesce cannot miss
-// the pending work.
+// the pending work. Holding the incarnation read lock across the acquire and
+// the send keeps the input atomic with respect to recovery: either it lands
+// in the old incarnation (and the journal replays it) or in the new one.
 func (e *Engine) Ingest(t stream.Tuple) {
-	tok := e.tracker.AcquireFloor(0)
+	e.genMu.RLock()
+	defer e.genMu.RUnlock()
+	inc := e.inc
+	tok := inc.tracker.AcquireFloor(0)
 	m := msgInput{Tuple: t, Token: tok}
 	if e.journal != nil {
 		m.JSeq, m.HasJSeq = e.journal.Ingested(t), true
 	}
-	e.ingestE.Send(e.procNode(routeVertex(t)), m)
+	inc.ingestE.Send(inc.route(routeVertex(t)), m)
 }
 
 // IngestAll ingests a tuple slice in order.
@@ -266,26 +487,40 @@ func (e *Engine) IngestAll(ts []stream.Tuple) {
 // current state. Branch loops are seeded this way; recovery re-activates
 // snapshot vertices.
 func (e *Engine) Activate(ids ...stream.VertexID) {
+	e.genMu.RLock()
+	defer e.genMu.RUnlock()
+	inc := e.inc
 	for _, id := range ids {
-		tok := e.tracker.AcquireFloor(0)
-		e.ingestE.Send(e.procNode(id), msgActivate{To: id, Token: tok})
+		tok := inc.tracker.AcquireFloor(0)
+		inc.ingestE.Send(inc.route(id), msgActivate{To: id, Token: tok})
 	}
 }
 
-// masterRun is the master node: it advances the iteration frontier, flushes
-// checkpoints, publishes termination notifications, records statistics, and
-// detects convergence.
-func (e *Engine) masterRun() {
-	defer e.wg.Done()
+// masterRun is the master node of one incarnation: it advances the iteration
+// frontier, flushes checkpoints, publishes termination notifications, records
+// statistics, and detects convergence. A crashed master (CrashMaster) simply
+// exits; the supervisor notices the missing beats and restarts the loop.
+func (e *Engine) masterRun(inc *incarnation) {
 	for {
-		// A killed master (Figure 8c) stops advancing the frontier; the
+		// A paused master (Figure 8c) stops advancing the frontier; the
 		// tracker keeps accumulating and the announcement happens wholesale
-		// after recovery.
+		// after it resumes.
 		for e.masterPaused.Load() {
-			time.Sleep(time.Millisecond)
+			select {
+			case <-inc.stop:
+				return
+			default:
+				time.Sleep(time.Millisecond)
+			}
 		}
-		from, to, quiesced, ok := e.tracker.Advance()
+		if inc.masterCrashed.Load() {
+			return
+		}
+		from, to, quiesced, ok := inc.tracker.Advance()
 		if !ok {
+			return
+		}
+		if inc.masterCrashed.Load() {
 			return
 		}
 		if to >= from {
@@ -298,7 +533,7 @@ func (e *Engine) masterRun() {
 			halt := false
 			e.iterMu.Lock()
 			for k := from; k <= to; k++ {
-				commits, progress := e.tracker.IterStats(k)
+				commits, progress := inc.tracker.IterStats(k)
 				e.iterLog = append(e.iterLog, IterationRecord{Iteration: k, At: at, Commits: commits, Progress: progress})
 				if e.iterCommitsHist != nil {
 					e.iterCommitsHist.Observe(float64(commits))
@@ -309,7 +544,7 @@ func (e *Engine) masterRun() {
 			}
 			e.iterMu.Unlock()
 			e.observeAdvance(to)
-			e.tracker.DropStatsThrough(to)
+			inc.tracker.DropStatsThrough(to)
 			if e.journal != nil && !e.cfg.DisableJournalPrune {
 				e.journal.Prune(to)
 			}
@@ -318,18 +553,18 @@ func (e *Engine) masterRun() {
 					panic(fmt.Sprintf("engine: compact store: %v", err))
 				}
 			}
-			e.broadcast(msgFrontier{Notified: to})
+			e.broadcast(inc, msgFrontier{Notified: to})
 			if e.cfg.MaxIterations > 0 && to+1 >= e.cfg.MaxIterations {
 				halt = true
 			}
 			if halt {
-				e.halt()
+				e.halt(inc)
 				return
 			}
 		}
 		if quiesced && e.cfg.Kind == BranchLoop {
 			// Frozen input and no obligations left: the branch converged.
-			e.halt()
+			e.halt(inc)
 			return
 		}
 	}
@@ -351,20 +586,23 @@ func (e *Engine) observeAdvance(to int64) {
 	}
 }
 
-// broadcast sends a control message to every processor.
-func (e *Engine) broadcast(payload any) {
-	for i := range e.procs {
-		e.masterE.Send(transport.NodeID(i), payload)
+// broadcast sends a control message to every live processor.
+func (e *Engine) broadcast(inc *incarnation, payload any) {
+	for i, p := range inc.procs {
+		if p == nil {
+			continue
+		}
+		inc.masterE.Send(transport.NodeID(i), payload)
 	}
 }
 
 // halt stops the processors and signals completion.
-func (e *Engine) halt() {
+func (e *Engine) halt(inc *incarnation) {
 	e.iterMu.Lock()
 	if !e.haltSent {
 		e.haltSent = true
 		e.iterMu.Unlock()
-		e.broadcast(msgHalt{})
+		e.broadcast(inc, msgHalt{})
 	} else {
 		e.iterMu.Unlock()
 	}
@@ -388,11 +626,13 @@ func (e *Engine) WaitDone(timeout time.Duration) error {
 // WaitQuiesce blocks until no obligations remain (all ingested inputs fully
 // processed and propagated) or the timeout expires. It is the main loop's
 // synchronization point for tests and fork call sites that want exact
-// results.
+// results. It follows the live incarnation: tokens lost in a crash pin the
+// old tracker forever, so quiescence is only ever reached by the incarnation
+// that finishes the work.
 func (e *Engine) WaitQuiesce(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
-		if e.tracker.Quiesced() {
+		if e.cur().tracker.Quiesced() {
 			return nil
 		}
 		if time.Now().After(deadline) {
@@ -408,7 +648,7 @@ func (e *Engine) WaitQuiesce(timeout time.Duration) error {
 func (e *Engine) WaitSettled(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
-		if e.tracker.Settled() {
+		if e.cur().tracker.Settled() {
 			return nil
 		}
 		if time.Now().After(deadline) {
@@ -422,11 +662,22 @@ func (e *Engine) WaitSettled(timeout time.Duration) error {
 // completed engine.
 func (e *Engine) Stop() {
 	e.stopOnce.Do(func() {
-		e.tracker.Close()
-		e.broadcast(msgHalt{})
+		e.genMu.Lock()
+		e.stopped = true
+		inc := e.inc
+		e.genMu.Unlock()
+		inc.stopNow()
+		inc.tracker.Close()
+		e.broadcast(inc, msgHalt{})
 		e.doneOnce.Do(func() { close(e.done) })
-		e.net.Close()
-		e.wg.Wait()
+		for _, p := range inc.procs {
+			if p != nil {
+				p.setPaused(false) // a paused goroutine must wake to exit
+			}
+		}
+		inc.net.Close()
+		inc.wg.Wait()
+		e.supWG.Wait()
 		if e.obsDetach != nil {
 			e.obsDetach() // unregister per-loop series and status section
 		}
@@ -466,26 +717,43 @@ func (e *Engine) compactFloor(to int64) int64 {
 }
 
 // Notified returns the highest terminated iteration.
-func (e *Engine) Notified() int64 { return e.tracker.Notified() }
+func (e *Engine) Notified() int64 { return e.cur().tracker.Notified() }
 
 // Quiesced reports whether the loop currently has no pending obligations.
-func (e *Engine) Quiesced() bool { return e.tracker.Quiesced() }
+func (e *Engine) Quiesced() bool { return e.cur().tracker.Quiesced() }
+
+// Generation returns the loop's incarnation number (0 = never recovered).
+func (e *Engine) Generation() int {
+	e.genMu.RLock()
+	defer e.genMu.RUnlock()
+	return e.inc.gen
+}
 
 // StatsSnapshot returns a copy of the live counters.
 func (e *Engine) StatsSnapshot() StatsSnapshot {
+	e.genMu.RLock()
+	tracker := e.inc.tracker
+	gen := e.inc.gen
+	quarantined := len(e.quarantined)
+	e.genMu.RUnlock()
 	return StatsSnapshot{
-		Commits:            e.stats.Commits.Value(),
-		UpdateMsgs:         e.stats.UpdateMsgs.Value(),
-		PrepareMsgs:        e.stats.PrepareMsgs.Value(),
-		AckMsgs:            e.stats.AckMsgs.Value(),
-		InputMsgs:          e.stats.InputMsgs.Value(),
-		Emits:              e.stats.Emits.Value(),
-		TransportSent:      e.net.Sent.Value(),
-		TransportDelivered: e.net.Delivered.Value(),
-		TransportResent:    e.net.Resent.Value(),
-		Notified:           e.tracker.Notified(),
-		Frontier:           e.tracker.Frontier(),
-		PendingPrepares:    e.pendingPrepares.Load(),
+		Commits:              e.stats.Commits.Value(),
+		UpdateMsgs:           e.stats.UpdateMsgs.Value(),
+		PrepareMsgs:          e.stats.PrepareMsgs.Value(),
+		AckMsgs:              e.stats.AckMsgs.Value(),
+		InputMsgs:            e.stats.InputMsgs.Value(),
+		Emits:                e.stats.Emits.Value(),
+		TransportSent:        e.netStats.Sent.Value(),
+		TransportDelivered:   e.netStats.Delivered.Value(),
+		TransportResent:      e.netStats.Resent.Value(),
+		TransportDeadLetters: e.netStats.DeadLetters.Value(),
+		Notified:             tracker.Notified(),
+		Frontier:             tracker.Frontier(),
+		PendingPrepares:      e.pendingPrepares.Load(),
+		Crashes:              e.crashes.Value(),
+		Recoveries:           e.recoveries.Value(),
+		Quarantined:          int64(quarantined),
+		Generation:           int64(gen),
 	}
 }
 
@@ -505,8 +773,8 @@ func (e *Engine) IterationLog() []IterationRecord {
 // snapshot overlaid with its own commits.
 func (e *Engine) ReadState(id stream.VertexID, maxIter int64) (any, int64, error) {
 	data, iter, err := e.cfg.Store.Latest(e.cfg.LoopID, id, maxIter)
-	if errors.Is(err, storage.ErrNotFound) && e.cfg.Snapshot != nil {
-		data, iter, err = e.cfg.Store.Latest(e.cfg.Snapshot.Loop, id, e.cfg.Snapshot.UpTo)
+	if snap := e.snapshot(); errors.Is(err, storage.ErrNotFound) && snap != nil {
+		data, iter, err = e.cfg.Store.Latest(snap.Loop, id, snap.UpTo)
 	}
 	if err != nil {
 		return nil, 0, err
@@ -538,7 +806,7 @@ func (e *Engine) ScanStates(maxIter int64, fn func(id stream.VertexID, iter int6
 		return err
 	}
 	merged := make([]storage.Record, 0, len(own))
-	if snap := e.cfg.Snapshot; snap != nil {
+	if snap := e.snapshot(); snap != nil {
 		if err := e.cfg.Store.Scan(snap.Loop, snap.UpTo, func(r storage.Record) error {
 			if _, overlaid := own[r.Vertex]; !overlaid {
 				merged = append(merged, r)
@@ -582,14 +850,25 @@ type ForkSpec struct {
 // running; terminated iterations are immutable, which is what makes the
 // snapshot consistent without a pause.
 func (e *Engine) Fork() ForkSpec {
+	e.genMu.RLock()
+	defer e.genMu.RUnlock()
+	return e.forkLocked()
+}
+
+// forkLocked captures the fork spec; caller holds genMu.
+func (e *Engine) forkLocked() ForkSpec {
+	inc := e.inc
 	// Quiescence is sampled before the scans: if nothing was pending at
 	// this point, any activity the scans pick up afterwards stems from
 	// post-fork inputs, which the fork instant may legitimately exclude.
-	quiesced := e.tracker.Quiesced()
-	forkIter := e.tracker.Notified()
+	quiesced := inc.tracker.Quiesced()
+	forkIter := inc.tracker.Notified()
 	seedSet := make(map[stream.VertexID]struct{})
 	above := false
-	for _, p := range e.procs {
+	for _, p := range inc.procs {
+		if p == nil {
+			continue
+		}
 		for _, id := range p.forkScan(forkIter) {
 			seedSet[id] = struct{}{}
 		}
@@ -622,9 +901,13 @@ func (e *Engine) JournalSize() (int, int) {
 
 // InjectTransportFaults makes the engine's transport drop and duplicate
 // data frames with the given probabilities (fault-tolerance experiments;
-// requires ResendAfter > 0 or dropped work is lost forever).
+// requires ResendAfter > 0 or dropped work is lost forever). The rates are
+// remembered and re-applied to every incarnation a recovery builds.
 func (e *Engine) InjectTransportFaults(drop, dup float64) {
-	e.net.SetFaults(drop, dup)
+	e.faultMu.Lock()
+	e.faultDrop, e.faultDup = drop, dup
+	e.faultMu.Unlock()
+	e.cur().net.SetFaults(drop, dup)
 }
 
 // ForkBranch forks a branch loop from the current frontier (Section 5.2):
@@ -642,15 +925,20 @@ func (e *Engine) ForkBranch(branchLoop storage.LoopID, override func(*Config), s
 	// drop versions between the snapshot decision and the pin. The pinned
 	// iteration is at most the spec's fork iteration (the frontier only
 	// advances), which keeps the pin conservative and safe.
-	pin := e.pinFork(e.tracker.Notified())
+	e.genMu.RLock()
+	pin := e.pinFork(e.inc.tracker.Notified())
 	forkSeq := e.journalSeq() // before the spec: conservative for merges
-	spec := e.Fork()
+	spec := e.forkLocked()
 	cfg := e.cfg
+	e.genMu.RUnlock()
+	// Chaos schedules may target the fork instant (crash mid-branch-fork).
+	e.fireForkFaults()
 	cfg.Kind = BranchLoop
 	cfg.LoopID = branchLoop
 	cfg.Snapshot = &SnapshotSource{Loop: e.cfg.LoopID, UpTo: spec.ForkIter}
 	cfg.Converge = nil
 	cfg.MaxIterations = 0
+	cfg.StartIteration = 0
 	if override != nil {
 		override(&cfg)
 	}
@@ -681,9 +969,10 @@ func (e *Engine) ForkBranch(branchLoop storage.LoopID, override func(*Config), s
 // considered quiescent (and a branch loop from converging) until the
 // returned release function is called. Use it to bracket multi-step seeding.
 func (e *Engine) HoldQuiesce() (release func()) {
-	tok := e.tracker.AcquireFloor(0)
+	tracker := e.cur().tracker
+	tok := tracker.AcquireFloor(0)
 	var once sync.Once
-	return func() { once.Do(func() { e.tracker.Release(tok) }) }
+	return func() { once.Do(func() { tracker.Release(tok) }) }
 }
 
 // ActivateStored re-activates every vertex present in the engine's snapshot
@@ -691,7 +980,7 @@ func (e *Engine) HoldQuiesce() (release func()) {
 // iteration, all vertices re-scatter so any work lost in the crash is
 // recomputed).
 func (e *Engine) ActivateStored() error {
-	snap := e.cfg.Snapshot
+	snap := e.snapshot()
 	if snap == nil {
 		return errors.New("engine: ActivateStored requires a snapshot source")
 	}
@@ -716,9 +1005,9 @@ func Reshard(e *Engine, newProcs int, newPartition func(stream.VertexID, int) in
 	if err := e.WaitSettled(settleTimeout); err != nil {
 		return nil, err
 	}
-	resume := e.tracker.Notified()
+	resume := e.Notified()
 	e.Stop()
-	cfg := e.cfg
+	cfg := e.Config()
 	cfg.Processors = newProcs
 	if newPartition != nil {
 		cfg.Partition = newPartition
@@ -734,10 +1023,16 @@ func Reshard(e *Engine, newProcs int, newPartition func(stream.VertexID, int) in
 }
 
 // LoadStats returns the number of vertices each processor currently hosts,
-// the signal the paper's master uses to decide when to rebalance.
+// the signal the paper's master uses to decide when to rebalance
+// (quarantined processors report zero).
 func (e *Engine) LoadStats() []int {
-	out := make([]int, len(e.procs))
-	for i, p := range e.procs {
+	e.genMu.RLock()
+	defer e.genMu.RUnlock()
+	out := make([]int, len(e.inc.procs))
+	for i, p := range e.inc.procs {
+		if p == nil {
+			continue
+		}
 		p.shareMu.Lock()
 		out[i] = len(p.commitLog)
 		p.shareMu.Unlock()
@@ -745,21 +1040,68 @@ func (e *Engine) LoadStats() []int {
 	return out
 }
 
-// KillProcessor pauses processor i (Figure 8d's fault injection): its
-// partition stops updating while messages to it accumulate, exactly like a
-// crashed worker whose unacknowledged traffic is retransmitted on recovery.
-func (e *Engine) KillProcessor(i int) { e.procs[i].setPaused(true) }
+// PauseProcessor pauses processor i (Figure 8d's fault injection as a
+// network partition): its partition stops updating while messages to it
+// accumulate, and all in-memory state survives. Use CrashProcessor for true
+// crash semantics.
+func (e *Engine) PauseProcessor(i int) {
+	if p := e.proc(i); p != nil {
+		p.setPaused(true)
+	}
+}
+
+// ResumeProcessor resumes a paused processor.
+func (e *Engine) ResumeProcessor(i int) {
+	if p := e.proc(i); p != nil {
+		p.setPaused(false)
+	}
+}
+
+// PauseMaster pauses the master (Figure 8c): termination notifications stop,
+// so synchronous loops stall immediately and bounded-asynchronous loops run
+// until the delay bound is exhausted. State survives; use CrashMaster for
+// true crash semantics.
+func (e *Engine) PauseMaster() { e.masterPaused.Store(true) }
+
+// ResumeMaster resumes a paused master.
+func (e *Engine) ResumeMaster() { e.masterPaused.Store(false) }
+
+// KillProcessor pauses processor i.
+//
+// Deprecated: the historical name is misleading — it pauses (state
+// survives). Use PauseProcessor, or CrashProcessor for a real crash.
+func (e *Engine) KillProcessor(i int) { e.PauseProcessor(i) }
 
 // RecoverProcessor resumes processor i.
-func (e *Engine) RecoverProcessor(i int) { e.procs[i].setPaused(false) }
+//
+// Deprecated: use ResumeProcessor (recovery from real crashes is
+// RecoverFromCheckpoint or the supervisor).
+func (e *Engine) RecoverProcessor(i int) { e.ResumeProcessor(i) }
 
-// KillMaster pauses the master (Figure 8c): termination notifications stop,
-// so synchronous loops stall immediately and bounded-asynchronous loops run
-// until the delay bound is exhausted.
-func (e *Engine) KillMaster() { e.masterPaused.Store(true) }
+// KillMaster pauses the master.
+//
+// Deprecated: use PauseMaster, or CrashMaster for a real crash.
+func (e *Engine) KillMaster() { e.PauseMaster() }
 
 // RecoverMaster resumes the master.
-func (e *Engine) RecoverMaster() { e.masterPaused.Store(false) }
+//
+// Deprecated: use ResumeMaster.
+func (e *Engine) RecoverMaster() { e.ResumeMaster() }
+
+// proc returns processor i of the current incarnation (nil when out of range
+// or quarantined).
+func (e *Engine) proc(i int) *processor {
+	e.genMu.RLock()
+	defer e.genMu.RUnlock()
+	if i < 0 || i >= len(e.inc.procs) {
+		return nil
+	}
+	return e.inc.procs[i]
+}
 
 // Config returns a copy of the engine's configuration.
-func (e *Engine) Config() Config { return e.cfg }
+func (e *Engine) Config() Config {
+	e.genMu.RLock()
+	defer e.genMu.RUnlock()
+	return e.cfg
+}

@@ -375,7 +375,7 @@ func TestMasterKillStallsSyncLoop(t *testing.T) {
 	defer e.Stop()
 	e.IngestAll(tuples)
 	time.Sleep(20 * time.Millisecond)
-	e.KillMaster()
+	e.PauseMaster()
 	// Let the in-flight work settle: wait until the commit counter has been
 	// stable for a while (fixed sleeps flake under -race scheduling).
 	deadline := time.Now().Add(5 * time.Second)
@@ -394,7 +394,7 @@ func TestMasterKillStallsSyncLoop(t *testing.T) {
 	if after != before {
 		t.Fatalf("synchronous loop kept committing (%d -> %d) with the master dead", before, after)
 	}
-	e.RecoverMaster()
+	e.ResumeMaster()
 	if err := e.WaitQuiesce(waitFor); err != nil {
 		t.Fatal(err)
 	}
@@ -409,7 +409,7 @@ func TestMasterKillDoesNotStallUnboundedLoop(t *testing.T) {
 	e := newSSSPEngine(t, 2, 1<<40, storage.NewMemStore(), storage.MainLoop)
 	e.Start()
 	defer e.Stop()
-	e.KillMaster() // dead from the start: termination detection never runs
+	e.PauseMaster() // dead from the start: termination detection never runs
 	e.IngestAll(tuples)
 	deadline := time.Now().Add(waitFor)
 	// The full cascade must complete purely on consumer-driven iteration
@@ -420,7 +420,7 @@ func TestMasterKillDoesNotStallUnboundedLoop(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	e.RecoverMaster()
+	e.ResumeMaster()
 	if err := e.WaitQuiesce(waitFor); err != nil {
 		t.Fatal(err)
 	}
@@ -432,12 +432,12 @@ func TestProcessorKillStallsAndRecovers(t *testing.T) {
 	e := newSSSPEngine(t, 4, 16, storage.NewMemStore(), storage.MainLoop)
 	e.Start()
 	defer e.Stop()
-	e.KillProcessor(2)
+	e.PauseProcessor(2)
 	e.IngestAll(tuples)
 	if err := e.WaitQuiesce(300 * time.Millisecond); err == nil {
 		t.Fatal("loop quiesced with a dead processor owning a quarter of the vertices")
 	}
-	e.RecoverProcessor(2)
+	e.ResumeProcessor(2)
 	if err := e.WaitQuiesce(waitFor); err != nil {
 		t.Fatal(err)
 	}

@@ -154,13 +154,13 @@ func TestRepeatedKillRecoverCycles(t *testing.T) {
 		e.IngestAll(tuples[lo:hi])
 		switch i % 3 {
 		case 0:
-			e.KillProcessor(i % 4)
+			e.PauseProcessor(i % 4)
 			time.Sleep(2 * time.Millisecond)
-			e.RecoverProcessor(i % 4)
+			e.ResumeProcessor(i % 4)
 		case 1:
-			e.KillMaster()
+			e.PauseMaster()
 			time.Sleep(2 * time.Millisecond)
-			e.RecoverMaster()
+			e.ResumeMaster()
 		}
 	}
 	if err := e.WaitQuiesce(waitFor); err != nil {

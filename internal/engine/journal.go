@@ -118,6 +118,39 @@ func (j *inputJournal) Prune(k int64) {
 	j.mu.Unlock()
 }
 
+// RecoverResidual extracts, in ingest order, every input whose effect is not
+// covered by the checkpoint at resume: all in-flight and applied entries
+// (their tokens died with the crashed incarnation) plus inputs committed
+// above resume (those versions are truncated before the restart). The
+// extracted entries are removed — the recovered incarnation re-ingests them,
+// which journals them afresh. Inputs committed at or below resume stay
+// retained for future forks.
+func (j *inputJournal) RecoverResidual(resume int64) []stream.Tuple {
+	j.mu.Lock()
+	var picked []journalEntry
+	for _, e := range j.entries {
+		picked = append(picked, *e)
+	}
+	j.entries = make(map[uint64]*journalEntry)
+	j.byVertex = make(map[stream.VertexID][]uint64)
+	kept := j.committed[:0]
+	for _, e := range j.committed {
+		if e.iter > resume {
+			picked = append(picked, e)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	j.committed = kept
+	j.mu.Unlock()
+	sort.Slice(picked, func(a, b int) bool { return picked[a].seq < picked[b].seq })
+	out := make([]stream.Tuple, len(picked))
+	for i, e := range picked {
+		out[i] = e.tuple
+	}
+	return out
+}
+
 // Size returns (uncommitted, committed-retained) entry counts.
 func (j *inputJournal) Size() (int, int) {
 	j.mu.Lock()

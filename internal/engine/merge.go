@@ -44,7 +44,13 @@ func (e *Engine) AdoptBranch(br *Engine) error {
 	default:
 		return errors.New("engine: branch has not converged")
 	}
-	if !e.tracker.Settled() {
+	// Snapshot the incarnation once: if a crash recovery replaces it while
+	// the merge is in flight, the adoptions land on dead endpoints and the
+	// post-merge quiescence check runs against the new incarnation, which has
+	// recomputed its pre-merge state — the merge simply degrades to a no-op
+	// or a conflict, never to corruption.
+	inc := e.cur()
+	if !inc.tracker.Settled() {
 		return fmt.Errorf("%w: loop not quiescent at merge start", ErrMergeConflict)
 	}
 	// The merge is valid only if no inputs arrived since the FORK (not just
@@ -55,7 +61,7 @@ func (e *Engine) AdoptBranch(br *Engine) error {
 		return ErrMergeConflict
 	}
 
-	mergeIter := e.tracker.Notified() + e.cfg.DelayBound
+	mergeIter := inc.tracker.Notified() + e.cfg.DelayBound
 	release := e.HoldQuiesce()
 	defer release()
 
@@ -79,8 +85,8 @@ func (e *Engine) AdoptBranch(br *Engine) error {
 		return ErrMergeConflict
 	}
 	for _, a := range adoptions {
-		tok := e.tracker.AcquireFloor(mergeIter)
-		e.ingestE.Send(e.procNode(a.id), msgAdopt{
+		tok := inc.tracker.AcquireFloor(mergeIter)
+		inc.ingestE.Send(inc.route(a.id), msgAdopt{
 			To: a.id, State: a.state, Targets: a.targets, TargetClock: a.clock,
 			Iteration: mergeIter, Token: tok,
 		})
@@ -122,8 +128,8 @@ func (e *Engine) scanBlobs(maxIter int64, fn func(id stream.VertexID, blob verte
 // snapshot source like ReadState.
 func (e *Engine) readBlob(id stream.VertexID, maxIter int64) (vertexBlob, error) {
 	data, _, err := e.cfg.Store.Latest(e.cfg.LoopID, id, maxIter)
-	if err != nil && e.cfg.Snapshot != nil {
-		data, _, err = e.cfg.Store.Latest(e.cfg.Snapshot.Loop, id, e.cfg.Snapshot.UpTo)
+	if snap := e.snapshot(); err != nil && snap != nil {
+		data, _, err = e.cfg.Store.Latest(snap.Loop, id, snap.UpTo)
 	}
 	if err != nil {
 		return vertexBlob{}, err
@@ -170,11 +176,11 @@ func (p *processor) handleAdopt(m msgAdopt) {
 		if err := p.eng.cfg.Store.Put(p.eng.cfg.LoopID, v.id, m.Iteration, data); err != nil {
 			panic(fmt.Sprintf("engine: persist merged vertex %d: %v", v.id, err))
 		}
-		p.eng.tracker.RecordCommit(m.Iteration, 0)
+		p.tk.RecordCommit(m.Iteration, 0)
 		p.eng.stats.Commits.Inc()
 		p.shareMu.Lock()
 		p.commitLog[v.id] = m.Iteration
 		p.shareMu.Unlock()
 	}
-	p.eng.tracker.Release(m.Token)
+	p.tk.Release(m.Token)
 }

@@ -48,30 +48,47 @@ func (e *Engine) attachObs(hub *obs.Hub) {
 		"Values emitted by program Scatter calls.", &e.stats.Emits)
 
 	sc.RegisterCounter("tornado_transport_sent_total",
-		"Frames accepted for transmission, including resends and duplicates.", &e.net.Sent)
+		"Frames accepted for transmission, including resends and duplicates.", &e.netStats.Sent)
 	sc.RegisterCounter("tornado_transport_delivered_total",
-		"Frames handed to live receivers after deduplication.", &e.net.Delivered)
+		"Frames handed to live receivers after deduplication.", &e.netStats.Delivered)
 	sc.RegisterCounter("tornado_transport_resent_total",
-		"Frames retransmitted after the at-least-once ack timeout.", &e.net.Resent)
+		"Frames retransmitted after the at-least-once ack timeout.", &e.netStats.Resent)
 	sc.RegisterCounter("tornado_transport_ack_frames_total",
-		"Acknowledgement frames sent by receivers.", &e.net.AckFrames)
+		"Acknowledgement frames sent by receivers.", &e.netStats.AckFrames)
 	sc.RegisterCounter("tornado_transport_dropped_total",
-		"Data frames dropped in flight by fault injection.", &e.net.Dropped)
+		"Data frames dropped in flight by fault injection.", &e.netStats.Dropped)
 	sc.RegisterCounter("tornado_transport_duplicated_total",
-		"Data frames duplicated in flight by fault injection.", &e.net.Duplicated)
+		"Data frames duplicated in flight by fault injection.", &e.netStats.Duplicated)
+	sc.RegisterCounter("tornado_transport_dead_letters_total",
+		"Frames abandoned after exhausting the retransmission budget.", &e.netStats.DeadLetters)
+
+	sc.RegisterCounter("tornado_crashes_total",
+		"Processor and master crashes injected (API or fault plan).", &e.crashes)
+	sc.RegisterCounter("tornado_recoveries_total",
+		"Completed checkpoint restarts (supervisor-driven or manual).", &e.recoveries)
+	sc.GaugeFunc("tornado_quarantined_processors",
+		"Processors removed from rotation after exceeding the restart budget.",
+		func() float64 {
+			e.genMu.RLock()
+			defer e.genMu.RUnlock()
+			return float64(len(e.quarantined))
+		})
+	sc.GaugeFunc("tornado_incarnation_generation",
+		"Loop incarnation number (0 = never recovered).",
+		func() float64 { return float64(e.Generation()) })
 
 	sc.GaugeFunc("tornado_frontier_iteration",
 		"Smallest iteration still holding an obligation token (progress frontier).",
-		func() float64 { return float64(e.tracker.Frontier()) })
+		func() float64 { return float64(e.cur().tracker.Frontier()) })
 	sc.GaugeFunc("tornado_notified_iteration",
 		"Highest iteration announced terminated by the master.",
-		func() float64 { return float64(e.tracker.Notified()) })
+		func() float64 { return float64(e.cur().tracker.Notified()) })
 	sc.GaugeFunc("tornado_frontier_lag_iterations",
 		"Distance between the frontier and the highest iteration that ever held a token; compare against the delay bound B when tuning bounded asynchrony.",
-		func() float64 { return float64(e.tracker.FrontierLag()) })
+		func() float64 { return float64(e.cur().tracker.FrontierLag()) })
 	sc.GaugeFunc("tornado_obligations",
 		"Outstanding obligation tokens: in-flight inputs, dirty vertices and undelivered updates.",
-		func() float64 { return float64(e.tracker.TokenCount()) })
+		func() float64 { return float64(e.cur().tracker.TokenCount()) })
 	sc.GaugeFunc("tornado_pending_prepares",
 		"PREPARE messages still awaiting their ACK.",
 		func() float64 { return float64(e.pendingPrepares.Load()) })
@@ -80,6 +97,8 @@ func (e *Engine) attachObs(hub *obs.Hub) {
 		"Vertex commits per terminated iteration.", obs.ExpBuckets(1, 2, 24))
 	e.advanceGapHist = sc.Histogram("tornado_frontier_advance_seconds",
 		"Wall-clock gap between consecutive frontier advances.", nil)
+	e.mttrHist = sc.Histogram("tornado_recovery_seconds",
+		"Time from failure detection to the recovered incarnation running (MTTR).", nil)
 
 	statusName := "loop/" + loopStr
 	hub.AddStatus(statusName, e.statusz)
@@ -92,6 +111,7 @@ func (e *Engine) attachObs(hub *obs.Hub) {
 // statusz is the engine's per-loop /statusz section.
 func (e *Engine) statusz() any {
 	s := e.StatsSnapshot()
+	tracker := e.cur().tracker
 	uptime := time.Since(e.created)
 	return map[string]any{
 		"kind":             e.cfg.Kind.String(),
@@ -100,9 +120,14 @@ func (e *Engine) statusz() any {
 		"processors":       e.cfg.Processors,
 		"frontier":         s.Frontier,
 		"notified":         s.Notified,
-		"frontier_lag":     e.tracker.FrontierLag(),
-		"obligations":      e.tracker.TokenCount(),
+		"frontier_lag":     tracker.FrontierLag(),
+		"obligations":      tracker.TokenCount(),
 		"pending_prepares": s.PendingPrepares,
+		"generation":       s.Generation,
+		"crashes":          s.Crashes,
+		"recoveries":       s.Recoveries,
+		"quarantined":      s.Quarantined,
+		"dead_letters":     s.TransportDeadLetters,
 		"commits":          s.Commits,
 		"update_msgs":      s.UpdateMsgs,
 		"prepare_msgs":     s.PrepareMsgs,

@@ -23,6 +23,15 @@ type processor struct {
 	eng *Engine
 	ep  *transport.Endpoint
 
+	// tk, snap and route are this incarnation's tracker, snapshot source and
+	// vertex→node mapping, captured at construction. Processors never read
+	// them through the engine: a crash recovery replaces them under the
+	// engine's generation lock while waiting for the old processors to drain,
+	// and that wait must not depend on the lock.
+	tk    *Tracker
+	snap  *SnapshotSource
+	route func(stream.VertexID) transport.NodeID
+
 	// tr is the engine's protocol tracer (nil when unobserved), cached here
 	// with the numeric loop ID so the hot path pays one nil check plus, for
 	// sampled-out vertices, one hash.
@@ -44,15 +53,18 @@ type processor struct {
 	dirtySet  map[stream.VertexID]struct{}
 }
 
-func newProcessor(idx int, eng *Engine, ep *transport.Endpoint) *processor {
+func newProcessor(idx int, eng *Engine, ep *transport.Endpoint, tk *Tracker, snap *SnapshotSource, route func(stream.VertexID) transport.NodeID, startIter int64) *processor {
 	p := &processor{
 		idx:        idx,
 		eng:        eng,
 		ep:         ep,
+		tk:         tk,
+		snap:       snap,
+		route:      route,
 		tr:         eng.tracer,
 		loopU:      uint64(eng.cfg.LoopID),
 		vertices:   make(map[stream.VertexID]*vertex),
-		notified:   eng.cfg.StartIteration - 1,
+		notified:   startIter - 1,
 		holdback:   make(map[int64][]msgUpdate),
 		capBlocked: make(map[stream.VertexID]struct{}),
 		commitLog:  make(map[stream.VertexID]int64),
@@ -69,7 +81,6 @@ func (p *processor) cap() int64 {
 }
 
 func (p *processor) run() {
-	defer p.eng.wg.Done()
 	for {
 		p.maybePause()
 		env, ok := p.ep.Recv()
@@ -131,7 +142,7 @@ func (p *processor) ensure(id stream.VertexID) *vertex {
 	}
 	v := newVertex(id, p.eng.cfg.Seed)
 	p.vertices[id] = v
-	if snap := p.eng.cfg.Snapshot; snap != nil {
+	if snap := p.snap; snap != nil {
 		data, _, err := p.eng.cfg.Store.Latest(snap.Loop, id, snap.UpTo)
 		if err == nil {
 			decoded, derr := p.eng.cfg.Codec.Decode(data)
@@ -172,7 +183,7 @@ func (p *processor) markDirty(v *vertex) {
 	if v.lastCommit+1 > lower {
 		lower = v.lastCommit + 1
 	}
-	v.dirtyToken = p.eng.tracker.AcquireFloor(lower)
+	v.dirtyToken = p.tk.AcquireFloor(lower)
 	if v.dirtyToken > v.iter {
 		v.iter = v.dirtyToken
 	}
@@ -241,7 +252,7 @@ func (p *processor) applyWork(v *vertex, w heldWork) {
 			p.eng.journal.Applied(w.jseq, v.id)
 		}
 	}
-	p.eng.tracker.Release(w.token)
+	p.tk.Release(w.token)
 }
 
 func (p *processor) handleUpdate(m msgUpdate) {
@@ -283,7 +294,7 @@ func (p *processor) gatherUpdate(m msgUpdate) {
 			p.markDirty(v)
 		}
 	}
-	p.eng.tracker.Release(m.Token)
+	p.tk.Release(m.Token)
 	p.maybeStart(v)
 }
 
@@ -424,7 +435,7 @@ func (p *processor) commit(v *vertex) {
 	if err := p.eng.cfg.Store.Put(p.eng.cfg.LoopID, v.id, tau, data); err != nil {
 		panic(fmt.Sprintf("engine: persist vertex %d: %v", v.id, err))
 	}
-	p.eng.tracker.RecordCommit(tau, v.progress)
+	p.tk.RecordCommit(tau, v.progress)
 	v.progress = 0
 	p.eng.stats.Commits.Inc()
 	if p.eng.journal != nil {
@@ -438,14 +449,14 @@ func (p *processor) commit(v *vertex) {
 	carried := make(map[stream.VertexID]bool, len(v.emits))
 	nmsgs := 0
 	for _, e := range v.emits {
-		tok := p.eng.tracker.AcquireFloor(tau + 1)
+		tok := p.tk.AcquireFloor(tau + 1)
 		p.sendVertex(e.to, msgUpdate{From: v.id, To: e.to, Iteration: tau, Token: tok, Value: e.value, HasValue: true})
 		carried[e.to] = true
 		nmsgs++
 	}
 	for _, t := range cons {
 		if !carried[t] {
-			tok := p.eng.tracker.AcquireFloor(tau + 1)
+			tok := p.tk.AcquireFloor(tau + 1)
 			p.sendVertex(t, msgUpdate{From: v.id, To: t, Iteration: tau, Token: tok})
 			nmsgs++
 		}
@@ -464,7 +475,7 @@ func (p *processor) commit(v *vertex) {
 	p.commitLog[v.id] = tau
 	p.shareMu.Unlock()
 	if v.dirtyToken >= 0 {
-		p.eng.tracker.Release(v.dirtyToken)
+		p.tk.Release(v.dirtyToken)
 		v.dirtyToken = -1
 	}
 
@@ -492,7 +503,7 @@ func (p *processor) commit(v *vertex) {
 
 // sendVertex routes a vertex-addressed message to its owning processor.
 func (p *processor) sendVertex(to stream.VertexID, payload any) {
-	p.ep.Send(p.eng.procNode(to), payload)
+	p.ep.Send(p.route(to), payload)
 }
 
 // forkScan returns the fork seed set of this partition: vertices whose last

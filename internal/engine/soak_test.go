@@ -59,13 +59,13 @@ func TestSoakEverythingAtOnce(t *testing.T) {
 			br.Stop()
 			branchID++
 		case 2:
-			e.KillProcessor(3)
+			e.PauseProcessor(3)
 			time.Sleep(5 * time.Millisecond)
-			e.RecoverProcessor(3)
+			e.ResumeProcessor(3)
 		case 3:
-			e.KillMaster()
+			e.PauseMaster()
 			time.Sleep(5 * time.Millisecond)
-			e.RecoverMaster()
+			e.ResumeMaster()
 		}
 	}
 	if err := e.WaitSettled(waitFor); err != nil {
@@ -108,4 +108,79 @@ func TestSoakEverythingAtOnce(t *testing.T) {
 	all := append(append([]stream.Tuple{}, tuples...), extra...)
 	all = append(all, tuples[0])
 	checkSSSP(t, ne, all)
+}
+
+func tail(evs []RecoveryEvent, n int) []RecoveryEvent {
+	if len(evs) > n {
+		return evs[len(evs)-n:]
+	}
+	return evs
+}
+
+// TestChaosSoakRecovery is the crash-recovery soak: a seeded fault plan
+// crashes two processors and the master at fixed iterations while the
+// transport drops and duplicates frames, all under the heartbeat supervisor.
+// The run must still end at the exact reference fixed point, with every
+// injected crash recovered. Skipped with -short.
+func TestChaosSoakRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short mode")
+	}
+	tuples := datasets.WithRemovals(datasets.PowerLawGraph(600, 3, 77), 0.1, 7)
+	e, err := New(Config{
+		Processors:        5,
+		DelayBound:        16,
+		Kind:              MainLoop,
+		LoopID:            storage.MainLoop,
+		Store:             storage.NewMemStore(),
+		Program:           ssspProg{source: 0},
+		ResendAfter:       5 * time.Millisecond,
+		Seed:              77,
+		HeartbeatInterval: 5 * time.Millisecond,
+		SuspectAfter:      6,
+		RestartBackoff:    time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.InjectTransportFaults(0.02, 0.02)
+	e.InjectFaultPlan(FaultPlan{Faults: []Fault{
+		{Kind: FaultCrashProcessor, Proc: 1, AtIteration: 1},
+	}})
+	e.Start()
+	defer e.Stop()
+
+	// Stream in waves with a crash per wave, each recovered before the next
+	// strikes: a planned processor crash, a direct processor crash, then the
+	// master — all while the transport keeps dropping and duplicating.
+	waves := 4
+	per := len(tuples) / waves
+	for w := 0; w < waves; w++ {
+		lo, hi := w*per, (w+1)*per
+		if w == waves-1 {
+			hi = len(tuples)
+		}
+		e.IngestAll(tuples[lo:hi])
+		switch w {
+		case 1:
+			waitUntil(t, waitFor, func() bool { return e.StatsSnapshot().Recoveries >= 1 },
+				"planned crash of processor 1 never recovered")
+			e.CrashProcessor(3)
+		case 2:
+			waitUntil(t, waitFor, func() bool { return e.StatsSnapshot().Recoveries >= 2 },
+				"crash of processor 3 never recovered")
+			e.CrashMaster()
+		}
+	}
+	if err := e.WaitSettled(waitFor); err != nil {
+		s := e.StatsSnapshot()
+		t.Fatalf("%v (gen=%d crashes=%d recoveries=%d events=%d frontier=%d notified=%d log tail: %+v)",
+			err, s.Generation, s.Crashes, s.Recoveries, len(e.RecoveryLog()), s.Frontier, s.Notified, tail(e.RecoveryLog(), 6))
+	}
+	checkSSSP(t, e, tuples)
+	s := e.StatsSnapshot()
+	if s.Crashes < 3 || s.Recoveries < 3 {
+		t.Fatalf("Crashes = %d, Recoveries = %d, want >= 3 each (log: %+v)",
+			s.Crashes, s.Recoveries, e.RecoveryLog())
+	}
 }

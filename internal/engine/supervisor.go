@@ -1,0 +1,526 @@
+package engine
+
+// Supervised crash recovery (Section 5.3).
+//
+// The paper's recovery protocol falls out of termination detection for free:
+// every terminated iteration was flushed before it was announced, so the
+// store always holds a consistent checkpoint at the last terminated
+// iteration, and "the computation will restart from the last terminated
+// iteration" after a failure. This file supplies the machinery around that
+// guarantee:
+//
+//   - true crash semantics (CrashProcessor / CrashMaster): the target's
+//     endpoint is torn down and its goroutine exits, discarding all
+//     in-memory vertex state, in-flight frames and unreleased tokens —
+//     unlike PauseProcessor, which merely models a partition;
+//   - a supervisor goroutine per incarnation that watches heartbeats from
+//     every processor and the master, declares a node dead after
+//     SuspectAfter missed beats, and restarts the loop from the checkpoint;
+//   - exponential backoff with jitter between successive restarts, and
+//     quarantine of processors that crash more than MaxRestarts times in
+//     RestartWindow (their partition is remapped onto the survivors);
+//   - a deterministic fault-plan API for chaos tests (crash processor i at
+//     iteration k, crash the master, crash in the middle of a branch fork).
+//
+// Because obligation tokens are anonymous (the tracker counts them per
+// iteration, it does not know who holds them), a single processor cannot be
+// restarted in place: the tokens that died with it can never be released, so
+// the old tracker's frontier is pinned forever. Recovery therefore replaces
+// the whole incarnation — network, tracker, processors — and recomputes from
+// the checkpoint, which is exactly the paper's loop-granularity restart.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"tornado/internal/stream"
+	"tornado/internal/transport"
+)
+
+// Recovery event kinds recorded in the engine's recovery log.
+const (
+	EventCrash      = "crash"      // a crash was injected (API or fault plan)
+	EventSuspect    = "suspect"    // the supervisor declared a node dead
+	EventRecovery   = "recovery"   // a checkpoint restart completed
+	EventQuarantine = "quarantine" // a flapping processor left the rotation
+)
+
+// RecoveryEvent is one entry of the engine's recovery log.
+type RecoveryEvent struct {
+	Time time.Time
+	// Kind is one of the Event* constants.
+	Kind string
+	// Proc is the processor index the event refers to (-1 = master, -2 =
+	// the loop as a whole).
+	Proc int
+	// Gen is the incarnation generation the event refers to.
+	Gen int
+	// Resume is the checkpoint iteration a recovery restarted from
+	// (recovery events only).
+	Resume int64
+	Detail string
+}
+
+func (e *Engine) recordEvent(ev RecoveryEvent) {
+	ev.Time = time.Now()
+	e.recMu.Lock()
+	e.recoveryLog = append(e.recoveryLog, ev)
+	e.recMu.Unlock()
+}
+
+// RecoveryLog returns a copy of the recovery event log (crashes, suspicions,
+// restarts, quarantines) in chronological order.
+func (e *Engine) RecoveryLog() []RecoveryEvent {
+	e.recMu.Lock()
+	defer e.recMu.Unlock()
+	out := make([]RecoveryEvent, len(e.recoveryLog))
+	copy(out, e.recoveryLog)
+	return out
+}
+
+// CrashProcessor crashes processor i with true crash semantics: its endpoint
+// is torn down (in-flight frames, dedup state and unsent acks are gone), its
+// goroutine exits, and every in-memory vertex state and unreleased token it
+// held is lost. Without a supervisor the loop is stuck afterwards — tokens
+// that died with the processor pin the frontier — until
+// RecoverFromCheckpoint is called. Idempotent; a no-op for quarantined or
+// out-of-range indexes.
+func (e *Engine) CrashProcessor(i int) {
+	e.genMu.RLock()
+	inc := e.inc
+	var p *processor
+	if i >= 0 && i < len(inc.procs) {
+		p = inc.procs[i]
+	}
+	e.genMu.RUnlock()
+	if p == nil || p.ep.Crashed() {
+		return
+	}
+	p.ep.Crash()
+	p.setPaused(false) // a paused goroutine must wake to observe the crash
+	e.crashes.Inc()
+	e.recordEvent(RecoveryEvent{Kind: EventCrash, Proc: i, Gen: inc.gen})
+}
+
+// CrashMaster crashes the master with true crash semantics: its endpoint is
+// torn down and the master goroutine exits, so termination notifications
+// stop and no further checkpoints are taken. Idempotent.
+func (e *Engine) CrashMaster() {
+	e.genMu.RLock()
+	inc := e.inc
+	e.genMu.RUnlock()
+	if inc.masterCrashed.Swap(true) {
+		return
+	}
+	inc.masterE.Crash()
+	e.masterPaused.Store(false)
+	e.crashes.Inc()
+	e.recordEvent(RecoveryEvent{Kind: EventCrash, Proc: -1, Gen: inc.gen})
+}
+
+// RecoverFromCheckpoint manually restarts the loop from the last terminated
+// iteration's checkpoint (the unsupervised counterpart of the supervisor's
+// automatic recovery). It returns false when there is nothing to do: the
+// engine is stopped, or a concurrent recovery already replaced the
+// incarnation.
+func (e *Engine) RecoverFromCheckpoint() bool {
+	return e.doRecover(e.cur(), time.Now(), nil, false, "manual")
+}
+
+// heartbeatRun sends liveness beats for one node (proc >= 0, or -1 for the
+// master) to the supervisor endpoint. A crashed endpoint silently drops the
+// sends, which is precisely how the supervisor learns of the crash. Note a
+// paused node still beats: a pause models a partition of the data plane, not
+// a process death.
+func (e *Engine) heartbeatRun(inc *incarnation, proc int, ep *transport.Endpoint) {
+	defer inc.wg.Done()
+	sup := transport.NodeID(e.cfg.Processors + 2)
+	t := time.NewTicker(e.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-inc.stop:
+			return
+		case <-t.C:
+			ep.Send(sup, msgHeartbeat{Proc: proc})
+		}
+	}
+}
+
+// superviseRun is the failure detector of one incarnation. It drains
+// heartbeats from the supervisor endpoint, declares any node silent for more
+// than SuspectAfter intervals dead, backs off exponentially on repeated
+// restarts, and triggers the checkpoint recovery. It exits after one
+// recovery attempt — the next incarnation starts its own supervisor.
+func (e *Engine) superviseRun(inc *incarnation) {
+	defer e.supWG.Done()
+	// Detection only starts once the incarnation is fully bootstrapped: the
+	// residual replay of a recovery can monopolize the CPU for longer than
+	// the suspect window, and judging heartbeats during it livelocks
+	// recovery on its own false suspicions.
+	select {
+	case <-inc.stop:
+		return
+	case <-inc.ready:
+	}
+	hb := e.cfg.HeartbeatInterval
+	suspect := time.Duration(e.cfg.SuspectAfter)*hb + hb/2
+	rng := rand.New(rand.NewSource(e.cfg.Seed ^ int64(inc.gen)<<21 ^ 0x7ee1))
+	start := time.Now()
+	last := make([]time.Time, len(inc.procs))
+	for i := range last {
+		last[i] = start
+	}
+	masterLast := start
+	prevTick := start
+	tick := time.NewTicker(hb)
+	defer tick.Stop()
+	for {
+		select {
+		case <-inc.stop:
+			return
+		case <-tick.C:
+		}
+		for {
+			env, ok := inc.supE.TryRecv()
+			if !ok {
+				break
+			}
+			if m, ok := env.Payload.(msgHeartbeat); ok {
+				if m.Proc < 0 {
+					masterLast = time.Now()
+				} else if m.Proc < len(last) {
+					last[m.Proc] = time.Now()
+				}
+			}
+		}
+		now := time.Now()
+		// Starvation guard: when the detector itself missed a whole suspect
+		// window (GC pause, CPU saturation), sender silence over that gap
+		// proves nothing — the heartbeat goroutines were likely starved by
+		// the same cause. Re-baseline and keep watching; a real crash stays
+		// silent and is caught on the next smooth window.
+		if now.Sub(prevTick) > suspect {
+			for i := range last {
+				last[i] = now
+			}
+			masterLast = now
+			prevTick = now
+			continue
+		}
+		prevTick = now
+		var dead []int
+		for i, p := range inc.procs {
+			if p == nil {
+				continue
+			}
+			if now.Sub(last[i]) > suspect {
+				dead = append(dead, i)
+			}
+		}
+		deadMaster := now.Sub(masterLast) > suspect
+		if len(dead) == 0 && !deadMaster {
+			continue
+		}
+		for _, i := range dead {
+			e.recordEvent(RecoveryEvent{Kind: EventSuspect, Proc: i, Gen: inc.gen,
+				Detail: fmt.Sprintf("no heartbeat for %v", now.Sub(last[i]).Round(time.Millisecond))})
+		}
+		if deadMaster {
+			e.recordEvent(RecoveryEvent{Kind: EventSuspect, Proc: -1, Gen: inc.gen,
+				Detail: fmt.Sprintf("no heartbeat for %v", now.Sub(masterLast).Round(time.Millisecond))})
+		}
+		if d := e.restartDelay(rng); d > 0 {
+			select {
+			case <-inc.stop:
+				return
+			case <-time.After(d):
+			}
+		}
+		e.doRecover(inc, now, dead, deadMaster, "heartbeat timeout")
+		return
+	}
+}
+
+// restartDelay computes the exponential backoff before the next restart:
+// zero for a first failure, then RestartBackoff doubled per restart observed
+// within RestartWindow (capped at 64x) plus up to 25% jitter.
+func (e *Engine) restartDelay(rng *rand.Rand) time.Duration {
+	e.genMu.RLock()
+	cutoff := time.Now().Add(-e.cfg.RestartWindow)
+	n := 0
+	for _, ts := range e.restartLog {
+		for _, t := range ts {
+			if t.After(cutoff) {
+				n++
+			}
+		}
+	}
+	base := e.cfg.RestartBackoff
+	e.genMu.RUnlock()
+	if n == 0 || base <= 0 {
+		return 0
+	}
+	if n > 6 {
+		n = 6
+	}
+	d := base << uint(n)
+	return d + time.Duration(rng.Int63n(int64(d)/4+1))
+}
+
+// doRecover is the checkpoint restart (Section 5.3): it tears down the
+// incarnation `from` wholesale, rolls the store back to the last terminated
+// iteration, and builds and starts the next incarnation resuming above it.
+// It returns false when the engine is stopped or `from` is no longer
+// current (a concurrent recovery won). deadProcs feeds the quarantine
+// bookkeeping; detected is when the failure was noticed (for the MTTR
+// histogram).
+func (e *Engine) doRecover(from *incarnation, detected time.Time, deadProcs []int, deadMaster bool, reason string) bool {
+	e.genMu.Lock()
+	if e.stopped || e.inc != from {
+		e.genMu.Unlock()
+		return false
+	}
+	old := e.inc
+
+	// Tear the old incarnation down wholesale. Closing the tracker unblocks
+	// the master's Advance; aborting the network crashes every endpoint so
+	// processor Recv loops exit; unpausing wakes goroutines parked in the
+	// pause condition. The wait cannot deadlock: none of these goroutines
+	// ever takes the generation lock (processors captured their tracker,
+	// route and snapshot at construction).
+	old.stopNow()
+	old.tracker.Close()
+	old.net.Abort()
+	for _, p := range old.procs {
+		if p != nil {
+			p.setPaused(false)
+		}
+	}
+	e.masterPaused.Store(false)
+	old.wg.Wait()
+
+	// The last terminated iteration is the checkpoint: everything at or
+	// below it was flushed before it was announced. Read it only after the
+	// old master has exited — a closing tracker can hand the master one
+	// final advance, and reading earlier would race its flush and journal
+	// prune, losing the inputs committed in between.
+	resume := old.tracker.Notified()
+
+	// Quarantine bookkeeping: a processor that crashed more than MaxRestarts
+	// times within RestartWindow leaves the rotation, and the route remaps
+	// its partition onto the survivors. At least one processor always stays.
+	now := time.Now()
+	cutoff := now.Add(-e.cfg.RestartWindow)
+	var quarantinedNow []int
+	for _, i := range deadProcs {
+		log := e.restartLog[i][:0]
+		for _, t := range e.restartLog[i] {
+			if t.After(cutoff) {
+				log = append(log, t)
+			}
+		}
+		log = append(log, now)
+		e.restartLog[i] = log
+		if e.cfg.MaxRestarts > 0 && len(log) > e.cfg.MaxRestarts &&
+			len(e.quarantined) < e.cfg.Processors-1 {
+			if _, q := e.quarantined[i]; !q {
+				e.quarantined[i] = struct{}{}
+				quarantinedNow = append(quarantinedNow, i)
+			}
+		}
+	}
+	if deadMaster {
+		e.restartLog[-1] = append(e.restartLog[-1], now)
+	}
+
+	// Extract the inputs whose effects the checkpoint does not cover; the
+	// new incarnation re-ingests them. Then roll the store back: versions
+	// above the checkpoint are incomplete work of unterminated iterations
+	// and must not shadow the recomputed state.
+	var residual []stream.Tuple
+	if e.journal != nil {
+		residual = e.journal.RecoverResidual(resume)
+	}
+	if err := e.cfg.Store.Truncate(e.cfg.LoopID, resume); err != nil {
+		panic(fmt.Sprintf("engine: roll store back for recovery: %v", err))
+	}
+	e.pendingPrepares.Store(0)
+
+	// The new incarnation bootstraps every vertex from the checkpoint and
+	// commits strictly above it, so recovered versions supersede the old.
+	e.cfg.Snapshot = &SnapshotSource{Loop: e.cfg.LoopID, UpTo: resume}
+	e.cfg.StartIteration = resume + 1
+	ninc := e.buildIncarnation(old.gen + 1)
+	// Hold a quiescence guard across the handoff: the new tracker is born
+	// empty, so without it a concurrent WaitQuiesce could succeed in the
+	// instant before the checkpoint re-activation lands.
+	guard := ninc.tracker.AcquireFloor(0)
+	e.inc = ninc
+	e.genMu.Unlock()
+
+	e.startIncarnation(ninc)
+	// Re-activate everything at or below the checkpoint and replay the
+	// residual inputs: any work lost in the crash is recomputed.
+	if err := e.ActivateStored(); err != nil {
+		panic(fmt.Sprintf("engine: re-activate checkpoint state: %v", err))
+	}
+	e.IngestAll(residual)
+	ninc.tracker.Release(guard)
+	ninc.markReady()
+
+	e.recoveries.Inc()
+	if e.mttrHist != nil {
+		e.mttrHist.Observe(time.Since(detected).Seconds())
+	}
+	for _, i := range quarantinedNow {
+		e.recordEvent(RecoveryEvent{Kind: EventQuarantine, Proc: i, Gen: ninc.gen,
+			Detail: fmt.Sprintf("crashed >%d times in %v; partition reassigned", e.cfg.MaxRestarts, e.cfg.RestartWindow)})
+	}
+	e.recordEvent(RecoveryEvent{Kind: EventRecovery, Proc: -2, Gen: ninc.gen, Resume: resume,
+		Detail: fmt.Sprintf("%s; replayed %d inputs", reason, len(residual))})
+	return true
+}
+
+// Quarantined returns the indexes of quarantined processors in ascending
+// order.
+func (e *Engine) Quarantined() []int {
+	e.genMu.RLock()
+	defer e.genMu.RUnlock()
+	out := make([]int, 0, len(e.quarantined))
+	for i := range e.quarantined {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// FaultKind selects what a planned fault does.
+type FaultKind int
+
+const (
+	// FaultCrashProcessor crashes processor Proc.
+	FaultCrashProcessor FaultKind = iota
+	// FaultCrashMaster crashes the master.
+	FaultCrashMaster
+)
+
+// Fault is one entry of a deterministic chaos schedule.
+type Fault struct {
+	Kind FaultKind
+	// Proc is the target processor (FaultCrashProcessor only).
+	Proc int
+	// AtIteration fires the fault once the terminated frontier reaches this
+	// iteration (ignored when OnFork is set).
+	AtIteration int64
+	// OnFork fires the fault in the middle of the next ForkBranch instead:
+	// after the fork spec is captured, before the branch engine exists.
+	OnFork bool
+}
+
+// FaultPlan is a deterministic chaos schedule: crash processor i at
+// iteration k, crash the master, crash mid-branch-fork. Faults fire at most
+// once, in the order their conditions are met.
+type FaultPlan struct {
+	Faults []Fault
+}
+
+// InjectFaultPlan arms a chaos schedule. Iteration-triggered faults fire
+// from a watcher polling the terminated frontier; OnFork faults fire inside
+// the next ForkBranch call. Plans accumulate.
+func (e *Engine) InjectFaultPlan(plan FaultPlan) {
+	if len(plan.Faults) == 0 {
+		return
+	}
+	e.faultMu.Lock()
+	e.pendingFaults = append(e.pendingFaults, plan.Faults...)
+	startWatcher := !e.watcherOn
+	if startWatcher {
+		e.watcherOn = true
+	}
+	e.faultMu.Unlock()
+	if startWatcher {
+		e.supWG.Add(1)
+		go e.faultWatcherRun()
+	}
+}
+
+func (e *Engine) applyFault(f Fault) {
+	switch f.Kind {
+	case FaultCrashProcessor:
+		e.CrashProcessor(f.Proc)
+	case FaultCrashMaster:
+		e.CrashMaster()
+	}
+}
+
+// faultWatcherRun fires iteration-triggered faults as the terminated
+// frontier passes them and exits once none remain (OnFork faults are left
+// for ForkBranch).
+func (e *Engine) faultWatcherRun() {
+	defer e.supWG.Done()
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for range tick.C {
+		e.genMu.RLock()
+		stopped := e.stopped
+		notified := e.inc.tracker.Notified()
+		e.genMu.RUnlock()
+		if stopped {
+			e.faultMu.Lock()
+			e.watcherOn = false
+			e.faultMu.Unlock()
+			return
+		}
+		var fire []Fault
+		pendingForks := 0
+		e.faultMu.Lock()
+		rest := e.pendingFaults[:0]
+		for _, f := range e.pendingFaults {
+			switch {
+			case f.OnFork:
+				rest = append(rest, f)
+				pendingForks++
+			case notified >= f.AtIteration:
+				fire = append(fire, f)
+			default:
+				rest = append(rest, f)
+			}
+		}
+		e.pendingFaults = rest
+		e.faultMu.Unlock()
+		for _, f := range fire {
+			e.applyFault(f)
+		}
+		e.faultMu.Lock()
+		if len(e.pendingFaults) == pendingForks {
+			// Only OnFork faults (or nothing) left: ForkBranch handles those.
+			e.watcherOn = false
+			e.faultMu.Unlock()
+			return
+		}
+		e.faultMu.Unlock()
+	}
+}
+
+// fireForkFaults fires all armed OnFork faults; ForkBranch calls it between
+// capturing the fork spec and building the branch engine.
+func (e *Engine) fireForkFaults() {
+	e.faultMu.Lock()
+	var fire []Fault
+	rest := e.pendingFaults[:0]
+	for _, f := range e.pendingFaults {
+		if f.OnFork {
+			fire = append(fire, f)
+		} else {
+			rest = append(rest, f)
+		}
+	}
+	e.pendingFaults = rest
+	e.faultMu.Unlock()
+	for _, f := range fire {
+		e.applyFault(f)
+	}
+}

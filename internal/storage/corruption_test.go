@@ -1,0 +1,194 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tornado/internal/stream"
+)
+
+// buildCheckpointedLog writes `rounds` rounds of puts, each round k stamping
+// vertices 1..3 at iteration k and ending with Flush(k). It returns the file
+// size after each round's checkpoint: ckptEnd[k] is the offset just past the
+// checkpoint-k record, so any corruption at offset >= ckptEnd[k] leaves
+// checkpoint k (and all data it covers) intact.
+func buildCheckpointedLog(t *testing.T, path string, rounds int) []int64 {
+	t.Helper()
+	s, err := OpenDisk(path)
+	must(t, err)
+	ckptEnd := make([]int64, rounds+1)
+	for k := 1; k <= rounds; k++ {
+		for v := stream.VertexID(1); v <= 3; v++ {
+			must(t, s.Put(MainLoop, v, int64(k), []byte(fmt.Sprintf("v%d-k%d", v, k))))
+		}
+		must(t, s.Flush(MainLoop, int64(k))) // fsyncs, so Stat sees every byte
+		fi, err := os.Stat(path)
+		must(t, err)
+		ckptEnd[k] = fi.Size()
+	}
+	must(t, s.Close())
+	return ckptEnd
+}
+
+// lastIntact returns the highest checkpoint whose record lies entirely before
+// offset off (0 if none).
+func lastIntact(ckptEnd []int64, off int64) int64 {
+	best := int64(0)
+	for k := 1; k < len(ckptEnd); k++ {
+		if ckptEnd[k] <= off {
+			best = int64(k)
+		}
+	}
+	return best
+}
+
+// checkRecoveredAt asserts that a store recovered from a log corrupted at
+// offset off landed exactly on the last intact checkpoint: LastCheckpoint
+// reports it and every vertex reads its value as of that iteration.
+func checkRecoveredAt(t *testing.T, r *DiskStore, ckptEnd []int64, off int64) {
+	t.Helper()
+	want := lastIntact(ckptEnd, off)
+	ckpt, err := r.LastCheckpoint(MainLoop)
+	if want == 0 {
+		if !errors.Is(err, ErrNotFound) {
+			t.Fatalf("off=%d: LastCheckpoint = (%d, %v); want ErrNotFound", off, ckpt, err)
+		}
+		return
+	}
+	if err != nil || ckpt != want {
+		t.Fatalf("off=%d: LastCheckpoint = (%d, %v); want %d", off, ckpt, err, want)
+	}
+	for v := stream.VertexID(1); v <= 3; v++ {
+		data, iter, err := r.Latest(MainLoop, v, want)
+		wantData := fmt.Sprintf("v%d-k%d", v, want)
+		if err != nil || iter != want || string(data) != wantData {
+			t.Fatalf("off=%d: Latest(%d, %d) = (%q, %d, %v); want (%q, %d)",
+				off, v, want, data, iter, err, wantData, want)
+		}
+	}
+}
+
+// TestDiskRecoveryBitFlipSweep flips every byte of the log in turn (including
+// bytes inside checkpoint records) and asserts recovery always lands exactly
+// on the last checkpoint written before the flipped record. A full-byte flip
+// is an 8-bit error burst, which CRC32 detects unconditionally, so no flip may
+// ever survive replay.
+func TestDiskRecoveryBitFlipSweep(t *testing.T) {
+	dir := t.TempDir()
+	orig := filepath.Join(dir, "orig.log")
+	ckptEnd := buildCheckpointedLog(t, orig, 4)
+	logBytes, err := os.ReadFile(orig)
+	must(t, err)
+	size := int64(len(logBytes))
+	if size != ckptEnd[4] {
+		t.Fatalf("log size %d != last checkpoint end %d", size, ckptEnd[4])
+	}
+
+	work := filepath.Join(dir, "flip.log")
+	for off := int64(0); off < size; off++ {
+		corrupted := make([]byte, size)
+		copy(corrupted, logBytes)
+		corrupted[off] ^= 0xFF
+		must(t, os.WriteFile(work, corrupted, 0o644))
+
+		r, err := OpenDisk(work)
+		if err != nil {
+			t.Fatalf("off=%d: OpenDisk after bit flip: %v", off, err)
+		}
+		checkRecoveredAt(t, r, ckptEnd, off)
+		// The torn tail must have been physically discarded: the corrupt
+		// record starts at or before off, so nothing past off may remain.
+		if fi, err := os.Stat(work); err != nil || fi.Size() > off {
+			t.Fatalf("off=%d: tail not truncated, size %d", off, fi.Size())
+		}
+		// And the store must accept writes again after recovery.
+		must(t, r.Put(MainLoop, 9, 99, []byte("post-recovery")))
+		must(t, r.Close())
+	}
+}
+
+// TestDiskRecoveryTruncationSweep cuts the log at every possible length
+// (mid-header, mid-payload, mid-CRC, and exactly on record boundaries) and
+// asserts recovery lands exactly on the last checkpoint that fits.
+func TestDiskRecoveryTruncationSweep(t *testing.T) {
+	dir := t.TempDir()
+	orig := filepath.Join(dir, "orig.log")
+	ckptEnd := buildCheckpointedLog(t, orig, 4)
+	logBytes, err := os.ReadFile(orig)
+	must(t, err)
+	size := int64(len(logBytes))
+
+	work := filepath.Join(dir, "cut.log")
+	for cut := int64(0); cut <= size; cut++ {
+		must(t, os.WriteFile(work, logBytes[:cut], 0o644))
+		r, err := OpenDisk(work)
+		if err != nil {
+			t.Fatalf("cut=%d: OpenDisk after truncation: %v", cut, err)
+		}
+		checkRecoveredAt(t, r, ckptEnd, cut)
+		must(t, r.Close())
+	}
+}
+
+// TestDiskRecoveryHugeLengthHeader flips the high byte of a record's length
+// field directly. Before the replay guard on remaining file size this made
+// recovery allocate a buffer for the bogus length (up to 1 GiB); now it must
+// simply treat the record as a torn tail.
+func TestDiskRecoveryHugeLengthHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tornado.log")
+	ckptEnd := buildCheckpointedLog(t, path, 2)
+
+	// First record of round 2 is the put at offset ckptEnd[1]; its dataLen
+	// field is bytes 25..29 of the header. Set the top byte to 0x30, i.e. a
+	// claimed length of ~800 MiB — far beyond the file but under the old
+	// 1<<30 plausibility cap, so only the remaining-bytes guard rejects it.
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	must(t, err)
+	if _, err := f.WriteAt([]byte{0x30}, ckptEnd[1]+28); err != nil {
+		t.Fatal(err)
+	}
+	must(t, f.Close())
+
+	r, err := OpenDisk(path)
+	must(t, err)
+	defer r.Close()
+	checkRecoveredAt(t, r, ckptEnd, ckptEnd[1])
+}
+
+// TestDiskTruncatePersists checks that Truncate survives close/reopen via its
+// log record: truncated versions must not be resurrected by replay.
+func TestDiskTruncatePersists(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tornado.log")
+	s, err := OpenDisk(path)
+	must(t, err)
+	must(t, s.Put(MainLoop, 1, 1, []byte("one")))
+	must(t, s.Put(MainLoop, 1, 2, []byte("two")))
+	must(t, s.Put(MainLoop, 1, 3, []byte("three"))) // uncommitted work above the checkpoint
+	must(t, s.Put(MainLoop, 2, 3, []byte("only-above")))
+	must(t, s.Flush(MainLoop, 2))
+	must(t, s.Truncate(MainLoop, 2))
+	must(t, s.Close())
+
+	r, err := OpenDisk(path)
+	must(t, err)
+	defer r.Close()
+	data, iter, err := r.Latest(MainLoop, 1, 1<<40)
+	if err != nil || string(data) != "two" || iter != 2 {
+		t.Fatalf("after Truncate+reopen Latest = (%q, %d, %v); want (two, 2)", data, iter, err)
+	}
+	if _, _, err := r.Latest(MainLoop, 2, 1<<40); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("vertex with only truncated versions still readable: %v", err)
+	}
+	ckpt, err := r.LastCheckpoint(MainLoop)
+	if err != nil || ckpt != 2 {
+		t.Fatalf("checkpoint after Truncate+reopen = (%d, %v); want 2", ckpt, err)
+	}
+	// Recovery writes stamp above the floor as usual.
+	must(t, r.Put(MainLoop, 1, 3, []byte("recomputed")))
+	if data, _, err := r.Latest(MainLoop, 1, 1<<40); err != nil || string(data) != "recomputed" {
+		t.Fatalf("write after truncate-reopen = (%q, %v)", data, err)
+	}
+}

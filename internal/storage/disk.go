@@ -38,6 +38,7 @@ const (
 	recPut        = byte(1)
 	recCheckpoint = byte(2)
 	recDropLoop   = byte(3)
+	recTruncate   = byte(4)
 
 	recHeaderLen = 1 + 8 + 8 + 8 + 4
 )
@@ -76,6 +77,11 @@ func OpenDisk(path string) (*DiskStore, error) {
 // replay scans the log, rebuilding the in-memory index. It returns the
 // offset just past the last valid record.
 func (s *DiskStore) replay() (int64, error) {
+	fi, err := s.f.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("storage: stat log: %w", err)
+	}
+	size := fi.Size()
 	r := bufio.NewReaderSize(s.f, 1<<16)
 	var off int64
 	hdr := make([]byte, recHeaderLen)
@@ -89,8 +95,10 @@ func (s *DiskStore) replay() (int64, error) {
 		vertex := stream.VertexID(binary.LittleEndian.Uint64(hdr[9:17]))
 		iter := int64(binary.LittleEndian.Uint64(hdr[17:25]))
 		dataLen := binary.LittleEndian.Uint32(hdr[25:29])
-		if dataLen > 1<<30 {
-			return off, nil // implausible length: treat as torn tail
+		// A length that cannot fit in the rest of the file is a torn or
+		// bit-flipped header; bail out before allocating a buffer for it.
+		if int64(dataLen) > size-off-int64(recHeaderLen)-4 {
+			return off, nil
 		}
 		body := make([]byte, int(dataLen)+4)
 		if _, err := io.ReadFull(r, body); err != nil {
@@ -113,6 +121,10 @@ func (s *DiskStore) replay() (int64, error) {
 			}
 		case recDropLoop:
 			if err := s.mem.DropLoop(loop); err != nil {
+				return 0, err
+			}
+		case recTruncate:
+			if err := s.mem.Truncate(loop, iter); err != nil {
 				return 0, err
 			}
 		default:
@@ -197,6 +209,24 @@ func (s *DiskStore) Compact(loop LoopID, keepFrom int64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.mem.Compact(loop, keepFrom)
+}
+
+// Truncate implements Store: a truncation record is logged (and fsynced, so
+// a crash during recovery cannot resurrect the truncated versions) and the
+// index floor applied.
+func (s *DiskStore) Truncate(loop LoopID, above int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.append(recTruncate, loop, 0, above, nil); err != nil {
+		return err
+	}
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("storage: flush truncate: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("storage: fsync truncate: %w", err)
+	}
+	return s.mem.Truncate(loop, above)
 }
 
 // DropLoop implements Store.

@@ -57,7 +57,7 @@ func TestBackendEquivalence(t *testing.T) {
 			for op := 0; op < 150; op++ {
 				l := loops[rng.Intn(len(loops))]
 				v := verts[rng.Intn(len(verts))]
-				switch rng.Intn(6) {
+				switch rng.Intn(7) {
 				case 0, 1, 2:
 					iter := rng.Int63n(maxIter)
 					data := []byte(fmt.Sprintf("%d/%d/%d/%d", l, v, iter, op))
@@ -79,6 +79,10 @@ func TestBackendEquivalence(t *testing.T) {
 				case 5:
 					must(t, mem.DropLoop(l))
 					must(t, disk.DropLoop(l))
+				case 6:
+					above := rng.Int63n(maxIter)
+					must(t, mem.Truncate(l, above))
+					must(t, disk.Truncate(l, above))
 				}
 				if op%25 == 24 {
 					check(op)
@@ -101,7 +105,7 @@ func TestDiskReopenPreservesEverything(t *testing.T) {
 	for op := 0; op < 100; op++ {
 		l := LoopID(rng.Intn(2))
 		v := stream.VertexID(rng.Intn(4))
-		switch rng.Intn(5) {
+		switch rng.Intn(6) {
 		case 0, 1, 2:
 			iter := rng.Int63n(30)
 			data := []byte(fmt.Sprintf("%d:%d:%d:%d", l, v, iter, op))
@@ -114,6 +118,10 @@ func TestDiskReopenPreservesEverything(t *testing.T) {
 		case 4:
 			must(t, mem.DropLoop(l))
 			must(t, disk.DropLoop(l))
+		case 5:
+			above := rng.Int63n(30)
+			must(t, mem.Truncate(l, above))
+			must(t, disk.Truncate(l, above))
 		}
 	}
 	must(t, disk.Close())

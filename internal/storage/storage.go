@@ -73,6 +73,12 @@ type Store interface {
 	// <= keepFrom (the freshest version <= keepFrom of each vertex is kept).
 	Compact(loop LoopID, keepFrom int64) error
 
+	// Truncate drops every version of the loop with iteration > above. It is
+	// the crash-recovery floor: restarting from the checkpoint at iteration
+	// `above` first discards the incomplete versions of unterminated
+	// iterations so they can never shadow recomputed state.
+	Truncate(loop LoopID, above int64) error
+
 	// DropLoop discards all state of a loop (branch loops are dropped after
 	// their results are consumed or merged).
 	DropLoop(loop LoopID) error
@@ -120,6 +126,15 @@ func (v *versions) compact(keepFrom int64) {
 	keep := i - 1 // index of freshest version <= keepFrom
 	v.iters = append(v.iters[:0], v.iters[keep:]...)
 	v.data = append(v.data[:0], v.data[keep:]...)
+}
+
+// truncate drops all versions with iteration > above and reports whether the
+// chain is now empty.
+func (v *versions) truncate(above int64) bool {
+	i := sort.Search(len(v.iters), func(i int) bool { return v.iters[i] > above })
+	v.iters = v.iters[:i]
+	v.data = v.data[:i]
+	return len(v.iters) == 0
 }
 
 // loopState is one loop's namespace in MemStore.
@@ -246,6 +261,22 @@ func (s *MemStore) Compact(loop LoopID, keepFrom int64) error {
 	}
 	for _, vs := range ls.verts {
 		vs.compact(keepFrom)
+	}
+	return nil
+}
+
+// Truncate implements Store.
+func (s *MemStore) Truncate(loop LoopID, above int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ls, ok := s.loops[loop]
+	if !ok {
+		return nil
+	}
+	for id, vs := range ls.verts {
+		if vs.truncate(above) {
+			delete(ls.verts, id)
+		}
 	}
 	return nil
 }

@@ -11,9 +11,20 @@
 // layer above tolerates duplicates through the causality rule (stale updates
 // are discarded).
 //
-// Fault injection hooks (Kill, Recover, DropRate) let the benchmark harness
-// reproduce the paper's failure experiments (Figures 8c and 8d)
-// deterministically.
+// Retransmission backs off exponentially with jitter so a dead peer is not
+// hammered at a fixed rate, and an optional MaxResends cap moves frames that
+// can never be delivered to a dead-letter counter instead of retrying
+// forever.
+//
+// Fault injection hooks reproduce the paper's failure experiments (Figures
+// 8c and 8d) deterministically, at two severities:
+//
+//   - Kill/Recover pause a node: frames to it vanish but senders keep them
+//     buffered, so recovery replays everything (a network partition).
+//   - Crash tears a node down: its inbox, dedup state and send buffers are
+//     discarded and its sequence state is gone — exactly what a process
+//     crash loses. Recovery of crashed state is the engine layer's job
+//     (restart from the last terminated-iteration checkpoint).
 package transport
 
 import (
@@ -42,16 +53,50 @@ type frame struct {
 	payload  any
 }
 
+// Stats are the network's delivery counters. The engine owns one Stats and
+// threads it through every Network it builds, so counts survive the network
+// teardown/rebuild a crash recovery performs.
+type Stats struct {
+	// Sent counts every frame accepted for transmission (including resends
+	// and duplicates); Delivered counts frames handed to live receivers.
+	Sent      metrics.Counter
+	Delivered metrics.Counter
+	// Resent counts retransmissions after the ack timeout; AckFrames counts
+	// acknowledgement frames sent by receivers; Dropped and Duplicated count
+	// fault-injected in-flight losses and duplications.
+	Resent     metrics.Counter
+	AckFrames  metrics.Counter
+	Dropped    metrics.Counter
+	Duplicated metrics.Counter
+	// DeadLetters counts frames abandoned after MaxResends retransmission
+	// attempts — typically traffic addressed to a crashed endpoint.
+	DeadLetters metrics.Counter
+}
+
 // Options configure a Network.
 type Options struct {
 	// ResendAfter is how long a message may stay unacknowledged before it is
-	// retransmitted. Zero disables retransmission (exact-once channels).
+	// first retransmitted. Zero disables retransmission (exact-once
+	// channels). Subsequent retransmissions of the same frame back off
+	// exponentially (doubling, with up to 25% jitter) capped at MaxBackoff.
 	ResendAfter time.Duration
-	// DropSeed seeds the fault-injection RNG.
+	// MaxBackoff caps the per-frame retransmission interval (default
+	// 64 × ResendAfter).
+	MaxBackoff time.Duration
+	// MaxResends caps retransmission attempts per frame; a frame exceeding
+	// it is abandoned and counted in Stats.DeadLetters. Zero means
+	// unlimited (legacy behavior).
+	MaxResends int
+	// DropSeed seeds the fault-injection and jitter RNGs.
 	DropSeed int64
+	// Stats, when non-nil, receives the network's counters; otherwise the
+	// network allocates its own.
+	Stats *Stats
 }
 
-// Network connects a set of endpoints. Create one per topology.
+// Network connects a set of endpoints. Create one per topology (or per loop
+// incarnation: a crash recovery tears the old network down and builds a
+// fresh one over the same Stats).
 type Network struct {
 	mu        sync.Mutex
 	endpoints map[NodeID]*Endpoint
@@ -61,26 +106,25 @@ type Network struct {
 	dupRate   float64 // probability of duplicating a data frame in flight
 	closed    bool
 
-	// Sent counts every frame accepted for transmission (including resends
-	// and duplicates); Delivered counts frames handed to live receivers.
-	Sent      metrics.Counter
-	Delivered metrics.Counter
-	// Resent counts retransmissions after the ack timeout; AckFrames counts
-	// acknowledgement frames sent by receivers; Dropped and Duplicated count
-	// fault-injected in-flight losses and duplications. All are observability
-	// counters the engine exposes through its registry scope.
-	Resent     metrics.Counter
-	AckFrames  metrics.Counter
-	Dropped    metrics.Counter
-	Duplicated metrics.Counter
+	// Stats holds the delivery counters (shared with the creator when
+	// Options.Stats was set).
+	Stats *Stats
 }
 
 // NewNetwork returns an empty network.
 func NewNetwork(opts Options) *Network {
+	if opts.MaxBackoff <= 0 {
+		opts.MaxBackoff = 64 * opts.ResendAfter
+	}
+	st := opts.Stats
+	if st == nil {
+		st = &Stats{}
+	}
 	return &Network{
 		endpoints: make(map[NodeID]*Endpoint),
 		opts:      opts,
 		rng:       rand.New(rand.NewSource(opts.DropSeed)),
+		Stats:     st,
 	}
 }
 
@@ -106,6 +150,7 @@ func (n *Network) Register(id NodeID) *Endpoint {
 		nextSeq: make(map[NodeID]uint64),
 		unacked: make(map[NodeID]map[uint64]*pending),
 		seen:    make(map[NodeID]map[uint64]bool),
+		rng:     rand.New(rand.NewSource(n.opts.DropSeed ^ int64(id)<<17 ^ 0x5bf03635)),
 	}
 	ep.cond = sync.NewCond(&ep.mu)
 	n.endpoints[id] = ep
@@ -116,13 +161,11 @@ func (n *Network) Register(id NodeID) *Endpoint {
 	return ep
 }
 
-// Kill simulates a crash of node id: frames to it vanish (senders keep them
-// buffered for retransmission), and its own sends are suppressed.
+// Kill simulates a network partition of node id: frames to it vanish
+// (senders keep them buffered for retransmission), and its own sends are
+// suppressed. State is preserved; Recover undoes it.
 func (n *Network) Kill(id NodeID) {
-	n.mu.Lock()
-	ep := n.endpoints[id]
-	n.mu.Unlock()
-	if ep != nil {
+	if ep := n.endpoint(id); ep != nil {
 		ep.setDead(true)
 	}
 }
@@ -130,16 +173,45 @@ func (n *Network) Kill(id NodeID) {
 // Recover reverses Kill: the node receives again, and retransmissions of
 // frames lost while it was down will reach it.
 func (n *Network) Recover(id NodeID) {
-	n.mu.Lock()
-	ep := n.endpoints[id]
-	n.mu.Unlock()
-	if ep != nil {
+	if ep := n.endpoint(id); ep != nil {
 		ep.setDead(false)
 	}
 }
 
-// Close shuts down every endpoint.
+// Crash tears node id down with true crash semantics: its inbox (delivered
+// but unprocessed messages), send buffers (unacknowledged frames) and dedup
+// state are discarded, and blocked Recv calls return false immediately. The
+// endpoint cannot be revived — recovery means building a new topology.
+func (n *Network) Crash(id NodeID) {
+	if ep := n.endpoint(id); ep != nil {
+		ep.Crash()
+	}
+}
+
+func (n *Network) endpoint(id NodeID) *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.endpoints[id]
+}
+
+// Close shuts down every endpoint gracefully: receivers may drain their
+// remaining inboxes.
 func (n *Network) Close() {
+	for _, ep := range n.snapshotEndpoints() {
+		ep.Close()
+	}
+}
+
+// Abort crashes every endpoint: all in-flight and queued traffic is
+// discarded and receivers unblock immediately. The engine uses it to tear a
+// failed loop incarnation down before restarting from a checkpoint.
+func (n *Network) Abort() {
+	for _, ep := range n.snapshotEndpoints() {
+		ep.Crash()
+	}
+}
+
+func (n *Network) snapshotEndpoints() []*Endpoint {
 	n.mu.Lock()
 	eps := make([]*Endpoint, 0, len(n.endpoints))
 	for _, ep := range n.endpoints {
@@ -147,9 +219,7 @@ func (n *Network) Close() {
 	}
 	n.closed = true
 	n.mu.Unlock()
-	for _, ep := range eps {
-		ep.Close()
-	}
+	return eps
 }
 
 // route hands a frame to the destination endpoint, applying fault injection.
@@ -166,20 +236,22 @@ func (n *Network) route(f frame) {
 		return
 	}
 	if !f.ack && drop > 0 && roll < drop {
-		n.Dropped.Inc()
+		n.Stats.Dropped.Inc()
 		return // lost in flight; the resend loop will retry
 	}
 	dst.deliver(f)
 	if !f.ack && dup > 0 && roll2 < dup {
-		n.Duplicated.Inc()
+		n.Stats.Duplicated.Inc()
 		dst.deliver(f) // duplicated in flight; receiver must dedup
 	}
 }
 
-// pending is an unacknowledged outgoing frame.
+// pending is an unacknowledged outgoing frame with its retransmission state.
 type pending struct {
-	f      frame
-	sentAt time.Time
+	f        frame
+	nextAt   time.Time     // earliest next retransmission
+	backoff  time.Duration // current retransmission interval
+	attempts int           // retransmissions so far
 }
 
 // Endpoint is one node's attachment to the network. Send and Recv are safe
@@ -193,9 +265,11 @@ type Endpoint struct {
 	inbox   []Envelope
 	closed  bool
 	dead    bool
+	crashed bool
 	nextSeq map[NodeID]uint64
 	unacked map[NodeID]map[uint64]*pending
 	seen    map[NodeID]map[uint64]bool
+	rng     *rand.Rand // jitter; guarded by mu
 
 	resendStop chan struct{}
 }
@@ -216,16 +290,16 @@ func (e *Endpoint) Send(to NodeID, payload any) {
 	seq := e.nextSeq[to]
 	e.nextSeq[to] = seq + 1
 	f := frame{from: e.id, to: to, seq: seq, payload: payload}
-	if e.net.opts.ResendAfter > 0 {
+	if after := e.net.opts.ResendAfter; after > 0 {
 		m := e.unacked[to]
 		if m == nil {
 			m = make(map[uint64]*pending)
 			e.unacked[to] = m
 		}
-		m[seq] = &pending{f: f, sentAt: time.Now()}
+		m[seq] = &pending{f: f, nextAt: time.Now().Add(after), backoff: after}
 	}
 	e.mu.Unlock()
-	e.net.Sent.Inc()
+	e.net.Stats.Sent.Inc()
 	e.net.route(f)
 }
 
@@ -257,16 +331,16 @@ func (e *Endpoint) deliver(f frame) {
 	}
 	e.mu.Unlock()
 	if !dup {
-		e.net.Delivered.Inc()
+		e.net.Stats.Delivered.Inc()
 	}
 	if e.net.opts.ResendAfter > 0 {
-		e.net.AckFrames.Inc()
+		e.net.Stats.AckFrames.Inc()
 		e.net.route(frame{from: e.id, to: f.from, seq: f.seq, ack: true})
 	}
 }
 
 // Recv blocks until a message arrives or the endpoint closes. The second
-// result is false once the endpoint is closed and drained.
+// result is false once the endpoint is closed and drained (or crashed).
 func (e *Endpoint) Recv() (Envelope, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -300,7 +374,8 @@ func (e *Endpoint) Pending() int {
 	return len(e.inbox)
 }
 
-// Close shuts the endpoint down; blocked Recv calls return false.
+// Close shuts the endpoint down gracefully; blocked Recv calls return false
+// after the inbox drains.
 func (e *Endpoint) Close() {
 	e.mu.Lock()
 	if e.closed {
@@ -315,16 +390,52 @@ func (e *Endpoint) Close() {
 	e.mu.Unlock()
 }
 
+// Crash tears the endpoint down with true crash semantics: queued incoming
+// messages, unacknowledged outgoing frames and dedup state are all
+// discarded, as a process crash would lose them. Blocked Recv calls return
+// false immediately (nothing is drained). Idempotent.
+func (e *Endpoint) Crash() {
+	e.mu.Lock()
+	if e.crashed {
+		e.mu.Unlock()
+		return
+	}
+	e.crashed = true
+	e.dead = true
+	e.inbox = nil
+	e.unacked = make(map[NodeID]map[uint64]*pending)
+	e.seen = make(map[NodeID]map[uint64]bool)
+	if !e.closed {
+		e.closed = true
+		if e.resendStop != nil {
+			close(e.resendStop)
+		}
+	}
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// Crashed reports whether the endpoint was torn down by Crash.
+func (e *Endpoint) Crashed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.crashed
+}
+
 func (e *Endpoint) setDead(dead bool) {
 	e.mu.Lock()
 	e.dead = dead
 	e.mu.Unlock()
 }
 
-// resendLoop periodically retransmits unacknowledged frames.
+// resendLoop periodically retransmits unacknowledged frames. Each frame
+// backs off exponentially (doubling with up to 25% jitter, capped at
+// MaxBackoff); frames exceeding MaxResends attempts are dead-lettered.
 func (e *Endpoint) resendLoop(after time.Duration) {
 	tick := time.NewTicker(after / 2)
 	defer tick.Stop()
+	maxResends := e.net.opts.MaxResends
+	maxBackoff := e.net.opts.MaxBackoff
 	for {
 		select {
 		case <-e.resendStop:
@@ -333,23 +444,41 @@ func (e *Endpoint) resendLoop(after time.Duration) {
 		}
 		now := time.Now()
 		var retry []frame
+		dead := 0
 		e.mu.Lock()
 		if e.dead || e.closed {
 			e.mu.Unlock()
 			continue
 		}
 		for _, m := range e.unacked {
-			for _, p := range m {
-				if now.Sub(p.sentAt) >= after {
-					retry = append(retry, p.f)
-					p.sentAt = now
+			for seq, p := range m {
+				if now.Before(p.nextAt) {
+					continue
 				}
+				if maxResends > 0 && p.attempts >= maxResends {
+					delete(m, seq)
+					dead++
+					continue
+				}
+				p.attempts++
+				p.backoff *= 2
+				if p.backoff > maxBackoff {
+					p.backoff = maxBackoff
+				}
+				// Jitter desynchronizes retransmission bursts after a
+				// recovery (up to +25% of the interval).
+				jitter := time.Duration(e.rng.Int63n(int64(p.backoff)/4 + 1))
+				p.nextAt = now.Add(p.backoff + jitter)
+				retry = append(retry, p.f)
 			}
 		}
 		e.mu.Unlock()
+		for i := 0; i < dead; i++ {
+			e.net.Stats.DeadLetters.Inc()
+		}
 		for _, f := range retry {
-			e.net.Sent.Inc()
-			e.net.Resent.Inc()
+			e.net.Stats.Sent.Inc()
+			e.net.Stats.Resent.Inc()
 			e.net.route(f)
 		}
 	}

@@ -172,11 +172,92 @@ func TestCountersTrackTraffic(t *testing.T) {
 	a.Send(3, 2)
 	c.Recv()
 	c.Recv()
-	if n.Sent.Value() != 2 {
-		t.Fatalf("Sent = %d; want 2", n.Sent.Value())
+	if n.Stats.Sent.Value() != 2 {
+		t.Fatalf("Sent = %d; want 2", n.Stats.Sent.Value())
 	}
-	if n.Delivered.Value() != 2 {
-		t.Fatalf("Delivered = %d; want 2", n.Delivered.Value())
+	if n.Stats.Delivered.Value() != 2 {
+		t.Fatalf("Delivered = %d; want 2", n.Stats.Delivered.Value())
+	}
+}
+
+func TestSharedStatsSurviveRebuild(t *testing.T) {
+	st := &Stats{}
+	n1 := NewNetwork(Options{Stats: st})
+	a := n1.Register(1)
+	n1.Register(2)
+	a.Send(2, "x")
+	n1.Abort()
+	n2 := NewNetwork(Options{Stats: st})
+	defer n2.Close()
+	b := n2.Register(1)
+	n2.Register(2)
+	b.Send(2, "y")
+	if st.Sent.Value() != 2 {
+		t.Fatalf("shared Sent = %d across rebuild; want 2", st.Sent.Value())
+	}
+}
+
+func TestResendBackoffCapDeadLetters(t *testing.T) {
+	n := NewNetwork(Options{ResendAfter: 2 * time.Millisecond, MaxResends: 3, DropSeed: 7})
+	defer n.Close()
+	a := n.Register(1)
+	n.Register(2).Crash() // dead forever: every frame to it is undeliverable
+	const total = 5
+	for i := 0; i < total; i++ {
+		a.Send(2, i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for n.Stats.DeadLetters.Value() < total {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d frames dead-lettered", n.Stats.DeadLetters.Value(), total)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	waitZeroUnacked(t, a) // abandoned frames must leave the send buffer
+	if r := n.Stats.Resent.Value(); r != total*3 {
+		t.Fatalf("Resent = %d; want exactly MaxResends per frame (%d)", r, total*3)
+	}
+}
+
+func TestResendBacksOffExponentially(t *testing.T) {
+	const after = 4 * time.Millisecond
+	n := NewNetwork(Options{ResendAfter: after, DropSeed: 3})
+	defer n.Close()
+	a := n.Register(1)
+	n.Register(2)
+	n.Kill(2) // frames to it vanish but stay buffered at the sender
+	a.Send(2, "slow")
+	// With doubling backoff the first ~90ms allow at most attempts at
+	// 4, 8+j, 16+j, 32+j, 64+j ms — i.e. no more than 5; a fixed-interval
+	// retransmitter would have fired ~22 times.
+	time.Sleep(90 * time.Millisecond)
+	if r := n.Stats.Resent.Value(); r > 6 {
+		t.Fatalf("Resent = %d after 90ms; backoff is not exponential", r)
+	}
+}
+
+func TestCrashDiscardsState(t *testing.T) {
+	n := NewNetwork(Options{ResendAfter: 5 * time.Millisecond})
+	defer n.Close()
+	a := n.Register(1)
+	b := n.Register(2)
+	a.Send(2, "queued")
+	time.Sleep(10 * time.Millisecond) // let it arrive in b's inbox
+	b.Crash()
+	if _, ok := b.TryRecv(); ok {
+		t.Fatal("crashed endpoint still delivered queued input")
+	}
+	if _, ok := b.Recv(); ok {
+		t.Fatal("Recv on crashed endpoint did not unblock with false")
+	}
+	if !b.Crashed() {
+		t.Fatal("Crashed() = false after Crash")
+	}
+	// Sends from a crashed endpoint are suppressed.
+	b.Send(1, "ghost")
+	time.Sleep(5 * time.Millisecond)
+	if _, ok := a.TryRecv(); ok {
+		t.Fatal("crashed endpoint's send was delivered")
 	}
 }
 

@@ -57,12 +57,26 @@ type (
 	Tuple = stream.Tuple
 	// TraceEvent is one recorded protocol transition (see obs.Event).
 	TraceEvent = obs.Event
+	// RecoveryEvent is one entry of the crash-recovery log.
+	RecoveryEvent = engine.RecoveryEvent
+	// Fault is one entry of a deterministic chaos schedule.
+	Fault = engine.Fault
+	// FaultKind selects what a planned fault does.
+	FaultKind = engine.FaultKind
+	// FaultPlan is a deterministic chaos schedule of crashes.
+	FaultPlan = engine.FaultPlan
 )
 
 // Loop kind values.
 const (
 	MainLoop   = engine.MainLoop
 	BranchLoop = engine.BranchLoop
+)
+
+// Planned fault kinds.
+const (
+	FaultCrashProcessor = engine.FaultCrashProcessor
+	FaultCrashMaster    = engine.FaultCrashMaster
 )
 
 // RegisterStateType registers a concrete vertex-state type for
@@ -84,6 +98,29 @@ type Options struct {
 	ResendAfter time.Duration
 	// Seed drives engine-internal randomness (default 1).
 	Seed int64
+
+	// Supervision. With a non-zero HeartbeatInterval the main loop runs
+	// under a failure detector: every processor and the master send
+	// periodic heartbeats, and a node silent for SuspectAfter intervals is
+	// declared dead and the loop restarted from the last terminated
+	// iteration's checkpoint (Section 5.3 of the paper).
+
+	// HeartbeatInterval enables supervised crash recovery with the given
+	// heartbeat period (default 0: unsupervised; crashes then need a
+	// manual Engine().RecoverFromCheckpoint).
+	HeartbeatInterval time.Duration
+	// SuspectAfter is how many missed heartbeats declare a node dead
+	// (default 3).
+	SuspectAfter int
+	// MaxRestarts quarantines a processor that crashes more than this many
+	// times within RestartWindow; its partition is remapped onto the
+	// survivors (default 5; 0 disables quarantine).
+	MaxRestarts int
+	// RestartWindow is the sliding window for MaxRestarts (default 1m).
+	RestartWindow time.Duration
+	// RestartBackoff is the base of the exponential backoff between
+	// successive restarts (default: one heartbeat interval).
+	RestartBackoff time.Duration
 
 	// Observability. Every System carries an obs.Hub: protocol counters,
 	// frontier gauges and a sampled three-phase protocol tracer register
@@ -149,15 +186,20 @@ func New(program Program, opts Options) (*System, error) {
 		TraceSampleEvery: opts.TraceSampleEvery,
 	})
 	e, err := engine.New(engine.Config{
-		Processors:  opts.Processors,
-		DelayBound:  opts.DelayBound,
-		Kind:        engine.MainLoop,
-		LoopID:      storage.MainLoop,
-		Store:       opts.Store,
-		Program:     program,
-		ResendAfter: opts.ResendAfter,
-		Seed:        opts.Seed,
-		Obs:         hub,
+		Processors:        opts.Processors,
+		DelayBound:        opts.DelayBound,
+		Kind:              engine.MainLoop,
+		LoopID:            storage.MainLoop,
+		Store:             opts.Store,
+		Program:           program,
+		ResendAfter:       opts.ResendAfter,
+		Seed:              opts.Seed,
+		Obs:               hub,
+		HeartbeatInterval: opts.HeartbeatInterval,
+		SuspectAfter:      opts.SuspectAfter,
+		MaxRestarts:       opts.MaxRestarts,
+		RestartWindow:     opts.RestartWindow,
+		RestartBackoff:    opts.RestartBackoff,
 	})
 	if err != nil {
 		return nil, err
@@ -359,6 +401,34 @@ func (s *System) Reshard(newProcs int, timeout time.Duration) error {
 	s.main = ne
 	return nil
 }
+
+// CrashProcessor crashes main-loop processor i with true crash semantics:
+// its in-memory vertex states, pending inputs and in-flight frames are
+// discarded (unlike a pause, which merely delays them). With supervision
+// enabled (Options.HeartbeatInterval) the failure is detected via missed
+// heartbeats and the loop restarts from the last checkpoint automatically;
+// without it, call RecoverFromCheckpoint.
+func (s *System) CrashProcessor(i int) { s.engine().CrashProcessor(i) }
+
+// CrashMaster crashes the main loop's master: termination notifications stop
+// and no further checkpoints are taken until recovery.
+func (s *System) CrashMaster() { s.engine().CrashMaster() }
+
+// RecoverFromCheckpoint manually restarts the main loop from the last
+// terminated iteration's checkpoint. It returns false when there is nothing
+// to do (system closed, or a concurrent recovery already ran).
+func (s *System) RecoverFromCheckpoint() bool { return s.engine().RecoverFromCheckpoint() }
+
+// InjectFaultPlan arms a deterministic chaos schedule against the main loop:
+// crash processor i at iteration k, crash the master, crash mid-fork.
+func (s *System) InjectFaultPlan(plan FaultPlan) { s.engine().InjectFaultPlan(plan) }
+
+// RecoveryLog returns the main loop's crash-recovery event log (crashes,
+// suspicions, restarts, quarantines) in chronological order.
+func (s *System) RecoveryLog() []RecoveryEvent { return s.engine().RecoveryLog() }
+
+// Quarantined returns the indexes of quarantined main-loop processors.
+func (s *System) Quarantined() []int { return s.engine().Quarantined() }
 
 // Stats returns the main loop's counters.
 func (s *System) Stats() StatsSnapshot { return s.engine().StatsSnapshot() }
