@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-all vet bench chaos check clean
+.PHONY: all build test race race-all vet bench bench-queries chaos check clean
 
 all: check
 
@@ -34,7 +34,12 @@ chaos:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
-check: build vet test race chaos
+# Query-serving benchmark (small scale): prints the coalesced-vs-uncoalesced
+# table and leaves the BENCH_queries.json artifact.
+bench-queries:
+	$(GO) run ./cmd/tornado-bench -experiment queries -scale small
+
+check: build vet test race chaos bench-queries
 
 clean:
 	$(GO) clean ./...

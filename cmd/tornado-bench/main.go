@@ -7,7 +7,7 @@
 //	tornado-bench [-scale small|full] [-experiment id|all]
 //
 // Experiment IDs: fig5a fig5b fig5c fig6 fig7 tab2 (includes fig8a) fig8b
-// fig8c fig8d fig9 tab3.
+// fig8c fig8d fig9 tab3 ablation queries.
 package main
 
 import (
@@ -47,6 +47,7 @@ var experiments = []experiment{
 	{"fig9", "scalability: speedup and message throughput", wrap(bench.RunFig9)},
 	{"tab3", "system comparison: spark/graphlab/naiad-like vs tornado", wrap(bench.RunTable3)},
 	{"ablation", "design-choice ablations (prepare-skip, fork fast path, store backend)", wrap(bench.RunAblations)},
+	{"queries", "query service: latency/throughput at 1/8/64 clients, coalesced vs uncoalesced", wrap(bench.RunQueries)},
 }
 
 func main() {
@@ -92,6 +93,15 @@ func main() {
 			log.Fatalf("%s: %v", e.id, err)
 		}
 		fmt.Print(rep.String())
+		// Reports that can serialize themselves also leave a JSON artifact
+		// next to the working directory (e.g. BENCH_queries.json).
+		if w, ok := rep.(interface{ WriteArtifact(string) error }); ok {
+			artifact := fmt.Sprintf("BENCH_%s.json", e.id)
+			if err := w.WriteArtifact(artifact); err != nil {
+				log.Fatalf("%s: write %s: %v", e.id, artifact, err)
+			}
+			fmt.Printf("    [artifact: %s]\n", artifact)
+		}
 		fmt.Printf("    [%s completed in %v]\n\n", e.id, time.Since(start).Round(time.Millisecond))
 	}
 	if ran == 0 {

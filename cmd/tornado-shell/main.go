@@ -14,6 +14,11 @@
 //	remove <src> <dst>   retract the edge
 //	load <n> <epv> <seed> generate a power-law graph and ingest it
 //	query                fork a branch loop and print the fixed point
+//	submit [d] [p]       enqueue an async query (staleness tolerance d
+//	                     journal deltas, priority p) and print its ticket id
+//	queries              list live/finished tickets and service counters
+//	result <id>          collect a finished ticket's fixed point
+//	cancel <id>          cancel a queued/running ticket
 //	approx               print the main loop's current approximation
 //	merge                query, then merge the result back (Section 5.2)
 //	stats                runtime counters and loop snapshot
@@ -34,6 +39,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -132,6 +138,108 @@ func main() {
 			runQuery(sys, render, false)
 		case "merge":
 			runQuery(sys, render, true)
+		case "submit":
+			var spec tornado.QuerySpec
+			if len(fields) > 1 {
+				d, err := strconv.ParseUint(fields[1], 10, 64)
+				if err != nil {
+					fmt.Println("usage: submit [stale-deltas] [priority]")
+					continue
+				}
+				spec.MaxStaleDeltas = d
+			}
+			if len(fields) > 2 {
+				p, err := strconv.Atoi(fields[2])
+				if err != nil {
+					fmt.Println("usage: submit [stale-deltas] [priority]")
+					continue
+				}
+				spec.Priority = p
+			}
+			tk, err := sys.Submit(context.Background(), spec)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("ticket %d submitted ('result %d' to collect, 'queries' to list)\n", tk.ID(), tk.ID())
+		case "queries":
+			qs := sys.QueryService()
+			for _, info := range qs.Queries() {
+				line := fmt.Sprintf("  #%-4d %-8s age=%-12v prio=%d", info.ID, info.State, info.Age.Round(time.Millisecond), info.Priority)
+				if info.Coalesced {
+					line += " coalesced"
+				}
+				if info.CacheHit {
+					line += " cache-hit"
+				}
+				if info.Err != "" {
+					line += " error=" + info.Err
+				}
+				fmt.Println(line)
+			}
+			snap := qs.Snapshot()
+			fmt.Printf("submitted=%d admitted=%d coalesced=%d cache-hits=%d shed=%d cancelled=%d expired=%d\n",
+				snap.Submitted, snap.Admitted, snap.Coalesced, snap.CacheHits, snap.Shed, snap.Cancelled, snap.Expired)
+			fmt.Printf("queue-depth=%d inflight=%d cached=%d live-tickets=%d\n",
+				snap.QueueDepth, snap.Inflight, snap.Cached, snap.Tickets)
+		case "result":
+			if len(fields) != 2 {
+				fmt.Println("usage: result <ticket-id>")
+				continue
+			}
+			id, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			tk, ok := sys.QueryService().Ticket(id)
+			if !ok {
+				fmt.Println("no such ticket (already collected or cancelled?)")
+				continue
+			}
+			res, qerr, done := tk.Poll()
+			if !done {
+				fmt.Println("still pending (try again, or 'cancel' it)")
+				continue
+			}
+			if qerr != nil {
+				fmt.Println("query failed:", qerr)
+				continue
+			}
+			var lines []string
+			scanErr := res.Scan(func(id tornado.VertexID, state any) error {
+				lines = append(lines, render(id, state))
+				return nil
+			})
+			if scanErr != nil {
+				fmt.Println("error:", scanErr)
+				res.Close()
+				continue
+			}
+			printSorted(lines)
+			tag := ""
+			if res.CacheHit {
+				tag = fmt.Sprintf(", served from cache %d deltas stale", res.Staleness)
+			} else if res.Coalesced {
+				tag = ", coalesced with a concurrent query"
+			}
+			fmt.Printf("(latency %v%s)\n", res.Latency.Round(time.Microsecond), tag)
+			res.Close()
+		case "cancel":
+			if len(fields) != 2 {
+				fmt.Println("usage: cancel <ticket-id>")
+				continue
+			}
+			id, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			if sys.QueryService().Cancel(id) {
+				fmt.Println("cancelled")
+			} else {
+				fmt.Println("no such ticket")
+			}
 		case "approx":
 			var lines []string
 			err := sys.ScanApprox(func(id tornado.VertexID, state any) error {
@@ -238,7 +346,7 @@ func main() {
 			sys.Watch(tornado.VertexID(id))
 			fmt.Printf("watching vertex %d (all its protocol events are now traced)\n", id)
 		case "help":
-			fmt.Println("commands: add s d | remove s d | load n epv seed | query | merge | approx | stats | trace id | watch id | crash i|master | recover | faults | quit")
+			fmt.Println("commands: add s d | remove s d | load n epv seed | query | submit [d] [p] | queries | result id | cancel id | merge | approx | stats | trace id | watch id | crash i|master | recover | faults | quit")
 		case "quit", "exit":
 			return
 		default:

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -59,10 +60,20 @@ func main() {
 	}()
 
 	// Query while the producer is still pushing: the main loop never stops
-	// ingesting, and each branch answers for its own instant.
-	for i := 0; i < 3; i++ {
-		time.Sleep(50 * time.Millisecond)
-		res, err := sys.Query(time.Minute)
+	// ingesting, and each branch answers for its own instant. The three
+	// tickets are submitted together, so they land on the same journal
+	// frontier and the service coalesces them onto a single fork.
+	time.Sleep(50 * time.Millisecond)
+	tickets := make([]*tornado.Ticket, 3)
+	for i := range tickets {
+		t, err := sys.Submit(context.Background(), tornado.QuerySpec{Timeout: time.Minute})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tickets[i] = t
+	}
+	for i, t := range tickets {
+		res, err := t.Wait(context.Background())
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -75,8 +86,8 @@ func main() {
 		}); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("query %d: %d vertices reachable, latency %v\n",
-			i+1, reachable, res.Latency.Round(time.Millisecond))
+		fmt.Printf("query %d: %d vertices reachable, latency %v, coalesced=%v\n",
+			i+1, reachable, res.Latency.Round(time.Millisecond), res.Coalesced)
 		res.Close()
 	}
 

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -57,28 +58,55 @@ func main() {
 		stream.AddEdge(8, 5, 3),
 	})
 
-	res, err = sys.Query(time.Minute)
+	// Queries are served asynchronously: Submit returns a ticket immediately
+	// (the query waits its turn behind admission control) and Wait collects
+	// the converged result. sys.Query is just Submit+Wait in one call.
+	ticket, err := sys.Submit(context.Background(), tornado.QuerySpec{Timeout: time.Minute})
+	if err != nil {
+		log.Fatal(err)
+	}
+	qres, err := ticket.Wait(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("distances after the retraction and detour:")
-	printDistances(res)
-	fmt.Printf("query converged in %v (forked at main-loop iteration %d)\n",
-		res.Latency.Round(time.Millisecond), res.ForkIteration())
-	res.Close()
-}
-
-func printDistances(res *tornado.Result) {
-	err := res.Scan(func(id tornado.VertexID, state any) error {
-		d := state.(*algorithms.SSSPState).Length
-		if d >= algorithms.Unreachable {
-			fmt.Printf("  vertex %d: unreachable\n", id)
-		} else {
-			fmt.Printf("  vertex %d: %d hops\n", id, d)
-		}
+	err = qres.Scan(func(id tornado.VertexID, state any) error {
+		printDistance(id, state)
 		return nil
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	fmt.Printf("query converged in %v (forked at main-loop iteration %d)\n",
+		qres.Latency.Round(time.Millisecond), qres.ForkSpec().ForkIter)
+	qres.Close()
+
+	// A re-issued query that tolerates a little staleness is answered from
+	// the result cache without forking at all.
+	cached, err := sys.QueryStale(time.Minute, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("re-issued with staleness tolerance: cache hit=%v, latency %v\n",
+		cached.CacheHit, cached.Latency.Round(time.Microsecond))
+	cached.Close()
+}
+
+func printDistances(res *tornado.Result) {
+	err := res.Scan(func(id tornado.VertexID, state any) error {
+		printDistance(id, state)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func printDistance(id tornado.VertexID, state any) {
+	d := state.(*algorithms.SSSPState).Length
+	if d >= algorithms.Unreachable {
+		fmt.Printf("  vertex %d: unreachable\n", id)
+	} else {
+		fmt.Printf("  vertex %d: %d hops\n", id, d)
 	}
 }

@@ -256,9 +256,9 @@ type Engine struct {
 	created  time.Time
 
 	// Supervision counters and event log.
-	crashes    metrics.Counter
-	recoveries metrics.Counter
-	recMu      sync.Mutex
+	crashes     metrics.Counter
+	recoveries  metrics.Counter
+	recMu       sync.Mutex
 	recoveryLog []RecoveryEvent
 
 	// Fault injection (chaos schedules + transport faults, re-applied to
@@ -704,6 +704,25 @@ func (e *Engine) pinFork(iter int64) func() {
 	}
 }
 
+// PinnedForks returns the number of live fork pins: snapshots of this loop
+// still held by running branch loops or retained query results. Compaction
+// never drops versions a pinned snapshot may read, so a nonzero count after
+// every query closed indicates a leak.
+func (e *Engine) PinnedForks() int {
+	e.pinMu.Lock()
+	defer e.pinMu.Unlock()
+	n := 0
+	for _, c := range e.pins {
+		n += c
+	}
+	return n
+}
+
+// ForkJournalSeq returns, on a branch engine, the parent main loop's
+// input-journal sequence at fork time: the number of ingested inputs this
+// branch's fixed point reflects.
+func (e *Engine) ForkJournalSeq() uint64 { return e.forkJournalSeq }
+
 // compactFloor caps a compaction at the oldest pinned fork iteration.
 func (e *Engine) compactFloor(to int64) int64 {
 	e.pinMu.Lock()
@@ -1065,28 +1084,6 @@ func (e *Engine) PauseMaster() { e.masterPaused.Store(true) }
 
 // ResumeMaster resumes a paused master.
 func (e *Engine) ResumeMaster() { e.masterPaused.Store(false) }
-
-// KillProcessor pauses processor i.
-//
-// Deprecated: the historical name is misleading — it pauses (state
-// survives). Use PauseProcessor, or CrashProcessor for a real crash.
-func (e *Engine) KillProcessor(i int) { e.PauseProcessor(i) }
-
-// RecoverProcessor resumes processor i.
-//
-// Deprecated: use ResumeProcessor (recovery from real crashes is
-// RecoverFromCheckpoint or the supervisor).
-func (e *Engine) RecoverProcessor(i int) { e.ResumeProcessor(i) }
-
-// KillMaster pauses the master.
-//
-// Deprecated: use PauseMaster, or CrashMaster for a real crash.
-func (e *Engine) KillMaster() { e.PauseMaster() }
-
-// RecoverMaster resumes the master.
-//
-// Deprecated: use ResumeMaster.
-func (e *Engine) RecoverMaster() { e.ResumeMaster() }
 
 // proc returns processor i of the current incarnation (nil when out of range
 // or quarantined).

@@ -364,7 +364,7 @@ func TestConcurrentBranches(t *testing.T) {
 	}
 }
 
-func TestMasterKillStallsSyncLoop(t *testing.T) {
+func TestMasterPauseStallsSyncLoop(t *testing.T) {
 	// A long path graph makes the cascade last many iterations.
 	var tuples []stream.Tuple
 	for i := 0; i < 400; i++ {
@@ -383,7 +383,7 @@ func TestMasterKillStallsSyncLoop(t *testing.T) {
 	stableSince := time.Now()
 	for time.Since(stableSince) < 150*time.Millisecond {
 		if time.Now().After(deadline) {
-			t.Fatal("commits never settled after master kill")
+			t.Fatal("commits never settled after master pause")
 		}
 		time.Sleep(5 * time.Millisecond)
 		if cur := e.StatsSnapshot().Commits; cur != before {
@@ -401,7 +401,7 @@ func TestMasterKillStallsSyncLoop(t *testing.T) {
 	checkSSSP(t, e, tuples)
 }
 
-func TestMasterKillDoesNotStallUnboundedLoop(t *testing.T) {
+func TestMasterPauseDoesNotStallUnboundedLoop(t *testing.T) {
 	var tuples []stream.Tuple
 	for i := 0; i < 400; i++ {
 		tuples = append(tuples, stream.AddEdge(stream.Timestamp(i+1), stream.VertexID(i), stream.VertexID(i+1)))
@@ -427,7 +427,7 @@ func TestMasterKillDoesNotStallUnboundedLoop(t *testing.T) {
 	checkSSSP(t, e, tuples)
 }
 
-func TestProcessorKillStallsAndRecovers(t *testing.T) {
+func TestProcessorPauseStallsAndResumes(t *testing.T) {
 	tuples := datasets.PowerLawGraph(100, 3, 29)
 	e := newSSSPEngine(t, 4, 16, storage.NewMemStore(), storage.MainLoop)
 	e.Start()

@@ -137,10 +137,10 @@ func TestRandomizedConfigurations(t *testing.T) {
 	}
 }
 
-// TestRepeatedKillRecoverCycles hammers the failure path: several
-// kill/recover cycles of processors and the master while a stream is being
+// TestRepeatedPauseResumeCycles hammers the failure path: several
+// pause/resume cycles of processors and the master while a stream is being
 // absorbed; the final state must still be exact.
-func TestRepeatedKillRecoverCycles(t *testing.T) {
+func TestRepeatedPauseResumeCycles(t *testing.T) {
 	tuples := datasets.PowerLawGraph(120, 3, 83)
 	e := newSSSPEngine(t, 4, 16, storage.NewMemStore(), storage.MainLoop)
 	e.Start()

@@ -101,6 +101,11 @@ func (e *Engine) AdoptBranch(br *Engine) error {
 	return nil
 }
 
+// JournalSeq returns the number of inputs ever ingested (main loops only;
+// zero otherwise). It is the freshness clock of the query service: a branch
+// forked at sequence S reflects exactly the first S inputs.
+func (e *Engine) JournalSeq() uint64 { return e.journalSeq() }
+
 // journalSeq returns the number of inputs ever ingested (main loops only).
 func (e *Engine) journalSeq() uint64 {
 	if e.journal == nil {

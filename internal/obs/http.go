@@ -31,6 +31,9 @@ type Hub struct {
 	statusMu sync.Mutex
 	status   map[string]func() any
 
+	extraMu sync.Mutex
+	extra   map[string]http.Handler
+
 	srvMu sync.Mutex
 	srv   *http.Server
 	lis   net.Listener
@@ -84,11 +87,29 @@ func (h *Hub) StatusSnapshot() map[string]any {
 	return out
 }
 
+// Handle registers an extra route on the exposition surface (e.g. the query
+// service's /query API). Patterns use http.ServeMux syntax. Register before
+// Serve: routes added later are picked up only by subsequent Handler calls.
+func (h *Hub) Handle(pattern string, handler http.Handler) {
+	h.extraMu.Lock()
+	if h.extra == nil {
+		h.extra = make(map[string]http.Handler)
+	}
+	h.extra[pattern] = handler
+	h.extraMu.Unlock()
+}
+
 // Handler returns the exposition mux: /metrics, /statusz, /debug/pprof/...
+// plus every route registered with Handle.
 func (h *Hub) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", h.serveMetrics)
 	mux.HandleFunc("/statusz", h.serveStatusz)
+	h.extraMu.Lock()
+	for pattern, handler := range h.extra {
+		mux.Handle(pattern, handler)
+	}
+	h.extraMu.Unlock()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -1,0 +1,217 @@
+package queryserv
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"tornado/internal/stream"
+)
+
+// API is the service's JSON-over-HTTP surface, designed to hang off the obs
+// hub's exposition mux:
+//
+//	POST   /query       {"timeout_ms", "max_stale_deltas", "max_stale_age_ms",
+//	                     "priority"}            -> {"id", "state"}
+//	GET    /query/{id}                          -> status, or the converged
+//	                                               states once done
+//	DELETE /query/{id}                          -> cancel / discard
+//
+// Submission is asynchronous: POST returns a ticket ID immediately and the
+// client polls GET until "state" is "done". Results submitted over HTTP are
+// retained for TTL after resolving, then auto-discarded (nobody may ever
+// come back for them); in-process clients hold Tickets directly and are not
+// TTL'd.
+type API struct {
+	svc *Service
+	ttl time.Duration
+
+	mu     sync.Mutex
+	expiry map[uint64]time.Time // HTTP-submitted tickets and their discard time
+	stop   chan struct{}
+	once   sync.Once
+}
+
+// NewAPI wraps the service; ttl bounds how long an unclaimed HTTP result is
+// retained (default 2m). Call Close to stop the janitor.
+func NewAPI(svc *Service, ttl time.Duration) *API {
+	if ttl <= 0 {
+		ttl = 2 * time.Minute
+	}
+	a := &API{svc: svc, ttl: ttl, expiry: make(map[uint64]time.Time), stop: make(chan struct{})}
+	go a.janitor()
+	return a
+}
+
+// Close stops the janitor and discards every ticket the API still tracks.
+func (a *API) Close() {
+	a.once.Do(func() { close(a.stop) })
+	a.mu.Lock()
+	ids := make([]uint64, 0, len(a.expiry))
+	for id := range a.expiry {
+		ids = append(ids, id)
+	}
+	a.expiry = make(map[uint64]time.Time)
+	a.mu.Unlock()
+	for _, id := range ids {
+		a.svc.Cancel(id)
+	}
+}
+
+func (a *API) janitor() {
+	tick := time.NewTicker(a.ttl / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case now := <-tick.C:
+			var drop []uint64
+			a.mu.Lock()
+			for id, exp := range a.expiry {
+				if now.After(exp) {
+					drop = append(drop, id)
+					delete(a.expiry, id)
+				}
+			}
+			a.mu.Unlock()
+			for _, id := range drop {
+				a.svc.Cancel(id) // cancels pending, closes uncollected results
+			}
+		}
+	}
+}
+
+// submitRequest is the POST /query body. All fields are optional.
+type submitRequest struct {
+	TimeoutMS      int64  `json:"timeout_ms"`
+	MaxStaleDeltas uint64 `json:"max_stale_deltas"`
+	MaxStaleAgeMS  int64  `json:"max_stale_age_ms"`
+	Priority       int    `json:"priority"`
+}
+
+// ticketStatus is the GET /query/{id} reply (result fields only when done).
+type ticketStatus struct {
+	ID            uint64         `json:"id"`
+	State         string         `json:"state"`
+	Error         string         `json:"error,omitempty"`
+	LatencyMS     float64        `json:"latency_ms,omitempty"`
+	CacheHit      bool           `json:"cache_hit,omitempty"`
+	Coalesced     bool           `json:"coalesced,omitempty"`
+	Staleness     uint64         `json:"staleness_deltas,omitempty"`
+	ForkIteration int64          `json:"fork_iteration,omitempty"`
+	Vertices      map[string]any `json:"vertices,omitempty"`
+}
+
+// SubmitHandler serves POST /query.
+func (a *API) SubmitHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req submitRequest
+		// An empty body is a default query; anything else must parse.
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		t, err := a.svc.Submit(context.Background(), QuerySpec{
+			Timeout:        time.Duration(req.TimeoutMS) * time.Millisecond,
+			MaxStaleDeltas: req.MaxStaleDeltas,
+			MaxStaleAge:    time.Duration(req.MaxStaleAgeMS) * time.Millisecond,
+			Priority:       req.Priority,
+		})
+		if err != nil {
+			code := http.StatusInternalServerError
+			if errors.Is(err, ErrOverloaded) {
+				code = http.StatusServiceUnavailable
+			} else if errors.Is(err, ErrClosed) {
+				code = http.StatusGone
+			}
+			http.Error(w, err.Error(), code)
+			return
+		}
+		a.mu.Lock()
+		a.expiry[t.ID()] = time.Now().Add(a.ttl)
+		a.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.WriteHeader(http.StatusAccepted)
+		_ = json.NewEncoder(w).Encode(a.status(t, false))
+	})
+}
+
+// TicketHandler serves GET and DELETE /query/{id}.
+func (a *API) TicketHandler(prefix string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		idStr := strings.TrimPrefix(r.URL.Path, prefix)
+		id, err := strconv.ParseUint(idStr, 10, 64)
+		if err != nil {
+			http.Error(w, "bad query id", http.StatusBadRequest)
+			return
+		}
+		switch r.Method {
+		case http.MethodDelete:
+			a.mu.Lock()
+			delete(a.expiry, id)
+			a.mu.Unlock()
+			if !a.svc.Cancel(id) {
+				http.NotFound(w, r)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		case http.MethodGet:
+			t, ok := a.svc.Ticket(id)
+			if !ok {
+				http.NotFound(w, r)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			_ = json.NewEncoder(w).Encode(a.status(t, true))
+		default:
+			http.Error(w, "GET or DELETE", http.StatusMethodNotAllowed)
+		}
+	})
+}
+
+// status renders one ticket; withStates additionally embeds the converged
+// vertex states of a done ticket.
+func (a *API) status(t *Ticket, withStates bool) ticketStatus {
+	st := ticketStatus{ID: t.ID(), State: "pending"}
+	res, err, ok := t.Poll()
+	if !ok {
+		return st
+	}
+	st.State = "done"
+	if err != nil {
+		st.State = "error"
+		st.Error = err.Error()
+		return st
+	}
+	st.LatencyMS = float64(res.Latency.Microseconds()) / 1000
+	st.CacheHit = res.CacheHit
+	st.Coalesced = res.Coalesced
+	st.Staleness = res.Staleness
+	st.ForkIteration = res.ForkSpec().ForkIter
+	if withStates {
+		st.Vertices = make(map[string]any)
+		_ = res.Scan(func(id stream.VertexID, state any) error {
+			st.Vertices[strconv.FormatUint(uint64(id), 10)] = state
+			return nil
+		})
+	}
+	return st
+}
+
+// Mount registers the API's routes on an obs-hub-style registrar. Call it
+// before the hub starts serving.
+func (a *API) Mount(handle func(pattern string, h http.Handler)) {
+	handle("/query", a.SubmitHandler())
+	handle("/query/", a.TicketHandler("/query/"))
+}

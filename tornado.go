@@ -26,6 +26,7 @@
 package tornado
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -34,6 +35,7 @@ import (
 
 	"tornado/internal/engine"
 	"tornado/internal/obs"
+	"tornado/internal/queryserv"
 	"tornado/internal/storage"
 	"tornado/internal/stream"
 )
@@ -65,7 +67,18 @@ type (
 	FaultKind = engine.FaultKind
 	// FaultPlan is a deterministic chaos schedule of crashes.
 	FaultPlan = engine.FaultPlan
+	// QuerySpec describes one asynchronous query: deadline, staleness
+	// tolerance, priority, and optional branch configuration hooks.
+	QuerySpec = queryserv.QuerySpec
+	// Ticket is a submitted query's handle (see System.Submit).
+	Ticket = queryserv.Ticket
+	// QueryOptions tune the query service (worker pool, queue bound, cache).
+	QueryOptions = queryserv.Options
 )
+
+// ErrOverloaded is returned by Submit when the query wait queue is full and
+// the query was shed (backpressure; retry later or relax the load).
+var ErrOverloaded = queryserv.ErrOverloaded
 
 // Loop kind values.
 const (
@@ -137,6 +150,12 @@ type Options struct {
 	// (default 64; 1 traces every vertex; negative disables sampling so
 	// only watched vertices are traced).
 	TraceSampleEvery int
+
+	// Query tunes the query service that answers Submit and Query calls:
+	// worker-pool size (concurrent branch loops), wait-queue bound,
+	// shed/backpressure behavior and the freshness-bounded result cache.
+	// The zero value uses the service defaults.
+	Query QueryOptions
 }
 
 func (o *Options) fill() {
@@ -162,6 +181,9 @@ type System struct {
 	store    storage.Store
 	program  Program
 	nextLoop atomic.Uint64
+
+	qs   *queryserv.Service
+	qapi *queryserv.API
 
 	hub          *obs.Hub
 	branchesLive atomic.Int64
@@ -207,14 +229,45 @@ func New(program Program, opts Options) (*System, error) {
 	s := &System{main: e, store: opts.Store, program: program, hub: hub}
 	s.nextLoop.Store(1)
 	s.attachObs()
+	s.qs = queryserv.New(queryserv.Backend{
+		Fork:        s.forkBranch,
+		Drop:        s.dropBranch,
+		JournalSeq:  func() uint64 { return s.engine().JournalSeq() },
+		OnConverged: func(d time.Duration) { s.branchHist.Observe(d.Seconds()) },
+	}, opts.Query, hub)
+	s.qapi = queryserv.NewAPI(s.qs, 0)
+	s.qapi.Mount(hub.Handle) // before Serve: routes are fixed at bind time
 	if opts.MetricsAddr != "" {
 		if _, err := hub.Serve(opts.MetricsAddr); err != nil {
+			s.qapi.Close()
+			s.qs.Close()
 			e.Stop()
 			return nil, fmt.Errorf("tornado: metrics endpoint: %w", err)
 		}
 	}
 	e.Start()
 	return s, nil
+}
+
+// forkBranch is the query service's fork backend: it allocates a loop ID,
+// forks from the current main-loop frontier, and keeps the system-level
+// branch accounting.
+func (s *System) forkBranch(override func(*engine.Config), seed func(*engine.Engine)) (*engine.Engine, engine.ForkSpec, storage.LoopID, error) {
+	loop := storage.LoopID(s.nextLoop.Add(1))
+	br, spec, err := s.engine().ForkBranch(loop, override, seed)
+	if err != nil {
+		return nil, engine.ForkSpec{}, 0, err
+	}
+	s.branchTotal.Add(1)
+	s.branchesLive.Add(1)
+	return br, spec, loop, nil
+}
+
+// dropBranch releases a stopped branch loop's stored versions (every fork
+// passes through here exactly once, when its last reference closes).
+func (s *System) dropBranch(loop storage.LoopID) {
+	_ = s.store.DropLoop(loop)
+	s.branchesLive.Add(-1)
 }
 
 // attachObs registers the system-level collectors: branch-loop lifecycle
@@ -291,89 +344,100 @@ func (s *System) ScanApprox(fn func(id VertexID, state any) error) error {
 	})
 }
 
-// Result is a converged branch loop's result set. Close it when done.
+// Result is a converged query's result set. Close it when done; Close is
+// idempotent, and coalesced or cached queries may hand several Results
+// backed by one shared branch loop — the loop is released when the last
+// handle (and the result cache) lets go.
 type Result struct {
-	branch *engine.Engine
-	spec   engine.ForkSpec
-	loop   storage.LoopID
-	store  storage.Store
-	sys    *System
-	// Latency is the wall-clock time from fork to convergence.
+	qr *queryserv.Result
+	// Latency is the submitter's end-to-end wall time (queueing, fork and
+	// convergence; near zero for cache hits).
 	Latency time.Duration
+	// CacheHit reports the result was served from the freshness-bounded
+	// cache without forking.
+	CacheHit bool
+	// Coalesced reports the query shared another query's branch loop.
+	Coalesced bool
+}
+
+func wrapResult(qr *queryserv.Result) *Result {
+	return &Result{qr: qr, Latency: qr.Latency, CacheHit: qr.CacheHit, Coalesced: qr.Coalesced}
 }
 
 // Read returns the branch's state of one vertex.
-func (r *Result) Read(id VertexID) (any, int64, error) {
-	return r.branch.ReadState(id, math.MaxInt64)
-}
+func (r *Result) Read(id VertexID) (any, int64, error) { return r.qr.Read(id) }
 
 // Scan visits the branch's state of every vertex in ascending ID order.
-func (r *Result) Scan(fn func(id VertexID, state any) error) error {
-	return r.branch.ScanStates(math.MaxInt64, func(id VertexID, _ int64, state any) error {
-		return fn(id, state)
-	})
-}
+func (r *Result) Scan(fn func(id VertexID, state any) error) error { return r.qr.Scan(fn) }
 
 // Stats returns the branch loop's counters.
-func (r *Result) Stats() StatsSnapshot { return r.branch.StatsSnapshot() }
+func (r *Result) Stats() StatsSnapshot { return r.qr.Engine().StatsSnapshot() }
 
 // IterationLog returns the branch loop's per-iteration records.
-func (r *Result) IterationLog() []IterationRecord { return r.branch.IterationLog() }
+func (r *Result) IterationLog() []IterationRecord { return r.qr.Engine().IterationLog() }
 
 // ForkIteration returns the main-loop iteration the branch was forked at.
-func (r *Result) ForkIteration() int64 { return r.spec.ForkIter }
+func (r *Result) ForkIteration() int64 { return r.qr.ForkSpec().ForkIter }
+
+// ForkSeq returns the number of ingested inputs the result reflects (the
+// input-journal sequence at fork time).
+func (r *Result) ForkSeq() uint64 { return r.qr.ForkSeq() }
 
 // Engine exposes the underlying branch engine (advanced use: custom reads).
-func (r *Result) Engine() *engine.Engine { return r.branch }
+func (r *Result) Engine() *engine.Engine { return r.qr.Engine() }
 
-// Close releases the branch loop's resources and drops its stored versions.
-func (r *Result) Close() {
-	r.branch.Stop()
-	_ = r.store.DropLoop(r.loop)
-	if r.sys != nil {
-		r.sys.branchesLive.Add(-1)
-		r.sys = nil
-	}
+// Close releases this handle on the result. Idempotent; the branch loop's
+// resources and stored versions are dropped once no handle references it.
+func (r *Result) Close() { r.qr.Close() }
+
+// Submit enqueues an asynchronous query with the query service: admission
+// control bounds the number of concurrent branch loops, identical concurrent
+// queries coalesce onto one fork, and queries declaring a staleness
+// tolerance may be answered from the result cache without forking at all.
+// ErrOverloaded means the wait queue was full and the query was shed.
+func (s *System) Submit(ctx context.Context, spec QuerySpec) (*Ticket, error) {
+	return s.qs.Submit(ctx, spec)
 }
 
+// QueryService exposes the serving front end (listing and cancelling
+// queries, counters, advanced tuning).
+func (s *System) QueryService() *queryserv.Service { return s.qs }
+
 // Query forks a branch loop at the current instant, waits for it to
-// converge, and returns its results (Section 5.2). Queries are independent:
-// any number may run concurrently while the main loop keeps ingesting.
+// converge, and returns its results (Section 5.2). It is a thin synchronous
+// wrapper over Submit: the query passes through admission control and may
+// coalesce with concurrent identical queries, but never accepts a stale
+// cached answer.
 func (s *System) Query(timeout time.Duration) (*Result, error) {
-	return s.QueryWith(timeout, nil, nil)
+	return s.submitAndWait(QuerySpec{Timeout: timeout})
+}
+
+// QueryStale is Query with a staleness tolerance: a cached result at most
+// maxDeltas ingested inputs behind the present is accepted without forking.
+func (s *System) QueryStale(timeout time.Duration, maxDeltas uint64) (*Result, error) {
+	return s.submitAndWait(QuerySpec{Timeout: timeout, MaxStaleDeltas: maxDeltas})
 }
 
 // QueryWith is Query with pre-fork hooks: override tweaks the branch
 // configuration (e.g. a different delay bound), and seed, when non-nil, runs
 // under the branch's bootstrap guard before it may converge (e.g. to
-// activate extra vertices such as SGD samplers).
+// activate extra vertices such as SGD samplers). Hooked queries are private:
+// they never coalesce and never touch the cache (set QuerySpec.OverrideKey
+// via Submit to opt a deterministic override into sharing).
 func (s *System) QueryWith(timeout time.Duration, override func(*engine.Config), seed func(*engine.Engine)) (*Result, error) {
-	loop := storage.LoopID(s.nextLoop.Add(1))
-	start := time.Now()
-	br, spec, err := s.engine().ForkBranch(loop, override, seed)
+	return s.submitAndWait(QuerySpec{Timeout: timeout, Override: override, Seed: seed})
+}
+
+func (s *System) submitAndWait(spec QuerySpec) (*Result, error) {
+	t, err := s.qs.Submit(context.Background(), spec)
 	if err != nil {
-		return nil, fmt.Errorf("tornado: fork branch: %w", err)
-	}
-	s.branchTotal.Add(1)
-	s.branchesLive.Add(1)
-	if err := br.WaitDone(timeout); err != nil {
-		br.Stop()
-		_ = s.store.DropLoop(loop)
-		s.branchesLive.Add(-1)
 		return nil, err
 	}
-	latency := time.Since(start)
-	if s.branchHist != nil {
-		s.branchHist.Observe(latency.Seconds())
+	qr, err := t.Wait(context.Background())
+	if err != nil {
+		return nil, err
 	}
-	return &Result{
-		branch:  br,
-		spec:    spec,
-		loop:    loop,
-		store:   s.store,
-		sys:     s,
-		Latency: latency,
-	}, nil
+	return wrapResult(qr), nil
 }
 
 // Merge folds a converged query result back into the main loop's
@@ -384,7 +448,7 @@ func (s *System) QueryWith(timeout time.Duration, override func(*engine.Config),
 // and the main loop is unchanged. The Result remains readable and must
 // still be closed by the caller.
 func (s *System) Merge(res *Result) error {
-	return s.engine().AdoptBranch(res.branch)
+	return s.engine().AdoptBranch(res.qr.Engine())
 }
 
 // Reshard rebalances the main loop onto a new processor count (the paper's
@@ -440,9 +504,11 @@ func (s *System) IterationLog() []IterationRecord { return s.engine().IterationL
 // injection, custom forks).
 func (s *System) Engine() *engine.Engine { return s.engine() }
 
-// Close stops the main loop and the exposition endpoint. Branch results
-// obtained earlier must be closed separately.
+// Close stops the query service, the main loop and the exposition endpoint.
+// Branch results obtained earlier must be closed separately.
 func (s *System) Close() {
+	s.qapi.Close()
+	s.qs.Close()
 	s.engine().Stop()
 	if s.obsScope != nil {
 		s.hub.RemoveStatus("system")

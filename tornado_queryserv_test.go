@@ -1,0 +1,346 @@
+package tornado
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tornado/internal/algorithms"
+	"tornado/internal/datasets"
+	"tornado/internal/stream"
+)
+
+// TestQueryStormExactAndLeakFree fires concurrent storms of mixed
+// fresh/stale/prioritized queries at two quiescent instants and asserts every
+// result is the exact reference fixed point of the journal prefix it was
+// forked at, then that no branch loop or snapshot pin outlives the service.
+func TestQueryStormExactAndLeakFree(t *testing.T) {
+	tuples := datasets.PowerLawGraph(150, 3, 33)
+	extra := []stream.Tuple{
+		stream.AddEdge(9001, 0, 148),
+		stream.AddEdge(9002, 148, 149),
+		stream.AddEdge(9003, 149, 7),
+	}
+	all := append(append([]stream.Tuple{}, tuples...), extra...)
+
+	sys := newSSSP(t, Options{Processors: 3, DelayBound: 32})
+	sys.IngestAll(tuples)
+	if err := sys.WaitQuiesce(waitFor); err != nil {
+		t.Fatal(err)
+	}
+
+	const stormers = 32
+	storm := func() []*Result {
+		t.Helper()
+		results := make([]*Result, stormers)
+		errs := make([]error, stormers)
+		var wg sync.WaitGroup
+		for i := 0; i < stormers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				spec := QuerySpec{Timeout: waitFor, Priority: i % 3}
+				if i%2 == 1 {
+					spec.MaxStaleDeltas = 50 // covers len(extra): may accept cache
+				}
+				tk, err := sys.Submit(context.Background(), spec)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				qr, err := tk.Wait(context.Background())
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				results[i] = wrapResult(qr)
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("stormer %d: %v", i, err)
+			}
+		}
+		return results
+	}
+
+	check := func(results []*Result) {
+		t.Helper()
+		for _, res := range results {
+			prefix := all[:res.ForkSeq()]
+			want := algorithms.RefSSSP(prefix, 0, 64)
+			err := res.Scan(func(id VertexID, state any) error {
+				if got := state.(*algorithms.SSSPState).Length; got != want[id] {
+					t.Fatalf("vertex %d: got %d, reference %d (forkSeq %d)", id, got, want[id], res.ForkSeq())
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res.Close()
+		}
+	}
+
+	check(storm())
+	sys.IngestAll(extra)
+	if err := sys.WaitQuiesce(waitFor); err != nil {
+		t.Fatal(err)
+	}
+	check(storm())
+
+	// Shut the service down (releases the result cache) and verify nothing
+	// leaked: no snapshot pin and no live branch remains.
+	eng := sys.Engine()
+	sys.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for eng.PinnedForks() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d snapshot pins still held after Close", eng.PinnedForks())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// metricValue extracts the value of a Prometheus sample by name prefix
+// (labels included in the match when given).
+func metricValue(t *testing.T, body, name string) (float64, bool) {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		if rest != "" && rest[0] != ' ' && rest[0] != '{' {
+			continue // longer metric name sharing the prefix
+		}
+		i := strings.LastIndexByte(line, ' ')
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		return v, true
+	}
+	return 0, false
+}
+
+// TestQueryServiceMetricsAcceptance is the acceptance scenario: 64 concurrent
+// identical queries cost at most 4 forks, a staleness-tolerant re-issue is a
+// cache hit, and the serving counters are visible on /metrics and /statusz.
+func TestQueryServiceMetricsAcceptance(t *testing.T) {
+	sys := newSSSP(t, Options{Processors: 3, DelayBound: 32, MetricsAddr: "127.0.0.1:0"})
+	sys.IngestAll(datasets.PowerLawGraph(120, 3, 44))
+	if err := sys.WaitQuiesce(waitFor); err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 64
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tk, err := sys.Submit(context.Background(), QuerySpec{Timeout: waitFor})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			qr, err := tk.Wait(context.Background())
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			qr.Close()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+
+	// Re-issue within the staleness bound: served from the cache.
+	reissue, err := sys.QueryStale(waitFor, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reissue.CacheHit {
+		t.Fatal("re-issued query within the staleness bound missed the cache")
+	}
+	reissue.Close()
+
+	resp, err := http.Get(sys.MetricsURL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	admitted, ok := metricValue(t, body, "tornado_queries_admitted_total")
+	if !ok {
+		t.Fatal("tornado_queries_admitted_total missing from /metrics")
+	}
+	if admitted > 4 {
+		t.Fatalf("%d identical concurrent queries admitted %v forks; want <= 4", clients, admitted)
+	}
+	hits, ok := metricValue(t, body, "tornado_queries_cache_hits_total")
+	if !ok || hits < 1 {
+		t.Fatalf("cache hits on /metrics = %v (present %v); want >= 1", hits, ok)
+	}
+	submitted, ok := metricValue(t, body, "tornado_queries_submitted_total")
+	if !ok || submitted < clients+1 {
+		t.Fatalf("submitted on /metrics = %v (present %v); want >= %d", submitted, ok, clients+1)
+	}
+	for _, name := range []string{
+		"tornado_query_queue_depth",
+		"tornado_queries_inflight",
+		"tornado_queries_shed_total",
+		"tornado_queries_coalesced_total",
+		"tornado_queries_expired_total",
+		"tornado_query_cache_entries",
+		"tornado_query_wait_seconds_count",
+		"tornado_query_latency_seconds_count",
+	} {
+		if _, ok := metricValue(t, body, name); !ok {
+			t.Fatalf("%s missing from /metrics", name)
+		}
+	}
+
+	// The same counters surface as a /statusz section.
+	resp, err = http.Get(sys.MetricsURL() + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var statusz map[string]any
+	err = json.NewDecoder(resp.Body).Decode(&statusz)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, ok := statusz["queryserv"].(map[string]any)
+	if !ok {
+		t.Fatalf("/statusz has no queryserv section: %v", statusz)
+	}
+	for _, key := range []string{"submitted", "admitted", "coalesced", "cache_hits", "shed", "queue_depth", "cached"} {
+		if _, ok := qs[key]; !ok {
+			t.Fatalf("/statusz queryserv section lacks %q: %v", key, qs)
+		}
+	}
+	if got := qs["cache_hits"].(float64); got < 1 {
+		t.Fatalf("/statusz cache_hits = %v; want >= 1", got)
+	}
+}
+
+// TestQueryHTTPEndpoint walks the POST /query -> GET /query/{id} ->
+// DELETE /query/{id} flow on the obs hub.
+func TestQueryHTTPEndpoint(t *testing.T) {
+	sys := newSSSP(t, Options{MetricsAddr: "127.0.0.1:0"})
+	sys.IngestAll([]Tuple{
+		stream.AddEdge(1, 0, 1),
+		stream.AddEdge(2, 1, 2),
+		stream.AddEdge(3, 2, 3),
+	})
+	if err := sys.WaitQuiesce(waitFor); err != nil {
+		t.Fatal(err)
+	}
+	base := sys.MetricsURL()
+
+	resp, err := http.Post(base+"/query", "application/json", strings.NewReader(`{"timeout_ms": 30000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /query: %s", resp.Status)
+	}
+	var accepted struct {
+		ID    uint64 `json:"id"`
+		State string `json:"state"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&accepted)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accepted.ID == 0 {
+		t.Fatal("POST /query returned no ticket id")
+	}
+
+	var status struct {
+		State    string         `json:"state"`
+		Error    string         `json:"error"`
+		Vertices map[string]any `json:"vertices"`
+	}
+	deadline := time.Now().Add(waitFor)
+	for {
+		resp, err = http.Get(fmt.Sprintf("%s/query/%d", base, accepted.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /query/%d: %s", accepted.ID, resp.Status)
+		}
+		status = struct {
+			State    string         `json:"state"`
+			Error    string         `json:"error"`
+			Vertices map[string]any `json:"vertices"`
+		}{}
+		err = json.NewDecoder(resp.Body).Decode(&status)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status.State == "done" || status.State == "error" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("query stuck in state %q", status.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if status.State != "done" || status.Error != "" {
+		t.Fatalf("query resolved state=%q error=%q", status.State, status.Error)
+	}
+	v3, ok := status.Vertices["3"].(map[string]any)
+	if !ok {
+		t.Fatalf("GET /query/%d has no vertex 3: %v", accepted.ID, status.Vertices)
+	}
+	if got := v3["Length"].(float64); got != 3 {
+		t.Fatalf("vertex 3 distance over HTTP = %v; want 3", got)
+	}
+
+	// DELETE discards the retained result; a later GET is a 404.
+	req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/query/%d", base, accepted.ID), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE /query/%d: %s", accepted.ID, resp.Status)
+	}
+	resp, err = http.Get(fmt.Sprintf("%s/query/%d", base, accepted.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET after DELETE: %s; want 404", resp.Status)
+	}
+}

@@ -145,14 +145,16 @@ func TestReadApprox(t *testing.T) {
 
 func TestResultCloseDropsLoop(t *testing.T) {
 	store := storage.NewMemStore()
-	sys := newSSSP(t, Options{Store: store})
+	// Disable the result cache so Close releases the last reference.
+	sys := newSSSP(t, Options{Store: store, Query: QueryOptions{DisableCache: true}})
 	sys.Ingest(stream.AddEdge(1, 0, 1))
 	res, err := sys.Query(waitFor)
 	if err != nil {
 		t.Fatal(err)
 	}
-	loop := res.loop
+	loop := res.Engine().Config().LoopID
 	res.Close()
+	res.Close() // idempotent: a second Close must not double-release
 	if n := store.NumVersions(loop); n != 0 {
 		t.Fatalf("branch loop %d still has %d versions after Close", loop, n)
 	}
