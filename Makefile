@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-all vet bench bench-queries chaos check clean
+.PHONY: all build test race race-all vet bench bench-queries bench-throughput chaos check clean
 
 all: check
 
@@ -39,7 +39,12 @@ bench:
 bench-queries:
 	$(GO) run ./cmd/tornado-bench -experiment queries -scale small
 
-check: build vet test race chaos bench-queries
+# Transport-batching benchmark (small scale): batched vs unbatched sustained
+# SSSP throughput; leaves the BENCH_throughput.json artifact.
+bench-throughput:
+	$(GO) run ./cmd/tornado-bench -experiment throughput -scale small
+
+check: build vet test race chaos bench-queries bench-throughput
 
 clean:
 	$(GO) clean ./...

@@ -255,8 +255,17 @@ func main() {
 			s := sys.Stats()
 			fmt.Printf("updates=%d update-msgs=%d prepares=%d acks=%d inputs=%d emits=%d\n",
 				s.Commits, s.UpdateMsgs, s.PrepareMsgs, s.AckMsgs, s.InputMsgs, s.Emits)
-			fmt.Printf("frontier=%d notified=%d pending-prepares=%d transport sent=%d delivered=%d resent=%d\n",
+			fmt.Printf("frontier=%d notified=%d pending-prepares=%d transport frames=%d delivered=%d resent=%d\n",
 				s.Frontier, s.Notified, s.PendingPrepares, s.TransportSent, s.TransportDelivered, s.TransportResent)
+			ppf, app := 0.0, 0.0
+			if first := s.TransportSent - s.TransportResent; first > 0 {
+				ppf = float64(s.TransportPayloads) / float64(first)
+			}
+			if s.TransportPayloads > 0 {
+				app = float64(s.TransportAckFrames) / float64(s.TransportPayloads)
+			}
+			fmt.Printf("batching payloads=%d payloads/frame=%.2f coalesced=%d acks/payload=%.3f\n",
+				s.TransportPayloads, ppf, s.Coalesced, app)
 			fmt.Printf("generation=%d crashes=%d recoveries=%d quarantined=%d dead-letters=%d\n",
 				s.Generation, s.Crashes, s.Recoveries, s.Quarantined, s.TransportDeadLetters)
 			if url := sys.MetricsURL(); url != "" {

@@ -33,6 +33,12 @@ type SSSPState struct {
 // edge stream. Distances are hop counts; lengths above MaxHops collapse to
 // Unreachable, which both bounds count-to-infinity cascades after edge
 // retraction and matches the reference.
+//
+// SSSP deliberately does not implement engine.Combiner: every update carries
+// the producer's full recomputed length, so the engine's default last-writer
+// coalescing is exactly right. A min-combiner would be wrong here — after an
+// edge retraction the newer (larger) length must replace the older (smaller)
+// one, not lose to it.
 type SSSP struct {
 	// Source is the source vertex.
 	Source stream.VertexID

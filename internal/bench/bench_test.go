@@ -339,3 +339,29 @@ func TestEpochSizes(t *testing.T) {
 		t.Fatalf("largest epoch %d; want 500", sizes[0])
 	}
 }
+
+func TestThroughputShape(t *testing.T) {
+	rep, err := RunThroughput(SmallScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 || rep.Rows[0].Mode != "unbatched" || rep.Rows[1].Mode != "batched" {
+		t.Fatalf("rows malformed\n%s", rep)
+	}
+	b := rep.Rows[1]
+	// The paper-shape claims: multi-payload frames amortize per-frame cost,
+	// cumulative acks suppress ack traffic, and the bookkeeping maps do not
+	// retain anything once the soak settles.
+	if b.PayloadsPerFrame < 2 {
+		t.Fatalf("payloads/frame = %.2f; batching is not amortizing\n%s", b.PayloadsPerFrame, rep)
+	}
+	if b.AckFramesPerPayload > 0.2 {
+		t.Fatalf("acks/payload = %.3f; cumulative acks not suppressing\n%s", b.AckFramesPerPayload, rep)
+	}
+	if b.SeenEnd != 0 || b.UnackedEnd != 0 {
+		t.Fatalf("transport maps retained seen=%d unacked=%d after settling\n%s", b.SeenEnd, b.UnackedEnd, rep)
+	}
+	if rep.Speedup < 1.2 {
+		t.Fatalf("speedup %.2fx; batching should clearly beat unbatched\n%s", rep.Speedup, rep)
+	}
+}

@@ -1,0 +1,252 @@
+package engine
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"tornado/internal/storage"
+	"tornado/internal/stream"
+)
+
+// countState counts value tuples applied to one vertex.
+type countState struct {
+	N int64
+}
+
+// countProg is a pure input-counting program: no targets, no emissions. Every
+// KindValue tuple must be counted exactly once, which makes it a sharp probe
+// for duplicate or lost inputs across crash recovery.
+type countProg struct{}
+
+func init() {
+	RegisterStateType(&countState{})
+	RegisterStateType(&sumState{})
+}
+
+func (countProg) Init(ctx Context)                            { ctx.SetState(&countState{}) }
+func (countProg) Gather(Context, stream.VertexID, int64, any) {}
+func (countProg) Scatter(Context)                             {}
+func (countProg) OnInput(ctx Context, t stream.Tuple) {
+	if t.Kind == stream.KindValue {
+		ctx.State().(*countState).N++
+	}
+}
+
+// sumState/sumProg exercise the Combiner extension: values accumulate, so
+// coalescing must sum rather than keep the last writer.
+type sumState struct {
+	Total int64
+}
+
+type sumProg struct{}
+
+func (sumProg) Init(ctx Context)                            { ctx.SetState(&sumState{}) }
+func (sumProg) OnInput(Context, stream.Tuple)               {}
+func (sumProg) Gather(Context, stream.VertexID, int64, any) {}
+func (sumProg) Scatter(Context)                             {}
+func (sumProg) Combine(_ stream.VertexID, old, new any) any { return old.(int64) + new.(int64) }
+
+// newBatchProbe builds an engine whose processors exist but never run, so a
+// test can drive sendVertex directly and inspect the out-queue.
+func newBatchProbe(t *testing.T, prog Program) (*Engine, *processor) {
+	t.Helper()
+	e, err := New(Config{
+		Processors: 1,
+		DelayBound: 8,
+		Kind:       MainLoop,
+		LoopID:     storage.MainLoop,
+		Store:      storage.NewMemStore(),
+		Program:    prog,
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Stop)
+	p := e.proc(0)
+	if p == nil || !p.batch {
+		t.Fatalf("batched dispatch not enabled by default (proc=%v)", p)
+	}
+	return e, p
+}
+
+// TestCoalesceQueueMergesUpdates drives the out-queue directly: consecutive
+// same-pair updates must merge in place (newest iteration wins, last-writer
+// value, superseded token released), while other pairs and message kinds
+// keep their own slots and relative order.
+func TestCoalesceQueueMergesUpdates(t *testing.T) {
+	e, p := newBatchProbe(t, ssspProg{source: 0})
+
+	tok1 := p.tk.AcquireFloor(1)
+	p.sendVertex(2, msgUpdate{From: 1, To: 2, Iteration: 1, Token: tok1, Value: int64(5), HasValue: true})
+	tok2 := p.tk.AcquireFloor(2)
+	p.sendVertex(2, msgUpdate{From: 1, To: 2, Iteration: 2, Token: tok2, Value: int64(3), HasValue: true})
+
+	if len(p.outQ) != 1 {
+		t.Fatalf("outQ has %d entries after same-pair updates; want 1", len(p.outQ))
+	}
+	m := p.outQ[0].payload.(msgUpdate)
+	if m.Iteration != 2 || !m.HasValue || m.Value.(int64) != 3 {
+		t.Fatalf("merged update = %+v; want iteration 2, last-writer value 3", m)
+	}
+	if n := p.tk.TokenCount(); n != 1 {
+		t.Fatalf("TokenCount = %d after coalescing; want 1 (superseded token released)", n)
+	}
+	if c := e.stats.Coalesced.Value(); c != 1 {
+		t.Fatalf("Coalesced = %d; want 1", c)
+	}
+
+	// A valueless newer update carries the older value forward.
+	tok3 := p.tk.AcquireFloor(3)
+	p.sendVertex(2, msgUpdate{From: 1, To: 2, Iteration: 3, Token: tok3})
+	m = p.outQ[0].payload.(msgUpdate)
+	if len(p.outQ) != 1 || m.Iteration != 3 || !m.HasValue || m.Value.(int64) != 3 {
+		t.Fatalf("valueless merge = %+v (outQ len %d); want iteration 3 carrying value 3", m, len(p.outQ))
+	}
+
+	// A different producer pair gets its own slot; a non-update message is
+	// never coalesced; and the original pair still merges into its old slot
+	// without disturbing either.
+	tok4 := p.tk.AcquireFloor(3)
+	p.sendVertex(2, msgUpdate{From: 9, To: 2, Iteration: 3, Token: tok4, Value: int64(1), HasValue: true})
+	p.sendVertex(2, msgPrepare{From: 1, To: 2})
+	tok5 := p.tk.AcquireFloor(4)
+	p.sendVertex(2, msgUpdate{From: 1, To: 2, Iteration: 4, Token: tok5, Value: int64(8), HasValue: true})
+	if len(p.outQ) != 3 {
+		t.Fatalf("outQ has %d entries; want 3 (merged update, other pair, prepare)", len(p.outQ))
+	}
+	m = p.outQ[0].payload.(msgUpdate)
+	if m.Iteration != 4 || m.Value.(int64) != 8 {
+		t.Fatalf("slot 0 after third merge = %+v; want iteration 4 value 8", m)
+	}
+	if _, ok := p.outQ[2].payload.(msgPrepare); !ok {
+		t.Fatalf("slot 2 is %T; prepares must keep their queue position", p.outQ[2].payload)
+	}
+
+	// flushOut empties the queue and the index.
+	p.flushOut()
+	if len(p.outQ) != 0 || len(p.outIdx) != 0 {
+		t.Fatalf("flushOut left outQ=%d outIdx=%d", len(p.outQ), len(p.outIdx))
+	}
+}
+
+// TestCoalesceCombiner: a program implementing Combiner replaces last-writer
+// with its own merge function.
+func TestCoalesceCombiner(t *testing.T) {
+	_, p := newBatchProbe(t, sumProg{})
+	if p.combiner == nil {
+		t.Fatal("combiner not detected on a Combiner program")
+	}
+	tok1 := p.tk.AcquireFloor(1)
+	p.sendVertex(2, msgUpdate{From: 1, To: 2, Iteration: 1, Token: tok1, Value: int64(5), HasValue: true})
+	tok2 := p.tk.AcquireFloor(2)
+	p.sendVertex(2, msgUpdate{From: 1, To: 2, Iteration: 2, Token: tok2, Value: int64(3), HasValue: true})
+	m := p.outQ[0].payload.(msgUpdate)
+	if m.Value.(int64) != 8 {
+		t.Fatalf("combined value = %v; want 5+3=8", m.Value)
+	}
+}
+
+// TestCrashMidFlushExactInputCounts crashes a processor while batched frames
+// are in flight and asserts exactly-once input application after supervised
+// recovery: the journal must replay everything the crash destroyed (buffered
+// frames included) and nothing twice (runs under -race via make chaos).
+func TestCrashMidFlushExactInputCounts(t *testing.T) {
+	const (
+		vertices = 50
+		total    = 2000
+	)
+	e, err := New(Config{
+		Processors:        3,
+		DelayBound:        8,
+		Kind:              MainLoop,
+		LoopID:            storage.MainLoop,
+		Store:             storage.NewMemStore(),
+		Program:           countProg{},
+		Seed:              31,
+		HeartbeatInterval: 5 * time.Millisecond,
+		ResendAfter:       10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	defer e.Stop()
+
+	tuples := make([]stream.Tuple, total)
+	for i := range tuples {
+		tuples[i] = stream.Value(stream.Timestamp(i), stream.VertexID(i%vertices), int64(1))
+	}
+
+	// First wave lands, then the crash hits while the second wave's frames
+	// are still buffering and flushing.
+	e.IngestAll(tuples[:total/4])
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := total / 4; i < total; i += 100 {
+			end := i + 100
+			if end > total {
+				end = total
+			}
+			e.IngestAll(tuples[i:end])
+		}
+	}()
+	time.Sleep(2 * time.Millisecond)
+	e.CrashProcessor(1)
+	<-done
+
+	if err := e.WaitQuiesce(waitFor); err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	err = e.ScanStates(math.MaxInt64, func(_ stream.VertexID, _ int64, state any) error {
+		sum += state.(*countState).N
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != total {
+		t.Fatalf("counted %d inputs after crash recovery; want exactly %d", sum, total)
+	}
+	if s := e.StatsSnapshot(); s.Crashes < 1 || s.Recoveries < 1 {
+		t.Fatalf("Crashes = %d, Recoveries = %d; the crash was not exercised", s.Crashes, s.Recoveries)
+	}
+}
+
+// TestBatchingDisabledStillCorrect pins the escape hatch: DisableBatching
+// must reproduce the legacy unbatched behavior and the same fixed point.
+func TestBatchingDisabledStillCorrect(t *testing.T) {
+	e, err := New(Config{
+		Processors:      2,
+		DelayBound:      8,
+		Kind:            MainLoop,
+		LoopID:          storage.MainLoop,
+		Store:           storage.NewMemStore(),
+		Program:         ssspProg{source: 0},
+		Seed:            5,
+		DisableBatching: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := e.proc(0); p.batch {
+		t.Fatal("DisableBatching left batched dispatch on")
+	}
+	e.Start()
+	defer e.Stop()
+	var tuples []stream.Tuple
+	for i := 0; i < 40; i++ {
+		tuples = append(tuples, stream.AddEdge(stream.Timestamp(i), stream.VertexID(i%8), stream.VertexID((i+1)%8)))
+	}
+	e.IngestAll(tuples)
+	if err := e.WaitQuiesce(waitFor); err != nil {
+		t.Fatal(err)
+	}
+	checkSSSP(t, e, tuples)
+	if c := e.StatsSnapshot().Coalesced; c != 0 {
+		t.Fatalf("Coalesced = %d with batching disabled; want 0", c)
+	}
+}

@@ -66,6 +66,19 @@ type Config struct {
 	// dead-lettered frame to a live processor leaks its obligation token,
 	// which only a checkpoint recovery can reclaim.
 	MaxResends int
+	// MaxBatch is the transport's per-destination output buffer size:
+	// messages accumulate into multi-payload frames shipped at protocol
+	// boundaries (or when the buffer fills). Default 64; values <= 1 send
+	// every message as its own frame.
+	MaxBatch int
+	// FlushInterval is the transport's latency backstop: buffered frames and
+	// deferred acks older than this are shipped by a background tick even if
+	// no protocol boundary flushed them (default 2ms when batching).
+	FlushInterval time.Duration
+	// DisableBatching reverts the message plane to the unbatched baseline:
+	// one frame per message, an ack per data frame, no update coalescing and
+	// no transport route cache (benchmark comparisons).
+	DisableBatching bool
 	// CommitDelay, when non-nil, injects per-commit latency into a
 	// processor (straggler and I/O-cost modelling in the experiments).
 	CommitDelay func(proc int) time.Duration
@@ -138,6 +151,14 @@ func (c *Config) validate() error {
 	if c.CompactEvery == 0 && c.Kind == MainLoop {
 		c.CompactEvery = 64
 	}
+	if c.DisableBatching {
+		c.MaxBatch = 1
+	} else if c.MaxBatch == 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxBatch > 1 && c.FlushInterval <= 0 {
+		c.FlushInterval = 2 * time.Millisecond
+	}
 	if c.HeartbeatInterval > 0 {
 		if c.SuspectAfter < 1 {
 			c.SuspectAfter = 3
@@ -175,15 +196,27 @@ type Stats struct {
 	AckMsgs     metrics.Counter
 	InputMsgs   metrics.Counter
 	Emits       metrics.Counter
+	// Coalesced counts update messages merged into a newer update for the
+	// same (producer, consumer) pair before leaving the processor.
+	Coalesced metrics.Counter
 }
 
 // StatsSnapshot is a point-in-time copy of the counters.
 type StatsSnapshot struct {
 	Commits, UpdateMsgs, PrepareMsgs, AckMsgs, InputMsgs int64
 	Emits                                                int64
-	TransportSent, TransportDelivered, TransportResent   int64
-	TransportDeadLetters                                 int64
-	Notified                                             int64
+	// Coalesced is the number of update messages merged away before send;
+	// UpdateMsgs counts updates as produced, so the wire carried
+	// UpdateMsgs − Coalesced of them.
+	Coalesced                                          int64
+	TransportSent, TransportDelivered, TransportResent int64
+	// TransportPayloads counts payloads inside first-transmission frames, so
+	// TransportPayloads/(TransportSent−TransportResent) is the average batch
+	// size and TransportAckFrames/TransportPayloads the ack suppression
+	// ratio.
+	TransportPayloads, TransportAckFrames int64
+	TransportDeadLetters                  int64
+	Notified                              int64
 	// Frontier is the smallest iteration still holding an obligation token.
 	Frontier int64
 	// PendingPrepares is the number of PREPARE messages awaiting their ACK.
@@ -341,10 +374,13 @@ func (e *Engine) supervised() bool {
 func (e *Engine) buildIncarnation(gen int) *incarnation {
 	inc := &incarnation{gen: gen, stop: make(chan struct{}), ready: make(chan struct{})}
 	inc.net = transport.NewNetwork(transport.Options{
-		ResendAfter: e.cfg.ResendAfter,
-		MaxResends:  e.cfg.MaxResends,
-		DropSeed:    e.cfg.Seed,
-		Stats:       e.netStats,
+		ResendAfter:       e.cfg.ResendAfter,
+		MaxResends:        e.cfg.MaxResends,
+		MaxBatch:          e.cfg.MaxBatch,
+		FlushInterval:     e.cfg.FlushInterval,
+		DisableRouteCache: e.cfg.DisableBatching,
+		DropSeed:          e.cfg.Seed,
+		Stats:             e.netStats,
 	})
 	e.faultMu.Lock()
 	if e.faultDrop > 0 || e.faultDup > 0 {
@@ -474,13 +510,25 @@ func (e *Engine) Ingest(t stream.Tuple) {
 		m.JSeq, m.HasJSeq = e.journal.Ingested(t), true
 	}
 	inc.ingestE.Send(inc.route(routeVertex(t)), m)
+	inc.ingestE.Flush()
 }
 
-// IngestAll ingests a tuple slice in order.
+// IngestAll ingests a tuple slice in order, under one incarnation lock and
+// with one transport flush: the whole slice rides in a handful of
+// multi-payload frames instead of one frame per tuple.
 func (e *Engine) IngestAll(ts []stream.Tuple) {
+	e.genMu.RLock()
+	defer e.genMu.RUnlock()
+	inc := e.inc
 	for _, t := range ts {
-		e.Ingest(t)
+		tok := inc.tracker.AcquireFloor(0)
+		m := msgInput{Tuple: t, Token: tok}
+		if e.journal != nil {
+			m.JSeq, m.HasJSeq = e.journal.Ingested(t), true
+		}
+		inc.ingestE.Send(inc.route(routeVertex(t)), m)
 	}
+	inc.ingestE.Flush()
 }
 
 // Activate re-activates vertices: each becomes dirty and re-scatters its
@@ -494,6 +542,7 @@ func (e *Engine) Activate(ids ...stream.VertexID) {
 		tok := inc.tracker.AcquireFloor(0)
 		inc.ingestE.Send(inc.route(id), msgActivate{To: id, Token: tok})
 	}
+	inc.ingestE.Flush()
 }
 
 // masterRun is the master node of one incarnation: it advances the iteration
@@ -586,7 +635,8 @@ func (e *Engine) observeAdvance(to int64) {
 	}
 }
 
-// broadcast sends a control message to every live processor.
+// broadcast sends a control message to every live processor and flushes, so
+// frontier notifications and halts are never delayed by batching.
 func (e *Engine) broadcast(inc *incarnation, payload any) {
 	for i, p := range inc.procs {
 		if p == nil {
@@ -594,6 +644,7 @@ func (e *Engine) broadcast(inc *incarnation, payload any) {
 		}
 		inc.masterE.Send(transport.NodeID(i), payload)
 	}
+	inc.masterE.Flush()
 }
 
 // halt stops the processors and signals completion.
@@ -735,6 +786,14 @@ func (e *Engine) compactFloor(to int64) int64 {
 	return to
 }
 
+// TransportMapSizes sums the current incarnation's transport bookkeeping:
+// dedup entries beyond the cumulative-ack watermarks and unacknowledged
+// outgoing frames. Both are bounded by the in-flight window; the throughput
+// soak asserts they do not grow with traffic volume.
+func (e *Engine) TransportMapSizes() (seen, unacked int) {
+	return e.cur().net.MapSizes()
+}
+
 // Notified returns the highest terminated iteration.
 func (e *Engine) Notified() int64 { return e.cur().tracker.Notified() }
 
@@ -762,9 +821,12 @@ func (e *Engine) StatsSnapshot() StatsSnapshot {
 		AckMsgs:              e.stats.AckMsgs.Value(),
 		InputMsgs:            e.stats.InputMsgs.Value(),
 		Emits:                e.stats.Emits.Value(),
+		Coalesced:            e.stats.Coalesced.Value(),
 		TransportSent:        e.netStats.Sent.Value(),
 		TransportDelivered:   e.netStats.Delivered.Value(),
 		TransportResent:      e.netStats.Resent.Value(),
+		TransportPayloads:    e.netStats.Payloads.Value(),
+		TransportAckFrames:   e.netStats.AckFrames.Value(),
 		TransportDeadLetters: e.netStats.DeadLetters.Value(),
 		Notified:             tracker.Notified(),
 		Frontier:             tracker.Frontier(),
@@ -1003,10 +1065,15 @@ func (e *Engine) ActivateStored() error {
 	if snap == nil {
 		return errors.New("engine: ActivateStored requires a snapshot source")
 	}
-	return e.cfg.Store.Scan(snap.Loop, snap.UpTo, func(r storage.Record) error {
-		e.Activate(r.Vertex)
+	var ids []stream.VertexID
+	if err := e.cfg.Store.Scan(snap.Loop, snap.UpTo, func(r storage.Record) error {
+		ids = append(ids, r.Vertex)
 		return nil
-	})
+	}); err != nil {
+		return err
+	}
+	e.Activate(ids...)
+	return nil
 }
 
 // Reshard stops a settled main loop and returns a replacement running

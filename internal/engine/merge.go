@@ -91,6 +91,7 @@ func (e *Engine) AdoptBranch(br *Engine) error {
 			Iteration: mergeIter, Token: tok,
 		})
 	}
+	inc.ingestE.Flush()
 	release()
 	if err := e.WaitQuiesce(time.Minute); err != nil {
 		return err

@@ -46,11 +46,15 @@ func (e *Engine) attachObs(hub *obs.Hub) {
 		"External stream tuples applied to vertices.", &e.stats.InputMsgs)
 	sc.RegisterCounter("tornado_emits_total",
 		"Values emitted by program Scatter calls.", &e.stats.Emits)
+	sc.RegisterCounter("tornado_coalesced_updates_total",
+		"Update messages merged into a newer same-pair update before leaving the processor.", &e.stats.Coalesced)
 
 	sc.RegisterCounter("tornado_transport_sent_total",
-		"Frames accepted for transmission, including resends and duplicates.", &e.netStats.Sent)
+		"Data frames accepted for transmission, including resends and duplicates.", &e.netStats.Sent)
+	sc.RegisterCounter("tornado_transport_payloads_total",
+		"Payloads carried by first-transmission data frames (payloads/frame = payloads / (sent - resent)).", &e.netStats.Payloads)
 	sc.RegisterCounter("tornado_transport_delivered_total",
-		"Frames handed to live receivers after deduplication.", &e.netStats.Delivered)
+		"Payloads handed to live receivers after frame deduplication.", &e.netStats.Delivered)
 	sc.RegisterCounter("tornado_transport_resent_total",
 		"Frames retransmitted after the at-least-once ack timeout.", &e.netStats.Resent)
 	sc.RegisterCounter("tornado_transport_ack_frames_total",
@@ -114,30 +118,43 @@ func (e *Engine) statusz() any {
 	tracker := e.cur().tracker
 	uptime := time.Since(e.created)
 	return map[string]any{
-		"kind":             e.cfg.Kind.String(),
-		"program":          fmt.Sprintf("%T", e.cfg.Program),
-		"delay_bound":      e.cfg.DelayBound,
-		"processors":       e.cfg.Processors,
-		"frontier":         s.Frontier,
-		"notified":         s.Notified,
-		"frontier_lag":     tracker.FrontierLag(),
-		"obligations":      tracker.TokenCount(),
-		"pending_prepares": s.PendingPrepares,
-		"generation":       s.Generation,
-		"crashes":          s.Crashes,
-		"recoveries":       s.Recoveries,
-		"quarantined":      s.Quarantined,
-		"dead_letters":     s.TransportDeadLetters,
-		"commits":          s.Commits,
-		"update_msgs":      s.UpdateMsgs,
-		"prepare_msgs":     s.PrepareMsgs,
-		"ack_msgs":         s.AckMsgs,
-		"input_msgs":       s.InputMsgs,
-		"emits":            s.Emits,
-		"ingest_rate":      rate(s.InputMsgs, uptime),
-		"commit_rate":      rate(s.Commits, uptime),
-		"uptime":           uptime.String(),
+		"kind":               e.cfg.Kind.String(),
+		"program":            fmt.Sprintf("%T", e.cfg.Program),
+		"delay_bound":        e.cfg.DelayBound,
+		"processors":         e.cfg.Processors,
+		"frontier":           s.Frontier,
+		"notified":           s.Notified,
+		"frontier_lag":       tracker.FrontierLag(),
+		"obligations":        tracker.TokenCount(),
+		"pending_prepares":   s.PendingPrepares,
+		"generation":         s.Generation,
+		"crashes":            s.Crashes,
+		"recoveries":         s.Recoveries,
+		"quarantined":        s.Quarantined,
+		"dead_letters":       s.TransportDeadLetters,
+		"commits":            s.Commits,
+		"update_msgs":        s.UpdateMsgs,
+		"prepare_msgs":       s.PrepareMsgs,
+		"ack_msgs":           s.AckMsgs,
+		"input_msgs":         s.InputMsgs,
+		"emits":              s.Emits,
+		"coalesced":          s.Coalesced,
+		"frames":             s.TransportSent,
+		"payloads":           s.TransportPayloads,
+		"payloads_per_frame": ratio(s.TransportPayloads, s.TransportSent-s.TransportResent),
+		"acks_per_payload":   ratio(s.TransportAckFrames, s.TransportPayloads),
+		"ingest_rate":        rate(s.InputMsgs, uptime),
+		"commit_rate":        rate(s.Commits, uptime),
+		"uptime":             uptime.String(),
 	}
+}
+
+// ratio divides, returning 0 for an empty denominator.
+func ratio(num, den int64) float64 {
+	if den <= 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
 }
 
 func rate(n int64, over time.Duration) float64 {

@@ -43,6 +43,17 @@ type processor struct {
 	holdback   map[int64][]msgUpdate
 	capBlocked map[stream.VertexID]struct{}
 
+	// Batched dispatch (nil/false when Config.DisableBatching): outgoing
+	// vertex messages queue here during one receive window and flush as
+	// multi-payload frames at its end. outIdx locates the pending msgUpdate
+	// for a (producer, consumer) pair so a newer update coalesces into it in
+	// place — in-place merging is what keeps the legacy per-destination send
+	// order intact for every other message type.
+	batch    bool
+	combiner Combiner // non-nil when the program customizes coalescing
+	outQ     []outEntry
+	outIdx   map[pairKey]int
+
 	pauseMu   sync.Mutex
 	pauseCond *sync.Cond
 	paused    bool
@@ -51,6 +62,17 @@ type processor struct {
 	shareMu   sync.Mutex
 	commitLog map[stream.VertexID]int64
 	dirtySet  map[stream.VertexID]struct{}
+}
+
+// outEntry is one queued outgoing vertex message of the current window.
+type outEntry struct {
+	node    transport.NodeID
+	payload any
+}
+
+// pairKey identifies a (producer, consumer) update stream for coalescing.
+type pairKey struct {
+	from, to stream.VertexID
 }
 
 func newProcessor(idx int, eng *Engine, ep *transport.Endpoint, tk *Tracker, snap *SnapshotSource, route func(stream.VertexID) transport.NodeID, startIter int64) *processor {
@@ -65,10 +87,15 @@ func newProcessor(idx int, eng *Engine, ep *transport.Endpoint, tk *Tracker, sna
 		loopU:      uint64(eng.cfg.LoopID),
 		vertices:   make(map[stream.VertexID]*vertex),
 		notified:   startIter - 1,
-		holdback:   make(map[int64][]msgUpdate),
-		capBlocked: make(map[stream.VertexID]struct{}),
-		commitLog:  make(map[stream.VertexID]int64),
-		dirtySet:   make(map[stream.VertexID]struct{}),
+		holdback:   make(map[int64][]msgUpdate, 16),
+		capBlocked: make(map[stream.VertexID]struct{}, 16),
+		commitLog:  make(map[stream.VertexID]int64, 256),
+		dirtySet:   make(map[stream.VertexID]struct{}, 64),
+		batch:      eng.cfg.MaxBatch > 1,
+	}
+	if p.batch {
+		p.combiner, _ = eng.cfg.Program.(Combiner)
+		p.outIdx = make(map[pairKey]int, 64)
 	}
 	p.pauseCond = sync.NewCond(&p.pauseMu)
 	return p
@@ -81,6 +108,10 @@ func (p *processor) cap() int64 {
 }
 
 func (p *processor) run() {
+	if p.batch {
+		p.runBatched()
+		return
+	}
 	for {
 		p.maybePause()
 		env, ok := p.ep.Recv()
@@ -88,27 +119,61 @@ func (p *processor) run() {
 			return
 		}
 		p.maybePause()
-		switch m := env.Payload.(type) {
-		case msgInput:
-			p.handleInput(m)
-		case msgActivate:
-			p.handleActivate(m)
-		case msgUpdate:
-			p.handleUpdate(m)
-		case msgPrepare:
-			p.handlePrepare(m)
-		case msgAck:
-			p.handleAck(m)
-		case msgAdopt:
-			p.handleAdopt(m)
-		case msgFrontier:
-			p.handleFrontier(m)
-		case msgHalt:
+		if !p.dispatch(env) {
 			return
-		default:
-			panic(fmt.Sprintf("engine: processor %d: unknown message %T", p.idx, env.Payload))
 		}
 	}
+}
+
+// runBatched is the vectorized run loop: drain the whole inbox under one
+// lock, dispatch every message, then flush the out-queue before blocking
+// again. The flush window is therefore exactly one receive window — under
+// load the inbox refills while the previous window is processed, so windows
+// (and with them frame sizes and coalescing opportunities) grow with
+// saturation, while an idle processor flushes immediately and adds no
+// latency.
+func (p *processor) runBatched() {
+	var buf []transport.Envelope
+	for {
+		p.maybePause()
+		batch, ok := p.ep.RecvBatch(buf)
+		if !ok {
+			return
+		}
+		for i := range batch {
+			p.maybePause()
+			if !p.dispatch(batch[i]) {
+				return
+			}
+		}
+		p.flushOut()
+		buf = batch
+	}
+}
+
+// dispatch routes one message to its handler; false means halt.
+func (p *processor) dispatch(env transport.Envelope) bool {
+	switch m := env.Payload.(type) {
+	case msgInput:
+		p.handleInput(m)
+	case msgActivate:
+		p.handleActivate(m)
+	case msgUpdate:
+		p.handleUpdate(m)
+	case msgPrepare:
+		p.handlePrepare(m)
+	case msgAck:
+		p.handleAck(m)
+	case msgAdopt:
+		p.handleAdopt(m)
+	case msgFrontier:
+		p.handleFrontier(m)
+	case msgHalt:
+		return false
+	default:
+		panic(fmt.Sprintf("engine: processor %d: unknown message %T", p.idx, env.Payload))
+	}
+	return true
 }
 
 // trace records one protocol event when the vertex is sampled or watched.
@@ -337,6 +402,13 @@ func (p *processor) handleFrontier(m msgFrontier) {
 	if m.Notified <= p.notified {
 		return
 	}
+	// Flush before raising the cap: updates queued so far committed under
+	// the old cap, and a coalescing window must never span a cap change
+	// (DESIGN §8) — the delay bound's accounting assumes a frame's updates
+	// were all admissible when they were committed.
+	if p.batch {
+		p.flushOut()
+	}
 	p.notified = m.Notified
 	c := p.cap()
 	// Release held-back updates that are now below the cap.
@@ -501,9 +573,70 @@ func (p *processor) commit(v *vertex) {
 	}
 }
 
-// sendVertex routes a vertex-addressed message to its owning processor.
+// sendVertex routes a vertex-addressed message to its owning processor:
+// immediately in legacy mode, via the out-queue in batched mode. A queued
+// msgUpdate superseded by a newer one for the same (producer, consumer) pair
+// coalesces into the earlier queue slot.
 func (p *processor) sendVertex(to stream.VertexID, payload any) {
-	p.ep.Send(p.route(to), payload)
+	if !p.batch {
+		p.ep.Send(p.route(to), payload)
+		return
+	}
+	if m, ok := payload.(msgUpdate); ok {
+		key := pairKey{from: m.From, to: m.To}
+		if i, pending := p.outIdx[key]; pending {
+			old := p.outQ[i].payload.(msgUpdate)
+			p.outQ[i].payload = p.coalesceUpdate(old, m)
+			return
+		}
+		p.outIdx[key] = len(p.outQ)
+	}
+	p.outQ = append(p.outQ, outEntry{node: p.route(to), payload: payload})
+}
+
+// coalesceUpdate merges a pending update with a newer one from the same
+// producer to the same consumer. The merged message carries the newer commit
+// iteration; the value is the program's Combine when it implements Combiner,
+// otherwise last-writer (safe because per-producer monotonic discard already
+// lets a consumer observe only the newest of consecutive updates — dropping
+// the older one realizes a schedule retransmission reordering could have
+// produced anyway). A valueless newer update (consumer fell out of the emit
+// set) carries the older value forward: a no-value COMMIT only clears
+// prepare state, which the merged update does regardless.
+//
+// Token discipline: the newer token sits at the newer tau+1 >= the older
+// token's placement, and both are held at this instant, so releasing the
+// older one preserves the tracker's acquire-before-release invariant.
+func (p *processor) coalesceUpdate(old, next msgUpdate) msgUpdate {
+	merged := next
+	if old.HasValue {
+		if !next.HasValue {
+			merged.Value, merged.HasValue = old.Value, true
+		} else if p.combiner != nil {
+			merged.Value = p.combiner.Combine(next.To, old.Value, next.Value)
+		}
+	}
+	p.tk.Release(old.Token)
+	p.eng.stats.Coalesced.Inc()
+	return merged
+}
+
+// flushOut ships the window's queued messages in order and flushes the
+// endpoint's transport buffers. Called at the end of every receive window
+// (so the processor never blocks on an unflushed queue) and before applying
+// a frontier advance (so no coalesced update ever merges commits made under
+// different iteration caps).
+func (p *processor) flushOut() {
+	if len(p.outQ) == 0 {
+		return // every processor send funnels through the queue, so the transport buffer is empty too
+	}
+	for i := range p.outQ {
+		p.ep.Send(p.outQ[i].node, p.outQ[i].payload)
+		p.outQ[i] = outEntry{}
+	}
+	p.outQ = p.outQ[:0]
+	clear(p.outIdx)
+	p.ep.Flush()
 }
 
 // forkScan returns the fork seed set of this partition: vertices whose last

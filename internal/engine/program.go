@@ -129,6 +129,23 @@ type Program interface {
 	Scatter(ctx Context)
 }
 
+// Combiner is an optional Program extension enabling update coalescing:
+// when two updates from the same producer to the same consumer are pending
+// in one flush window, the engine merges them into a single message whose
+// value is Combine(to, old, new) at the newer update's iteration.
+//
+// Programs that do not implement Combiner get last-writer coalescing (the
+// older value is simply dropped). That default is safe for exactly the
+// programs the engine already supports: per-producer monotonic discard
+// (Section 5.3) means a consumer may observe only the newest of a producer's
+// consecutive updates anyway — retransmission reordering drops the older one
+// as stale — so coalescing merely realizes an already-permitted schedule.
+// Implement Combiner only to preserve information across the merge (e.g. an
+// accumulative program summing deltas would return old + new).
+type Combiner interface {
+	Combine(to stream.VertexID, old, new any) any
+}
+
 // Codec serializes vertex states for the versioned store and checkpoints.
 type Codec interface {
 	Encode(state any) ([]byte, error)

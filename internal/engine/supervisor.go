@@ -144,7 +144,9 @@ func (e *Engine) heartbeatRun(inc *incarnation, proc int, ep *transport.Endpoint
 		case <-inc.stop:
 			return
 		case <-t.C:
-			ep.Send(sup, msgHeartbeat{Proc: proc})
+			// SendNow bypasses the batch buffer: a beat delayed behind a
+			// filling data frame would look like a missed heartbeat.
+			ep.SendNow(sup, msgHeartbeat{Proc: proc})
 		}
 	}
 }

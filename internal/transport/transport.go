@@ -3,13 +3,35 @@
 // master) and ensures they are delivered without error.
 //
 // The package provides an in-process Network of Endpoints. Delivery is
-// at-least-once: every message carries a sequence number, receivers
-// acknowledge, senders retransmit unacknowledged messages after a timeout,
+// at-least-once: every frame carries a sequence number, receivers
+// acknowledge, senders retransmit unacknowledged frames after a timeout,
 // and receivers drop duplicates (Section 5.3: "When a sent message is not
 // acknowledged in certain time, it will be resent to ensure at-least-once
 // message passing"). Exactly-once is deliberately NOT promised — the engine
 // layer above tolerates duplicates through the causality rule (stale updates
 // are discarded).
+//
+// # Batching
+//
+// The unit of transmission is a frame carrying one or more payloads. With
+// MaxBatch > 1 each endpoint keeps a per-destination output buffer: Send
+// appends to it, and the buffer ships as one multi-payload frame when it
+// reaches MaxBatch, when the sender calls Flush, or when the FlushInterval
+// ticker fires (the latency backstop). SendNow bypasses the buffer for
+// latency-critical traffic (heartbeats) while still draining the buffer
+// first so per-destination order is preserved. Receivers drain their whole
+// inbox under a single lock with RecvBatch, recycling the caller's previous
+// batch slice so the steady state allocates nothing.
+//
+// Acks are cumulative: an ack frame carries both the acked sequence and the
+// receiver's contiguous watermark (every sequence below it has been
+// delivered). Senders compact their unacked map against the watermark, and
+// receivers keep dedup state only for out-of-order sequences above it, so
+// neither side's bookkeeping grows with the life of the connection. In
+// batched mode receivers additionally defer acks for in-order frames
+// (sending one every few frames plus a ticker sweep), which suppresses most
+// ack traffic; duplicates and out-of-order frames are always acked
+// immediately.
 //
 // Retransmission backs off exponentially with jitter so a dead peer is not
 // hammered at a fixed rate, and an optional MaxResends cap moves frames that
@@ -31,6 +53,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tornado/internal/metrics"
@@ -45,21 +68,29 @@ type Envelope struct {
 	Payload any
 }
 
-// frame is the wire representation (data or ack).
+// frame is the wire representation: a batch of payloads (data) or an ack.
 type frame struct {
 	from, to NodeID
 	seq      uint64
 	ack      bool
-	payload  any
+	// ackUpTo is the receiver's contiguous watermark on ack frames: every
+	// data sequence below it has been delivered, so the sender may discard
+	// all of them even if their dedicated acks were lost.
+	ackUpTo  uint64
+	payloads []any // data frames: one or more payloads, in send order
 }
 
 // Stats are the network's delivery counters. The engine owns one Stats and
 // threads it through every Network it builds, so counts survive the network
 // teardown/rebuild a crash recovery performs.
 type Stats struct {
-	// Sent counts every frame accepted for transmission (including resends
-	// and duplicates); Delivered counts frames handed to live receivers.
+	// Sent counts every data frame accepted for transmission (including
+	// resends and duplicates); Payloads counts the payloads inside
+	// first-transmission frames (so Payloads/(Sent−Resent) is the average
+	// batch size); Delivered counts payloads handed to live receivers after
+	// dedup.
 	Sent      metrics.Counter
+	Payloads  metrics.Counter
 	Delivered metrics.Counter
 	// Resent counts retransmissions after the ack timeout; AckFrames counts
 	// acknowledgement frames sent by receivers; Dropped and Duplicated count
@@ -87,12 +118,28 @@ type Options struct {
 	// it is abandoned and counted in Stats.DeadLetters. Zero means
 	// unlimited (legacy behavior).
 	MaxResends int
+	// MaxBatch is the per-destination output buffer size: Send buffers
+	// payloads and ships a multi-payload frame when the buffer fills (or on
+	// Flush / the FlushInterval tick). Zero or one sends every payload as
+	// its own frame immediately (legacy behavior).
+	MaxBatch int
+	// FlushInterval bounds how long a buffered payload or a deferred ack may
+	// wait before a background tick ships it. Only meaningful with
+	// MaxBatch > 1 (default 2ms there).
+	FlushInterval time.Duration
+	// DisableRouteCache forces every frame through the global endpoint table
+	// lookup instead of the per-endpoint peer cache (benchmark baseline).
+	DisableRouteCache bool
 	// DropSeed seeds the fault-injection and jitter RNGs.
 	DropSeed int64
 	// Stats, when non-nil, receives the network's counters; otherwise the
 	// network allocates its own.
 	Stats *Stats
 }
+
+// ackEvery is the in-order ack sampling rate in batched mode: one immediate
+// cumulative ack per this many frames, the rest deferred to the flush tick.
+const ackEvery = 4
 
 // Network connects a set of endpoints. Create one per topology (or per loop
 // incarnation: a crash recovery tears the old network down and builds a
@@ -101,10 +148,15 @@ type Network struct {
 	mu        sync.Mutex
 	endpoints map[NodeID]*Endpoint
 	opts      Options
-	rng       *rand.Rand
-	dropRate  float64 // probability of dropping a data frame in flight
-	dupRate   float64 // probability of duplicating a data frame in flight
 	closed    bool
+
+	// Fault injection lives behind its own mutex plus an atomic gate so the
+	// steady-state transmit path (faults off) takes no lock at all.
+	faulty   atomic.Bool
+	faultMu  sync.Mutex
+	rng      *rand.Rand
+	dropRate float64 // probability of dropping a data frame in flight
+	dupRate  float64 // probability of duplicating a data frame in flight
 
 	// Stats holds the delivery counters (shared with the creator when
 	// Options.Stats was set).
@@ -115,6 +167,12 @@ type Network struct {
 func NewNetwork(opts Options) *Network {
 	if opts.MaxBackoff <= 0 {
 		opts.MaxBackoff = 64 * opts.ResendAfter
+	}
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 1
+	}
+	if opts.MaxBatch > 1 && opts.FlushInterval <= 0 {
+		opts.FlushInterval = 2 * time.Millisecond
 	}
 	st := opts.Stats
 	if st == nil {
@@ -131,13 +189,26 @@ func NewNetwork(opts Options) *Network {
 // SetFaults configures in-flight fault injection: each data frame is dropped
 // with probability drop and duplicated with probability dup.
 func (n *Network) SetFaults(drop, dup float64) {
-	n.mu.Lock()
+	n.faultMu.Lock()
 	n.dropRate, n.dupRate = drop, dup
-	n.mu.Unlock()
+	n.faultMu.Unlock()
+	n.faulty.Store(drop > 0 || dup > 0)
+}
+
+// rollFaults draws the drop/duplicate decision for one data frame.
+func (n *Network) rollFaults() (drop, dup bool) {
+	n.faultMu.Lock()
+	roll, roll2 := n.rng.Float64(), n.rng.Float64()
+	drop = roll < n.dropRate
+	dup = roll2 < n.dupRate
+	n.faultMu.Unlock()
+	return drop, dup
 }
 
 // Register creates the endpoint for id. Registering the same id twice panics
-// (topology wiring bugs should fail loudly).
+// (topology wiring bugs should fail loudly), which is also what makes the
+// per-endpoint peer cache sound: a NodeID can never be rebound to a
+// different Endpoint within one Network.
 func (n *Network) Register(id NodeID) *Endpoint {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -148,8 +219,9 @@ func (n *Network) Register(id NodeID) *Endpoint {
 		id:      id,
 		net:     n,
 		nextSeq: make(map[NodeID]uint64),
+		outbuf:  make(map[NodeID][]any),
 		unacked: make(map[NodeID]map[uint64]*pending),
-		seen:    make(map[NodeID]map[uint64]bool),
+		recv:    make(map[NodeID]*recvState),
 		rng:     rand.New(rand.NewSource(n.opts.DropSeed ^ int64(id)<<17 ^ 0x5bf03635)),
 	}
 	ep.cond = sync.NewCond(&ep.mu)
@@ -157,6 +229,10 @@ func (n *Network) Register(id NodeID) *Endpoint {
 	if n.opts.ResendAfter > 0 {
 		ep.resendStop = make(chan struct{})
 		go ep.resendLoop(n.opts.ResendAfter)
+	}
+	if n.opts.MaxBatch > 1 {
+		ep.flushStop = make(chan struct{})
+		go ep.flushLoop(n.opts.FlushInterval)
 	}
 	return ep
 }
@@ -167,6 +243,7 @@ func (n *Network) Register(id NodeID) *Endpoint {
 func (n *Network) Kill(id NodeID) {
 	if ep := n.endpoint(id); ep != nil {
 		ep.setDead(true)
+		n.invalidateRoutes(id)
 	}
 }
 
@@ -175,16 +252,28 @@ func (n *Network) Kill(id NodeID) {
 func (n *Network) Recover(id NodeID) {
 	if ep := n.endpoint(id); ep != nil {
 		ep.setDead(false)
+		n.invalidateRoutes(id)
 	}
 }
 
 // Crash tears node id down with true crash semantics: its inbox (delivered
-// but unprocessed messages), send buffers (unacknowledged frames) and dedup
-// state are discarded, and blocked Recv calls return false immediately. The
-// endpoint cannot be revived — recovery means building a new topology.
+// but unprocessed messages), send buffers (buffered and unacknowledged
+// frames) and dedup state are discarded, and blocked Recv calls return false
+// immediately. The endpoint cannot be revived — recovery means building a
+// new topology.
 func (n *Network) Crash(id NodeID) {
 	if ep := n.endpoint(id); ep != nil {
 		ep.Crash()
+		n.invalidateRoutes(id)
+	}
+}
+
+// invalidateRoutes drops id from every endpoint's peer cache. Correctness
+// does not depend on it (deliver checks the destination's own liveness
+// flags), but fault transitions are rare and this keeps caches minimal.
+func (n *Network) invalidateRoutes(id NodeID) {
+	for _, ep := range n.list() {
+		ep.peers.Delete(id)
 	}
 }
 
@@ -194,8 +283,8 @@ func (n *Network) endpoint(id NodeID) *Endpoint {
 	return n.endpoints[id]
 }
 
-// Close shuts down every endpoint gracefully: receivers may drain their
-// remaining inboxes.
+// Close shuts down every endpoint gracefully: buffered frames flush and
+// receivers may drain their remaining inboxes.
 func (n *Network) Close() {
 	for _, ep := range n.snapshotEndpoints() {
 		ep.Close()
@@ -222,28 +311,27 @@ func (n *Network) snapshotEndpoints() []*Endpoint {
 	return eps
 }
 
-// route hands a frame to the destination endpoint, applying fault injection.
-func (n *Network) route(f frame) {
+// list snapshots the endpoint set without closing the network.
+func (n *Network) list() []*Endpoint {
 	n.mu.Lock()
-	dst := n.endpoints[f.to]
-	drop, dup := n.dropRate, n.dupRate
-	var roll, roll2 float64
-	if drop > 0 || dup > 0 {
-		roll, roll2 = n.rng.Float64(), n.rng.Float64()
+	defer n.mu.Unlock()
+	eps := make([]*Endpoint, 0, len(n.endpoints))
+	for _, ep := range n.endpoints {
+		eps = append(eps, ep)
 	}
-	n.mu.Unlock()
-	if dst == nil {
-		return
+	return eps
+}
+
+// MapSizes sums the per-endpoint bookkeeping maps: dedup entries beyond the
+// cumulative-ack watermark and unacknowledged outgoing frames. Both are
+// bounded by the in-flight window, not by connection lifetime — the soak
+// benchmark asserts this.
+func (n *Network) MapSizes() (seen, unacked int) {
+	for _, ep := range n.list() {
+		seen += ep.SeenSize()
+		unacked += ep.Unacked()
 	}
-	if !f.ack && drop > 0 && roll < drop {
-		n.Stats.Dropped.Inc()
-		return // lost in flight; the resend loop will retry
-	}
-	dst.deliver(f)
-	if !f.ack && dup > 0 && roll2 < dup {
-		n.Stats.Duplicated.Inc()
-		dst.deliver(f) // duplicated in flight; receiver must dedup
-	}
+	return seen, unacked
 }
 
 // pending is an unacknowledged outgoing frame with its retransmission state.
@@ -254,11 +342,45 @@ type pending struct {
 	attempts int           // retransmissions so far
 }
 
+// recvState is the per-sender receive ledger: next is the contiguous
+// watermark (every sequence below it delivered), ahead holds only the
+// out-of-order sequences above it, and ackDirty marks a deferred cumulative
+// ack owed at the next flush tick.
+type recvState struct {
+	next     uint64
+	ahead    map[uint64]struct{}
+	ackDirty bool
+}
+
+// payloadPool recycles the per-frame payload slices on paths where the frame
+// is not retained for retransmission.
+var payloadPool = sync.Pool{New: func() any { return make([]any, 0, 64) }}
+
+func getPayloadSlice() []any {
+	return payloadPool.Get().([]any)[:0]
+}
+
+func putPayloadSlice(s []any) {
+	if cap(s) == 0 || cap(s) > 1024 {
+		return
+	}
+	for i := range s {
+		s[i] = nil
+	}
+	payloadPool.Put(s[:0]) //nolint:staticcheck // slice header boxing is fine here
+}
+
 // Endpoint is one node's attachment to the network. Send and Recv are safe
 // for concurrent use.
 type Endpoint struct {
 	id  NodeID
 	net *Network
+
+	// peers caches destination endpoints so the steady-state transmit path
+	// never takes the global Network mutex. Sound because NodeIDs are never
+	// rebound (Register panics on reuse); invalidated on fault transitions
+	// anyway.
+	peers sync.Map // NodeID → *Endpoint
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -267,29 +389,97 @@ type Endpoint struct {
 	dead    bool
 	crashed bool
 	nextSeq map[NodeID]uint64
+	outbuf  map[NodeID][]any
 	unacked map[NodeID]map[uint64]*pending
-	seen    map[NodeID]map[uint64]bool
+	recv    map[NodeID]*recvState
 	rng     *rand.Rand // jitter; guarded by mu
 
 	resendStop chan struct{}
+	flushStop  chan struct{}
 }
 
 // ID returns the endpoint's node ID.
 func (e *Endpoint) ID() NodeID { return e.id }
 
-// Send transmits payload to node to. It never blocks. Messages from a dead
-// (killed) node are silently suppressed; messages to a dead node stay
-// buffered and are retransmitted after the node recovers (when the network
-// has a resend timeout).
+// Send transmits payload to node to, buffering it when batching is on. It
+// never blocks. Messages from a dead (killed) node are silently suppressed;
+// messages to a dead node stay buffered and are retransmitted after the node
+// recovers (when the network has a resend timeout).
 func (e *Endpoint) Send(to NodeID, payload any) {
+	maxBatch := e.net.opts.MaxBatch
 	e.mu.Lock()
 	if e.closed || e.dead {
 		e.mu.Unlock()
 		return
 	}
+	if maxBatch <= 1 {
+		f := e.sealLocked(to, append(getPayloadSlice(), payload))
+		e.mu.Unlock()
+		e.transmitData(f)
+		return
+	}
+	buf := e.outbuf[to]
+	if buf == nil {
+		buf = getPayloadSlice()
+	}
+	buf = append(buf, payload)
+	if len(buf) >= maxBatch {
+		delete(e.outbuf, to)
+		f := e.sealLocked(to, buf)
+		e.mu.Unlock()
+		e.transmitData(f)
+		return
+	}
+	e.outbuf[to] = buf
+	e.mu.Unlock()
+}
+
+// SendNow transmits payload immediately, bypassing the batch buffer (after
+// draining any buffered payloads for the same destination, so per-pair order
+// is preserved). Heartbeats and other latency-critical control traffic use
+// it so batching cannot delay them.
+func (e *Endpoint) SendNow(to NodeID, payload any) {
+	e.mu.Lock()
+	if e.closed || e.dead {
+		e.mu.Unlock()
+		return
+	}
+	var pre frame
+	hasPre := false
+	if buf := e.outbuf[to]; len(buf) > 0 {
+		delete(e.outbuf, to)
+		pre = e.sealLocked(to, buf)
+		hasPre = true
+	}
+	f := e.sealLocked(to, append(getPayloadSlice(), payload))
+	e.mu.Unlock()
+	if hasPre {
+		e.transmitData(pre)
+	}
+	e.transmitData(f)
+}
+
+// Flush seals every non-empty output buffer into a frame and transmits it.
+// Senders call it at protocol boundaries (end of a dispatch window, frontier
+// notifications); the FlushInterval ticker is only the latency backstop.
+func (e *Endpoint) Flush() {
+	e.mu.Lock()
+	var frames []frame
+	if !e.closed && !e.dead {
+		frames = e.sealOutbufLocked()
+	}
+	e.mu.Unlock()
+	for _, f := range frames {
+		e.transmitData(f)
+	}
+}
+
+// sealLocked assigns the next sequence number for to, builds the frame and
+// registers it for retransmission. Caller holds e.mu.
+func (e *Endpoint) sealLocked(to NodeID, payloads []any) frame {
 	seq := e.nextSeq[to]
 	e.nextSeq[to] = seq + 1
-	f := frame{from: e.id, to: to, seq: seq, payload: payload}
+	f := frame{from: e.id, to: to, seq: seq, payloads: payloads}
 	if after := e.net.opts.ResendAfter; after > 0 {
 		m := e.unacked[to]
 		if m == nil {
@@ -298,12 +488,73 @@ func (e *Endpoint) Send(to NodeID, payload any) {
 		}
 		m[seq] = &pending{f: f, nextAt: time.Now().Add(after), backoff: after}
 	}
-	e.mu.Unlock()
-	e.net.Stats.Sent.Inc()
-	e.net.route(f)
+	return f
 }
 
-// deliver is called by the network with an incoming frame.
+// sealOutbufLocked seals every buffered destination. Caller holds e.mu.
+func (e *Endpoint) sealOutbufLocked() []frame {
+	if len(e.outbuf) == 0 {
+		return nil
+	}
+	frames := make([]frame, 0, len(e.outbuf))
+	for to, buf := range e.outbuf {
+		delete(e.outbuf, to)
+		frames = append(frames, e.sealLocked(to, buf))
+	}
+	return frames
+}
+
+// transmitData counts and transmits a first-transmission data frame, and
+// recycles its payload slice when the frame is not retained for resend.
+func (e *Endpoint) transmitData(f frame) {
+	e.net.Stats.Sent.Inc()
+	e.net.Stats.Payloads.Add(int64(len(f.payloads)))
+	e.transmit(f)
+	if e.net.opts.ResendAfter <= 0 {
+		putPayloadSlice(f.payloads)
+	}
+}
+
+// transmit hands a frame to the destination endpoint, applying fault
+// injection to data frames. The peer cache keeps the global Network mutex
+// off this path.
+func (e *Endpoint) transmit(f frame) {
+	dst := e.peer(f.to)
+	if dst == nil {
+		return
+	}
+	if !f.ack && e.net.faulty.Load() {
+		drop, dup := e.net.rollFaults()
+		if drop {
+			e.net.Stats.Dropped.Inc()
+			return // lost in flight; the resend loop will retry
+		}
+		dst.deliver(f)
+		if dup {
+			e.net.Stats.Duplicated.Inc()
+			dst.deliver(f) // duplicated in flight; receiver must dedup
+		}
+		return
+	}
+	dst.deliver(f)
+}
+
+// peer resolves the destination endpoint through the per-endpoint cache.
+func (e *Endpoint) peer(to NodeID) *Endpoint {
+	if e.net.opts.DisableRouteCache {
+		return e.net.endpoint(to)
+	}
+	if v, ok := e.peers.Load(to); ok {
+		return v.(*Endpoint)
+	}
+	dst := e.net.endpoint(to)
+	if dst != nil {
+		e.peers.Store(to, dst)
+	}
+	return dst
+}
+
+// deliver is called by a sending endpoint with an incoming frame.
 func (e *Endpoint) deliver(f frame) {
 	e.mu.Lock()
 	if e.closed || e.dead {
@@ -313,29 +564,71 @@ func (e *Endpoint) deliver(f frame) {
 	if f.ack {
 		if m := e.unacked[f.from]; m != nil {
 			delete(m, f.seq)
+			// Cumulative compaction: everything below the watermark is
+			// delivered even if its dedicated ack was lost or deferred.
+			if f.ackUpTo > 0 {
+				for seq := range m {
+					if seq < f.ackUpTo {
+						delete(m, seq)
+					}
+				}
+			}
 		}
 		e.mu.Unlock()
 		return
 	}
-	// Dedup, then ack.
-	s := e.seen[f.from]
-	if s == nil {
-		s = make(map[uint64]bool)
-		e.seen[f.from] = s
+	st := e.recv[f.from]
+	if st == nil {
+		st = &recvState{}
+		e.recv[f.from] = st
 	}
-	dup := s[f.seq]
+	var dup, inOrder bool
+	switch {
+	case f.seq < st.next:
+		dup = true
+	case st.ahead != nil:
+		_, dup = st.ahead[f.seq]
+	}
 	if !dup {
-		s[f.seq] = true
-		e.inbox = append(e.inbox, Envelope{From: f.from, Payload: f.payload})
+		if f.seq == st.next {
+			inOrder = true
+			st.next++
+			// Fold now-contiguous out-of-order arrivals into the watermark;
+			// this is what keeps the dedup map bounded by the reorder window.
+			for len(st.ahead) > 0 {
+				if _, ok := st.ahead[st.next]; !ok {
+					break
+				}
+				delete(st.ahead, st.next)
+				st.next++
+			}
+		} else {
+			if st.ahead == nil {
+				st.ahead = make(map[uint64]struct{})
+			}
+			st.ahead[f.seq] = struct{}{}
+		}
+		for _, pl := range f.payloads {
+			e.inbox = append(e.inbox, Envelope{From: f.from, Payload: pl})
+		}
 		e.cond.Broadcast()
 	}
+	ackNow := true
+	if e.net.opts.MaxBatch > 1 && inOrder && st.next%ackEvery != 0 {
+		// Defer the ack: a later frame's cumulative watermark (or the flush
+		// tick) covers this one. Duplicates and out-of-order frames are
+		// acked immediately — the sender is demonstrably missing state.
+		st.ackDirty = true
+		ackNow = false
+	}
+	ackUpTo := st.next
 	e.mu.Unlock()
 	if !dup {
-		e.net.Stats.Delivered.Inc()
+		e.net.Stats.Delivered.Add(int64(len(f.payloads)))
 	}
-	if e.net.opts.ResendAfter > 0 {
+	if ackNow && e.net.opts.ResendAfter > 0 {
 		e.net.Stats.AckFrames.Inc()
-		e.net.route(frame{from: e.id, to: f.from, seq: f.seq, ack: true})
+		e.transmit(frame{from: e.id, to: f.from, seq: f.seq, ack: true, ackUpTo: ackUpTo})
 	}
 }
 
@@ -367,6 +660,30 @@ func (e *Endpoint) TryRecv() (Envelope, bool) {
 	return env, true
 }
 
+// RecvBatch blocks until at least one message arrives, then drains the whole
+// inbox under a single lock acquisition. The caller passes the slice the
+// previous RecvBatch returned (or nil); its capacity becomes the endpoint's
+// next inbox, so a steady-state receive loop ping-pongs two slices and
+// allocates nothing. The second result is false once the endpoint is closed
+// and drained (or crashed).
+func (e *Endpoint) RecvBatch(reuse []Envelope) ([]Envelope, bool) {
+	for i := range reuse {
+		reuse[i] = Envelope{} // drop payload references before reuse
+	}
+	e.mu.Lock()
+	for len(e.inbox) == 0 && !e.closed {
+		e.cond.Wait()
+	}
+	if len(e.inbox) == 0 {
+		e.mu.Unlock()
+		return nil, false
+	}
+	batch := e.inbox
+	e.inbox = reuse[:0]
+	e.mu.Unlock()
+	return batch, true
+}
+
 // Pending returns the number of queued incoming messages.
 func (e *Endpoint) Pending() int {
 	e.mu.Lock()
@@ -374,26 +691,36 @@ func (e *Endpoint) Pending() int {
 	return len(e.inbox)
 }
 
-// Close shuts the endpoint down gracefully; blocked Recv calls return false
-// after the inbox drains.
+// Close shuts the endpoint down gracefully; buffered outgoing frames are
+// flushed first and blocked Recv calls return false after the inbox drains.
 func (e *Endpoint) Close() {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
 		return
 	}
+	var frames []frame
+	if !e.dead {
+		frames = e.sealOutbufLocked()
+	}
 	e.closed = true
 	if e.resendStop != nil {
 		close(e.resendStop)
 	}
+	if e.flushStop != nil {
+		close(e.flushStop)
+	}
 	e.cond.Broadcast()
 	e.mu.Unlock()
+	for _, f := range frames {
+		e.transmitData(f)
+	}
 }
 
 // Crash tears the endpoint down with true crash semantics: queued incoming
-// messages, unacknowledged outgoing frames and dedup state are all
-// discarded, as a process crash would lose them. Blocked Recv calls return
-// false immediately (nothing is drained). Idempotent.
+// messages, buffered and unacknowledged outgoing frames and dedup state are
+// all discarded, as a process crash would lose them. Blocked Recv calls
+// return false immediately (nothing is drained). Idempotent.
 func (e *Endpoint) Crash() {
 	e.mu.Lock()
 	if e.crashed {
@@ -403,12 +730,16 @@ func (e *Endpoint) Crash() {
 	e.crashed = true
 	e.dead = true
 	e.inbox = nil
+	e.outbuf = make(map[NodeID][]any)
 	e.unacked = make(map[NodeID]map[uint64]*pending)
-	e.seen = make(map[NodeID]map[uint64]bool)
+	e.recv = make(map[NodeID]*recvState)
 	if !e.closed {
 		e.closed = true
 		if e.resendStop != nil {
 			close(e.resendStop)
+		}
+		if e.flushStop != nil {
+			close(e.flushStop)
 		}
 	}
 	e.cond.Broadcast()
@@ -426,6 +757,40 @@ func (e *Endpoint) setDead(dead bool) {
 	e.mu.Lock()
 	e.dead = dead
 	e.mu.Unlock()
+}
+
+// flushLoop is the batching latency backstop: it ships buffers and deferred
+// acks that no explicit Flush picked up within FlushInterval.
+func (e *Endpoint) flushLoop(interval time.Duration) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-e.flushStop:
+			return
+		case <-tick.C:
+		}
+		e.mu.Lock()
+		var frames []frame
+		var acks []frame
+		if !e.closed && !e.dead {
+			frames = e.sealOutbufLocked()
+			for from, st := range e.recv {
+				if st.ackDirty {
+					st.ackDirty = false
+					acks = append(acks, frame{from: e.id, to: from, seq: st.next - 1, ack: true, ackUpTo: st.next})
+				}
+			}
+		}
+		e.mu.Unlock()
+		for _, f := range frames {
+			e.transmitData(f)
+		}
+		for _, f := range acks {
+			e.net.Stats.AckFrames.Inc()
+			e.transmit(f)
+		}
+	}
 }
 
 // resendLoop periodically retransmits unacknowledged frames. Each frame
@@ -479,7 +844,7 @@ func (e *Endpoint) resendLoop(after time.Duration) {
 		for _, f := range retry {
 			e.net.Stats.Sent.Inc()
 			e.net.Stats.Resent.Inc()
-			e.net.route(f)
+			e.transmit(f)
 		}
 	}
 }
@@ -492,6 +857,31 @@ func (e *Endpoint) Unacked() int {
 	n := 0
 	for _, m := range e.unacked {
 		n += len(m)
+	}
+	return n
+}
+
+// SeenSize reports how many dedup entries this endpoint holds beyond the
+// cumulative-ack watermarks (out-of-order sequences only). Bounded by the
+// reorder window, not by traffic volume.
+func (e *Endpoint) SeenSize() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for _, st := range e.recv {
+		n += len(st.ahead)
+	}
+	return n
+}
+
+// Buffered reports how many payloads are waiting in output buffers
+// (diagnostics and tests).
+func (e *Endpoint) Buffered() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for _, buf := range e.outbuf {
+		n += len(buf)
 	}
 	return n
 }
