@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-all vet bench bench-queries bench-throughput chaos check clean
+.PHONY: all build test race race-all vet bench bench-queries bench-throughput soak-overload chaos check clean
 
 all: check
 
@@ -44,7 +44,16 @@ bench-queries:
 bench-throughput:
 	$(GO) run ./cmd/tornado-bench -experiment throughput -scale small
 
-check: build vet test race chaos bench-queries bench-throughput
+# Overload soak: the surge-plus-slow-consumer chaos test under the race
+# detector (bounded inboxes, credit stalls, recovery mid-surge), then the
+# backpressure benchmark — sustained updates/sec and p99 ingest latency at
+# the overload knee; leaves the BENCH_overload.json artifact.
+soak-overload:
+	$(GO) test -race ./internal/engine/ -run 'TestChaosSoakSurgeOverload|TestSlowConsumerBoundedInbox' -count=1
+	$(GO) test -race . -run 'TestOverloadControllerLadder|TestFeedMaxPendingPausesSpout' -count=1
+	$(GO) run ./cmd/tornado-bench -experiment overload -scale small
+
+check: build vet test race chaos bench-queries bench-throughput soak-overload
 
 clean:
 	$(GO) clean ./...

@@ -7,7 +7,7 @@
 //	tornado-bench [-scale small|full] [-experiment id|all]
 //
 // Experiment IDs: fig5a fig5b fig5c fig6 fig7 tab2 (includes fig8a) fig8b
-// fig8c fig8d fig9 tab3 ablation queries throughput.
+// fig8c fig8d fig9 tab3 ablation queries throughput overload.
 package main
 
 import (
@@ -49,6 +49,7 @@ var experiments = []experiment{
 	{"ablation", "design-choice ablations (prepare-skip, fork fast path, store backend)", wrap(bench.RunAblations)},
 	{"queries", "query service: latency/throughput at 1/8/64 clients, coalesced vs uncoalesced", wrap(bench.RunQueries)},
 	{"throughput", "transport batching: sustained SSSP updates/sec, batched vs unbatched", wrap(bench.RunThroughput)},
+	{"overload", "backpressure: updates/sec and p99 ingest latency at the overload knee", wrap(bench.RunOverload)},
 }
 
 func main() {

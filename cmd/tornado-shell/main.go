@@ -22,6 +22,10 @@
 //	approx               print the main loop's current approximation
 //	merge                query, then merge the result back (Section 5.2)
 //	stats                runtime counters and loop snapshot
+//	flow                 backpressure and overload state (alias: pressure):
+//	                     the degradation-ladder level, admission-gate
+//	                     ledger, transport inbox watermark state, the
+//	                     effective delay bound and query shedding
 //	trace <id>           print the vertex's recorded protocol events
 //	watch <id>           force tracing of a vertex (ignore sampling)
 //	crash <i|master>     crash processor i (or the master) for real:
@@ -271,6 +275,24 @@ func main() {
 			if url := sys.MetricsURL(); url != "" {
 				fmt.Printf("endpoint: %s/metrics\n", url)
 			}
+		case "flow", "pressure":
+			fs := sys.FlowStats()
+			qs := sys.QueryService().Snapshot()
+			fmt.Printf("overload level=%d pressure=%.2f transitions=%d degraded-for=%s\n",
+				fs.OverloadLevel, fs.Pressure, fs.OverloadTransitions, fs.Degraded.Round(time.Millisecond))
+			sat := ""
+			if fs.Engine.GateSaturated {
+				sat = " SATURATED"
+			}
+			fmt.Printf("ingest gate depth=%d/%d peak=%d%s waits=%d paused-for=%s resets=%d\n",
+				fs.Engine.GateDepth, fs.Engine.GateCapacity, fs.Engine.GatePeak, sat,
+				fs.Engine.GateWaits, fs.Engine.GateWaitTime.Round(time.Millisecond), fs.Engine.GateResets)
+			fmt.Printf("transport inbox max=%d total=%d stalled-endpoints=%d held-frames=%d stalls=%d frames-held=%d urgent-shed=%d\n",
+				fs.Engine.InboxMax, fs.Engine.InboxTotal, fs.Engine.StalledEndpoints,
+				fs.Engine.HeldFrames, fs.Engine.Stalls, fs.Engine.FramesHeld, fs.Engine.UrgentShed)
+			fmt.Printf("delay bound effective=%d (configured %d)\n", fs.Engine.DelayBound, *bound)
+			fmt.Printf("queries degrade-level=%d shed-low-priority=%d shed-total=%d queue-depth=%d\n",
+				qs.DegradeLevel, qs.ShedLowPriority, qs.Shed, qs.QueueDepth)
 		case "crash":
 			if len(fields) != 2 {
 				fmt.Println("usage: crash <processor-index|master>")
@@ -355,7 +377,7 @@ func main() {
 			sys.Watch(tornado.VertexID(id))
 			fmt.Printf("watching vertex %d (all its protocol events are now traced)\n", id)
 		case "help":
-			fmt.Println("commands: add s d | remove s d | load n epv seed | query | submit [d] [p] | queries | result id | cancel id | merge | approx | stats | trace id | watch id | crash i|master | recover | faults | quit")
+			fmt.Println("commands: add s d | remove s d | load n epv seed | query | submit [d] [p] | queries | result id | cancel id | merge | approx | stats | flow | trace id | watch id | crash i|master | recover | faults | quit")
 		case "quit", "exit":
 			return
 		default:

@@ -3,6 +3,7 @@ package tornado
 import (
 	"errors"
 	"fmt"
+	"log"
 	"sync"
 	"time"
 
@@ -15,9 +16,69 @@ import (
 // vertex (preserving per-vertex order), and a sink bolt ingests into the
 // main loop. Delivery is tracked with Storm-style tuple-tree acking — the
 // paper's ingesters are exactly such spouts (Section 5.1).
+//
+// The feed participates in end-to-end backpressure: the spout stops pulling
+// from the source while FeedOptions.MaxPending tuple trees are incomplete,
+// the topology transport bounds its inboxes with credit watermarks, and the
+// sink's Ingest blocks at the main loop's admission gate — so a slow main
+// loop propagates all the way back to a paused source instead of unbounded
+// buffering at any hop.
 type Feed struct {
 	topo  *dataflow.Topology
 	spout *sourceSpout
+}
+
+// FeedOptions tune AttachSourceWith. The zero value enables bounded
+// ingestion with the defaults below; set a field to -1 to disable that
+// bound explicitly.
+type FeedOptions struct {
+	// RouterTasks is the router and sink bolts' parallelism (default 2).
+	// The router partitions by routed vertex, preserving per-vertex order.
+	RouterTasks int
+	// MaxPending caps incomplete tuple trees; at the cap the spout pauses
+	// until acks drain it (default 4096, -1 unbounded).
+	MaxPending int
+	// InboxHigh / InboxLow are the topology transport's credit watermarks
+	// (default 1024 / high÷2, -1 unbounded).
+	InboxHigh, InboxLow int
+	// Timeout is how long a tuple tree may stay incomplete before it is
+	// failed back to the spout for replay (default 30s).
+	Timeout time.Duration
+}
+
+func (o *FeedOptions) fill() {
+	if o.RouterTasks < 1 {
+		o.RouterTasks = 2
+	}
+	if o.MaxPending == 0 {
+		o.MaxPending = 4096
+	}
+	if o.InboxHigh == 0 {
+		o.InboxHigh = 1024
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 30 * time.Second
+	}
+}
+
+// FeedStats is a point-in-time snapshot of a feed's delivery and
+// backpressure state.
+type FeedStats struct {
+	// Emitted and Acked count spout emissions (including replays) and
+	// completed tuple trees; Retried counts tuples failed back for replay.
+	Emitted, Acked, Retried int64
+	// RetryLen and RetryCap are the replay queue's current length and its
+	// backing array's capacity (the latter stays bounded by compaction).
+	RetryLen, RetryCap int
+	// PendingTrees is the number of incomplete tuple trees.
+	PendingTrees int
+	// SourceErrors counts source failures other than exhaustion (the first
+	// is retained in Err).
+	SourceErrors int64
+	// SpoutPauses and SpoutPaused count transitions into the paused state
+	// at the MaxPending cap and the cumulative time spent there.
+	SpoutPauses int64
+	SpoutPaused time.Duration
 }
 
 // sourceSpout adapts a stream.Source to the dataflow spout contract with
@@ -26,16 +87,36 @@ type sourceSpout struct {
 	mu        sync.Mutex
 	src       stream.Source
 	retry     []stream.Tuple
+	retryHead int // index of the next replay in retry
 	exhausted bool
 	emitted   int64
 	acked     int64
+	retried   int64
+	err       error
+	errCount  int64
+}
+
+// popRetryLocked takes the oldest failed tuple for replay. The queue is an
+// indexed slice, not a re-sliced one: popping advances retryHead and zeroes
+// the slot, and once the dead prefix dominates the backing array the live
+// tail is copied down — so replay churn cannot retain an ever-growing array.
+func (s *sourceSpout) popRetryLocked() stream.Tuple {
+	t := s.retry[s.retryHead]
+	s.retry[s.retryHead] = stream.Tuple{}
+	s.retryHead++
+	if s.retryHead >= 64 && s.retryHead*2 >= len(s.retry) {
+		n := copy(s.retry, s.retry[s.retryHead:])
+		clear(s.retry[n:])
+		s.retry = s.retry[:n]
+		s.retryHead = 0
+	}
+	return t
 }
 
 func (s *sourceSpout) Next() (any, bool) {
 	s.mu.Lock()
-	if len(s.retry) > 0 {
-		t := s.retry[0]
-		s.retry = s.retry[1:]
+	if s.retryHead < len(s.retry) {
+		t := s.popRetryLocked()
 		s.emitted++
 		s.mu.Unlock()
 		return t, true
@@ -55,6 +136,14 @@ func (s *sourceSpout) Next() (any, bool) {
 		return nil, false
 	}
 	if err != nil {
+		// A real source failure, not exhaustion: stop pulling, but surface
+		// it — swallowing it here would report a truncated stream as a
+		// clean drain.
+		s.errCount++
+		if s.err == nil {
+			s.err = err
+			log.Printf("tornado: feed source failed: %v", err)
+		}
 		s.exhausted = true
 		return nil, false
 	}
@@ -71,24 +160,39 @@ func (s *sourceSpout) Ack(any) {
 func (s *sourceSpout) Fail(p any) {
 	s.mu.Lock()
 	s.retry = append(s.retry, p.(stream.Tuple))
+	s.retried++
 	s.mu.Unlock()
 }
 
 func (s *sourceSpout) done() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.exhausted && len(s.retry) == 0 && s.acked == s.emitted
+	return s.exhausted && s.retryHead >= len(s.retry) && s.acked == s.emitted
 }
 
 // AttachSource pulls tuples from src through a dataflow topology into the
-// main loop. routerTasks sets the router bolt's parallelism (it partitions
-// by routed vertex, so per-vertex tuple order is preserved). Close or
-// exhaust the source, then Wait for full delivery.
+// main loop with the default FeedOptions bounds. routerTasks sets the router
+// bolt's parallelism (it partitions by routed vertex, so per-vertex tuple
+// order is preserved). Close or exhaust the source, then Wait for full
+// delivery.
 func (s *System) AttachSource(src stream.Source, routerTasks int) (*Feed, error) {
-	if routerTasks < 1 {
-		routerTasks = 2
+	return s.AttachSourceWith(src, FeedOptions{RouterTasks: routerTasks})
+}
+
+// AttachSourceWith is AttachSource with explicit flow-control bounds.
+func (s *System) AttachSourceWith(src stream.Source, opts FeedOptions) (*Feed, error) {
+	opts.fill()
+	topo := dataflow.NewTopology(opts.Timeout)
+	if opts.MaxPending > 0 {
+		if err := topo.SetMaxPending(opts.MaxPending); err != nil {
+			return nil, err
+		}
 	}
-	topo := dataflow.NewTopology(30 * time.Second)
+	if opts.InboxHigh > 0 {
+		if err := topo.SetInboxWatermarks(opts.InboxHigh, opts.InboxLow); err != nil {
+			return nil, err
+		}
+	}
 	spout := &sourceSpout{src: src}
 	if err := topo.AddSpout("source", spout); err != nil {
 		return nil, err
@@ -103,10 +207,10 @@ func (s *System) AttachSource(src stream.Source, routerTasks int) (*Feed, error)
 	sink := dataflow.BoltFunc(func(t dataflow.Tuple, _ *dataflow.Collector) {
 		sys.Ingest(t.Payload.(stream.Tuple))
 	})
-	if err := topo.AddBolt("router", router, routerTasks); err != nil {
+	if err := topo.AddBolt("router", router, opts.RouterTasks); err != nil {
 		return nil, err
 	}
-	if err := topo.AddBolt("ingest", sink, routerTasks); err != nil {
+	if err := topo.AddBolt("ingest", sink, opts.RouterTasks); err != nil {
 		return nil, err
 	}
 	routeKey := dataflow.Fields(func(p any) uint64 {
@@ -130,12 +234,44 @@ func (s *System) AttachSource(src stream.Source, routerTasks int) (*Feed, error)
 	return &Feed{topo: topo, spout: spout}, nil
 }
 
+// Err returns the first source failure other than exhaustion, or nil. A
+// feed with a non-nil Err delivered everything the source produced before
+// failing, but the stream is truncated.
+func (f *Feed) Err() error {
+	f.spout.mu.Lock()
+	defer f.spout.mu.Unlock()
+	return f.spout.err
+}
+
+// Stats snapshots the feed's delivery and backpressure counters.
+func (f *Feed) Stats() FeedStats {
+	sp := f.spout
+	sp.mu.Lock()
+	st := FeedStats{
+		Emitted:      sp.emitted,
+		Acked:        sp.acked,
+		Retried:      sp.retried,
+		RetryLen:     len(sp.retry) - sp.retryHead,
+		RetryCap:     cap(sp.retry),
+		SourceErrors: sp.errCount,
+	}
+	sp.mu.Unlock()
+	st.PendingTrees = f.topo.PendingTrees()
+	st.SpoutPauses = f.topo.SpoutPauses()
+	st.SpoutPaused = f.topo.SpoutPaused()
+	return st
+}
+
 // Wait blocks until the source is exhausted and every tuple tree has been
-// acknowledged (all input handed to the main loop).
+// acknowledged (all input handed to the main loop). A source failure is
+// reported after the tuples it did produce have drained.
 func (f *Feed) Wait(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
 		if f.spout.done() && f.topo.PendingTrees() == 0 {
+			if err := f.Err(); err != nil {
+				return fmt.Errorf("tornado: feed source failed: %w", err)
+			}
 			return nil
 		}
 		if time.Now().After(deadline) {

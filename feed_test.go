@@ -1,6 +1,7 @@
 package tornado
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -19,6 +20,150 @@ func TestAttachSourceFromSlice(t *testing.T) {
 	defer feed.Stop()
 	if err := feed.Wait(waitFor); err != nil {
 		t.Fatal(err)
+	}
+	if err := sys.WaitQuiesce(waitFor); err != nil {
+		t.Fatal(err)
+	}
+	want := algorithms.RefSSSP(tuples, 0, 64)
+	err = sys.ScanApprox(func(id VertexID, state any) error {
+		if got := state.(*algorithms.SSSPState).Length; got != want[id] {
+			t.Fatalf("vertex %d: %d vs %d", id, got, want[id])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// failingSource yields n tuples, then fails with a non-exhaustion error.
+type failingSource struct {
+	tuples []stream.Tuple
+	pos    int
+	err    error
+}
+
+func (s *failingSource) Next() (stream.Tuple, error) {
+	if s.pos >= len(s.tuples) {
+		return stream.Tuple{}, s.err
+	}
+	t := s.tuples[s.pos]
+	s.pos++
+	return t, nil
+}
+
+// TestFeedSourceErrorSurfaced: a source failure that is not ErrExhausted must
+// not masquerade as a clean end of stream — the tuples before the failure
+// drain, and the error surfaces through Err, Wait and the stats.
+func TestFeedSourceErrorSurfaced(t *testing.T) {
+	tuples := datasets.PowerLawGraph(60, 3, 31)
+	sys := newSSSP(t, Options{Processors: 2, DelayBound: 32})
+	srcErr := errors.New("disk on fire")
+	feed, err := sys.AttachSource(&failingSource{tuples: tuples, err: srcErr}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer feed.Stop()
+	werr := feed.Wait(waitFor)
+	if !errors.Is(werr, srcErr) {
+		t.Fatalf("Wait = %v, want wrapped %v", werr, srcErr)
+	}
+	if !errors.Is(feed.Err(), srcErr) {
+		t.Fatalf("Err = %v, want %v", feed.Err(), srcErr)
+	}
+	st := feed.Stats()
+	if st.SourceErrors != 1 {
+		t.Fatalf("SourceErrors = %d, want 1", st.SourceErrors)
+	}
+	if st.Emitted != int64(len(tuples)) || st.Acked != st.Emitted {
+		t.Fatalf("emitted %d acked %d, want both %d (pre-failure tuples must drain)",
+			st.Emitted, st.Acked, len(tuples))
+	}
+	// Everything produced before the failure reached the loop.
+	if err := sys.WaitQuiesce(waitFor); err != nil {
+		t.Fatal(err)
+	}
+	want := algorithms.RefSSSP(tuples, 0, 64)
+	err = sys.ScanApprox(func(id VertexID, state any) error {
+		if got := state.(*algorithms.SSSPState).Length; got != want[id] {
+			t.Fatalf("vertex %d: %d vs %d", id, got, want[id])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFeedRetryQueueBounded is the regression for the replay-queue head leak:
+// the old `retry = retry[1:]` pop kept the backing array's dead prefix alive,
+// so sustained fail/replay churn grew memory without bound. The indexed pop
+// with periodic compaction must keep the backing array small no matter how
+// many failures cycle through.
+func TestFeedRetryQueueBounded(t *testing.T) {
+	sp := &sourceSpout{src: stream.FromSlice(nil)}
+	tu := stream.AddEdge(1, 2, 3)
+	for i := 0; i < 10000; i++ {
+		sp.Fail(tu)
+		if _, ok := sp.Next(); !ok {
+			t.Fatalf("cycle %d: failed tuple not replayed", i)
+		}
+	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if live := len(sp.retry) - sp.retryHead; live != 0 {
+		t.Fatalf("replay queue holds %d tuples after full drain", live)
+	}
+	if c := cap(sp.retry); c > 256 {
+		t.Fatalf("replay backing array grew to %d after 10000 fail/replay cycles, want <= 256", c)
+	}
+	if sp.retried != 10000 || sp.emitted != 10000 {
+		t.Fatalf("retried %d emitted %d, want 10000 each", sp.retried, sp.emitted)
+	}
+}
+
+// TestFeedMaxPendingPausesSpout: with a throttled main loop the spout must
+// park at the tuple-tree cap instead of emitting the whole source into the
+// tracking table, and still deliver everything once the loop catches up.
+func TestFeedMaxPendingPausesSpout(t *testing.T) {
+	tuples := datasets.PowerLawGraph(250, 3, 41)
+	sys := newSSSP(t, Options{Processors: 2, DelayBound: 32})
+	const maxPending = 32
+	sys.Engine().SlowProcessor(0, 200*time.Microsecond)
+	feed, err := sys.AttachSourceWith(stream.FromSlice(tuples), FeedOptions{
+		RouterTasks: 2,
+		MaxPending:  maxPending,
+		InboxHigh:   64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer feed.Stop()
+	peak := 0
+	sampled := make(chan struct{})
+	go func() {
+		defer close(sampled)
+		for {
+			st := feed.Stats()
+			if st.PendingTrees > peak {
+				peak = st.PendingTrees
+			}
+			if st.Emitted >= int64(len(tuples)) && st.PendingTrees == 0 {
+				return
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+	sys.Engine().SlowProcessor(0, 0)
+	if err := feed.Wait(waitFor); err != nil {
+		t.Fatal(err)
+	}
+	<-sampled
+	if peak > maxPending {
+		t.Fatalf("pending trees peaked at %d, want <= cap %d", peak, maxPending)
+	}
+	if feed.Stats().SpoutPauses == 0 {
+		t.Fatal("spout never paused; the cap did not engage")
 	}
 	if err := sys.WaitQuiesce(waitFor); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,107 @@
+package tornado
+
+import (
+	"testing"
+	"time"
+
+	"tornado/internal/algorithms"
+	"tornado/internal/datasets"
+)
+
+// pollUntil spins until cond holds or the deadline passes.
+func pollUntil(t *testing.T, timeout time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal(msg)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// TestOverloadControllerLadder drives the system into overload with a paused
+// processor and a saturated admission gate, and asserts the controller walks
+// the degradation ladder up (staleness floor, raised B) and — once the
+// pressure clears — all the way back down to exact service, with the final
+// fixed point unharmed.
+func TestOverloadControllerLadder(t *testing.T) {
+	tuples := datasets.PowerLawGraph(300, 3, 53)
+	sys := newSSSP(t, Options{
+		Processors: 2,
+		DelayBound: 8,
+		Flow: FlowOptions{
+			MaxPendingInputs:  64,
+			InboxHigh:         256,
+			DelayBoundCeiling: 32,
+			SampleEvery:       time.Millisecond,
+		},
+	})
+	// A paused processor pins its share of admitted inputs: the gate fills
+	// to capacity and stays there, a steady 1.0 pressure signal.
+	sys.Engine().PauseProcessor(0)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sys.IngestAll(tuples) // blocks at the 64-input gate while proc 0 is paused
+	}()
+
+	pollUntil(t, waitFor, func() bool { return sys.FlowStats().OverloadLevel >= 2 },
+		"controller never escalated to level 2 under a saturated gate")
+	if got := sys.Engine().DelayBound(); got != 32 {
+		t.Fatalf("effective delay bound at level >= 2 = %d, want ceiling 32", got)
+	}
+	if got := sys.QueryService().Degraded(); got < 1 {
+		t.Fatalf("query service degrade level = %d, want >= 1 while overloaded", got)
+	}
+
+	sys.Engine().ResumeProcessor(0)
+	<-done
+	pollUntil(t, waitFor, func() bool { return sys.FlowStats().OverloadLevel == 0 },
+		"controller never relaxed back to level 0 after the pressure cleared")
+	pollUntil(t, waitFor, func() bool { return sys.Engine().DelayBound() == 8 },
+		"delay bound not restored to its configured value at level 0")
+	if sys.QueryService().Degraded() != 0 {
+		t.Fatal("query service still degraded at level 0")
+	}
+
+	st := sys.FlowStats()
+	if st.OverloadTransitions < 2 {
+		t.Fatalf("OverloadTransitions = %d, want >= 2 (up and back down)", st.OverloadTransitions)
+	}
+	if st.Degraded <= 0 {
+		t.Fatal("Degraded duration not accounted")
+	}
+
+	if err := sys.WaitQuiesce(waitFor); err != nil {
+		t.Fatal(err)
+	}
+	want := algorithms.RefSSSP(tuples, 0, 64)
+	err := sys.ScanApprox(func(id VertexID, state any) error {
+		if got := state.(*algorithms.SSSPState).Length; got != want[id] {
+			t.Fatalf("vertex %d: %d vs %d", id, got, want[id])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlowDisabled: Flow.Disable restores the unbounded pre-flow-control
+// behavior — no admission gate, no controller.
+func TestFlowDisabled(t *testing.T) {
+	sys := newSSSP(t, Options{Processors: 2, Flow: FlowOptions{Disable: true}})
+	sys.IngestAll(datasets.PowerLawGraph(50, 2, 9))
+	if err := sys.WaitQuiesce(waitFor); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.FlowStats()
+	if st.Engine.GateCapacity != 0 {
+		t.Fatalf("GateCapacity = %d with flow disabled, want 0", st.Engine.GateCapacity)
+	}
+	if st.OverloadLevel != 0 || st.OverloadTransitions != 0 {
+		t.Fatal("controller active with flow disabled")
+	}
+}

@@ -365,3 +365,30 @@ func TestThroughputShape(t *testing.T) {
 		t.Fatalf("speedup %.2fx; batching should clearly beat unbatched\n%s", rep.Speedup, rep)
 	}
 }
+
+func TestOverloadShape(t *testing.T) {
+	rep, err := RunOverload(SmallScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 || rep.Rows[0].Mode != "baseline" || rep.Rows[1].Mode != "overload" {
+		t.Fatalf("rows malformed\n%s", rep)
+	}
+	o := rep.Rows[1]
+	// The backpressure claims: under a slowed consumer the bounded queues
+	// hold (the gate never exceeds its capacity, the deepest inbox stays
+	// near its watermark), the producer visibly pays for the lag, and the
+	// loop still makes progress.
+	if o.GatePeak > o.GateCapacity {
+		t.Fatalf("gate peak %d exceeded capacity %d\n%s", o.GatePeak, o.GateCapacity, rep)
+	}
+	if o.InboxPeak > 4*o.InboxHigh {
+		t.Fatalf("inbox peaked at %d, far past the %d watermark\n%s", o.InboxPeak, o.InboxHigh, rep)
+	}
+	if o.Updates == 0 {
+		t.Fatalf("no progress under overload\n%s", rep)
+	}
+	if rep.Knee <= 0 {
+		t.Fatalf("knee not computed\n%s", rep)
+	}
+}

@@ -158,6 +158,17 @@ type Topology struct {
 	wg      sync.WaitGroup
 	timeout time.Duration
 
+	// Flow control (set before Start). maxPending caps incomplete spout-tuple
+	// trees: at the cap the spout executor stops pulling from the spout (while
+	// still draining ack/fail notifications) until trees complete, so a slow
+	// consumer translates into a paused source instead of an unbounded tracking
+	// table. inboxHigh/inboxLow bound the topology transport's inboxes with
+	// credit-based watermarks (see transport.Options).
+	maxPending          int
+	inboxHigh, inboxLow int
+	spoutPauses         atomic.Int64
+	spoutPausedNanos    atomic.Int64
+
 	// Processed counts tuples fully executed by bolts.
 	Processed atomic.Int64
 }
@@ -203,6 +214,41 @@ func (t *Topology) add(c *component) error {
 	return nil
 }
 
+// SetMaxPending caps incomplete spout-tuple trees; at the cap spouts pause
+// (admission control) until trees complete. Zero leaves the spout unthrottled.
+// Must be called before Start.
+func (t *Topology) SetMaxPending(n int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.running {
+		return errors.New("dataflow: topology already running")
+	}
+	t.maxPending = n
+	return nil
+}
+
+// SetInboxWatermarks bounds the topology transport's inboxes with
+// credit-based flow control (see transport.Options.InboxHigh). Zero high
+// leaves inboxes unbounded. Must be called before Start.
+func (t *Topology) SetInboxWatermarks(high, low int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.running {
+		return errors.New("dataflow: topology already running")
+	}
+	t.inboxHigh, t.inboxLow = high, low
+	return nil
+}
+
+// SpoutPauses counts transitions into the paused state (tree cap reached).
+func (t *Topology) SpoutPauses() int64 { return t.spoutPauses.Load() }
+
+// SpoutPaused is the cumulative wall-clock time spouts spent paused at the
+// tree cap.
+func (t *Topology) SpoutPaused() time.Duration {
+	return time.Duration(t.spoutPausedNanos.Load())
+}
+
 // Subscribe routes from's output to the named bolt with the grouping.
 func (t *Topology) Subscribe(bolt, from string, g Grouping) error {
 	t.mu.Lock()
@@ -242,7 +288,7 @@ func (t *Topology) Start() error {
 			up.downstream = append(up.downstream, edge{grouping: g, to: c})
 		}
 	}
-	t.net = transport.NewNetwork(transport.Options{})
+	t.net = transport.NewNetwork(transport.Options{InboxHigh: t.inboxHigh, InboxLow: t.inboxLow})
 	t.acker = newAcker(t)
 	t.acker.ep = t.net.Register(node)
 	timerEP := t.net.Register(node + 1)
@@ -300,6 +346,7 @@ func (t *Topology) Stop() {
 // and flows to the spout's subscribers.
 func (t *Topology) runSpout(c *component, ep *transport.Endpoint) {
 	defer t.wg.Done()
+	var pausedAt time.Time
 	for {
 		select {
 		case <-t.stopCh:
@@ -318,6 +365,25 @@ func (t *Topology) runSpout(c *component, ep *transport.Endpoint) {
 			case failMsg:
 				c.spout.Fail(m.payload)
 			}
+		}
+		// Admission control: at the tree cap the source pauses — the loop
+		// keeps draining notifications above, which is what lets it resume.
+		if t.maxPending > 0 && t.acker.Pending() >= t.maxPending {
+			if pausedAt.IsZero() {
+				pausedAt = time.Now()
+				t.spoutPauses.Add(1)
+			}
+			select {
+			case <-t.stopCh:
+				t.spoutPausedNanos.Add(int64(time.Since(pausedAt)))
+				return
+			case <-time.After(200 * time.Microsecond):
+			}
+			continue
+		}
+		if !pausedAt.IsZero() {
+			t.spoutPausedNanos.Add(int64(time.Since(pausedAt)))
+			pausedAt = time.Time{}
 		}
 		payload, ok := c.spout.Next()
 		if !ok {

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tornado/internal/flow"
 	"tornado/internal/lamport"
 	"tornado/internal/metrics"
 	"tornado/internal/obs"
@@ -82,6 +83,27 @@ type Config struct {
 	// CommitDelay, when non-nil, injects per-commit latency into a
 	// processor (straggler and I/O-cost modelling in the experiments).
 	CommitDelay func(proc int) time.Duration
+
+	// Flow control (all zero = unbounded legacy behavior).
+
+	// MaxPendingInputs bounds the external inputs admitted into the loop but
+	// not yet applied to a vertex: Ingest and IngestAll block the caller —
+	// parking the upstream spout — once this many are in flight. A crash
+	// recovery resets the ledger (the discarded incarnation's in-flight
+	// inputs die with it) and the journal replay re-acquires. 0 disables
+	// admission control.
+	MaxPendingInputs int
+	// InboxHigh / InboxLow are the transport's per-endpoint inbox
+	// watermarks (see transport.Options): at InboxHigh a receiver withdraws
+	// delivery credit and senders park frames until it drains to InboxLow.
+	// 0 leaves inboxes unbounded.
+	InboxHigh int
+	InboxLow  int
+	// DelayBoundCeiling lets the overload controller raise the effective
+	// delay bound B at runtime (SetDelayBound) up to this value: a larger B
+	// lets processors run further ahead of termination notifications,
+	// trading result staleness for ingest headroom. 0 pins B at DelayBound.
+	DelayBoundCeiling int64
 	// Seed drives all engine-internal randomness.
 	Seed int64
 	// CompactEvery makes the master compact the store every N terminated
@@ -158,6 +180,12 @@ func (c *Config) validate() error {
 	}
 	if c.MaxBatch > 1 && c.FlushInterval <= 0 {
 		c.FlushInterval = 2 * time.Millisecond
+	}
+	if c.DelayBoundCeiling < 0 || (c.DelayBoundCeiling > 0 && c.DelayBoundCeiling < c.DelayBound) {
+		return errors.New("engine: DelayBoundCeiling must be 0 or >= DelayBound")
+	}
+	if c.InboxHigh > 0 && (c.InboxLow <= 0 || c.InboxLow >= c.InboxHigh) {
+		c.InboxLow = c.InboxHigh / 2
 	}
 	if c.HeartbeatInterval > 0 {
 		if c.SuspectAfter < 1 {
@@ -288,6 +316,18 @@ type Engine struct {
 	start    time.Time
 	created  time.Time
 
+	// Flow control. ingestGate (nil when MaxPendingInputs == 0) is the
+	// admission ledger: Ingest acquires before touching the incarnation —
+	// blocking under genMu would deadlock the recovery that needs the write
+	// lock to unwedge the very consumer being waited on — and applyWork
+	// releases as inputs land on vertices. delayBound is the effective B,
+	// raised at runtime by SetDelayBound within the configured ceiling.
+	// slow is per-processor injected commit latency (FaultSlowProcessor);
+	// it survives incarnations so a recovered processor stays slow.
+	ingestGate *flow.Gate
+	delayBound atomic.Int64
+	slow       []atomic.Int64
+
 	// Supervision counters and event log.
 	crashes     metrics.Counter
 	recoveries  metrics.Counter
@@ -350,6 +390,11 @@ func New(cfg Config) (*Engine, error) {
 		created:     time.Now(),
 		done:        make(chan struct{}),
 		pins:        make(map[int64]int),
+		slow:        make([]atomic.Int64, cfg.Processors),
+	}
+	e.delayBound.Store(cfg.DelayBound)
+	if cfg.MaxPendingInputs > 0 {
+		e.ingestGate = flow.NewGate(cfg.MaxPendingInputs, 0)
 	}
 	if cfg.Kind == MainLoop {
 		e.journal = newInputJournal()
@@ -379,6 +424,8 @@ func (e *Engine) buildIncarnation(gen int) *incarnation {
 		MaxBatch:          e.cfg.MaxBatch,
 		FlushInterval:     e.cfg.FlushInterval,
 		DisableRouteCache: e.cfg.DisableBatching,
+		InboxHigh:         e.cfg.InboxHigh,
+		InboxLow:          e.cfg.InboxLow,
 		DropSeed:          e.cfg.Seed,
 		Stats:             e.netStats,
 	})
@@ -501,6 +548,9 @@ func (e *Engine) Start() {
 // the send keeps the input atomic with respect to recovery: either it lands
 // in the old incarnation (and the journal replays it) or in the new one.
 func (e *Engine) Ingest(t stream.Tuple) {
+	if g := e.ingestGate; g != nil {
+		g.Acquire() // before genMu: see the ingestGate field comment
+	}
 	e.genMu.RLock()
 	defer e.genMu.RUnlock()
 	inc := e.inc
@@ -513,10 +563,25 @@ func (e *Engine) Ingest(t stream.Tuple) {
 	inc.ingestE.Flush()
 }
 
-// IngestAll ingests a tuple slice in order, under one incarnation lock and
-// with one transport flush: the whole slice rides in a handful of
-// multi-payload frames instead of one frame per tuple.
+// IngestAll ingests a tuple slice in order, in admission-gate-sized chunks:
+// each chunk rides under one incarnation lock and one transport flush, in a
+// handful of multi-payload frames instead of one frame per tuple. With
+// MaxPendingInputs set the call blocks — parking the upstream source —
+// whenever the loop already holds a full window of unapplied inputs.
 func (e *Engine) IngestAll(ts []stream.Tuple) {
+	if e.ingestGate == nil {
+		e.ingestChunk(ts)
+		return
+	}
+	for len(ts) > 0 {
+		n := e.ingestGate.AcquireUpTo(len(ts))
+		e.ingestChunk(ts[:n])
+		ts = ts[n:]
+	}
+}
+
+// ingestChunk sends one pre-admitted slice of tuples into the loop.
+func (e *Engine) ingestChunk(ts []stream.Tuple) {
 	e.genMu.RLock()
 	defer e.genMu.RUnlock()
 	inc := e.inc
@@ -713,6 +778,9 @@ func (e *Engine) WaitSettled(timeout time.Duration) error {
 // completed engine.
 func (e *Engine) Stop() {
 	e.stopOnce.Do(func() {
+		if e.ingestGate != nil {
+			e.ingestGate.Close() // producers blocked in Ingest must exit
+		}
 		e.genMu.Lock()
 		e.stopped = true
 		inc := e.inc
@@ -784,6 +852,94 @@ func (e *Engine) compactFloor(to int64) int64 {
 		}
 	}
 	return to
+}
+
+// FlowSnapshot is a point-in-time view of the loop's backpressure state:
+// the ingest admission ledger, the effective delay bound, and the transport
+// inbox watermark machinery.
+type FlowSnapshot struct {
+	// GateDepth / GateCapacity are the admission ledger: inputs admitted
+	// but not yet applied, against MaxPendingInputs (both zero when
+	// admission control is off). GatePeak is the high-water mark.
+	// GateSaturated reports the gate is currently withholding credits
+	// (producers park until the ledger drains to the low watermark), which
+	// can hold with GateDepth below GateCapacity.
+	GateDepth, GateCapacity, GatePeak int
+	GateSaturated                     bool
+	// GateWaits counts producer blocks at the admission gate; GateWaitTime
+	// is their cumulative pause — how long sources were parked.
+	GateWaits    int64
+	GateWaitTime time.Duration
+	// GateResets counts crash recoveries that discarded the ledger.
+	GateResets int64
+	// DelayBound is the effective B (>= Config.DelayBound when the
+	// overload controller raised it).
+	DelayBound int64
+	// InboxMax / InboxTotal are the deepest and summed transport inbox
+	// depths; StalledEndpoints and HeldFrames are the receivers currently
+	// withholding credit and the frames senders have parked for them.
+	InboxMax, InboxTotal         int
+	StalledEndpoints, HeldFrames int
+	// Stalls and FramesHeld are the cumulative transport counters;
+	// UrgentShed counts stall-exempt control frames a watermark-full
+	// receiver acknowledged without enqueueing.
+	Stalls, FramesHeld, UrgentShed int64
+}
+
+// FlowSnapshot captures the engine's current backpressure state.
+func (e *Engine) FlowSnapshot() FlowSnapshot {
+	s := FlowSnapshot{DelayBound: e.delayBound.Load()}
+	if g := e.ingestGate; g != nil {
+		s.GateDepth = g.Depth()
+		s.GateCapacity = g.Capacity()
+		s.GatePeak = g.Peak()
+		s.GateSaturated = g.Saturated()
+		s.GateWaits = g.Waits()
+		s.GateWaitTime = g.WaitTime()
+		s.GateResets = g.Resets()
+	}
+	s.InboxMax, s.InboxTotal, s.StalledEndpoints, s.HeldFrames = e.cur().net.QueueDepths()
+	s.Stalls = e.netStats.Stalls.Value()
+	s.FramesHeld = e.netStats.HeldFrames.Value()
+	s.UrgentShed = e.netStats.UrgentShed.Value()
+	return s
+}
+
+// DelayBound returns the effective delay bound B; SetDelayBound may have
+// raised it above the configured value.
+func (e *Engine) DelayBound() int64 { return e.delayBound.Load() }
+
+// SetDelayBound adjusts the effective B, clamped to
+// [Config.DelayBound, Config.DelayBoundCeiling], and returns the value
+// adopted. With no ceiling configured it is a no-op pinned at the
+// configured bound. Raising B is the L2 degradation rung: in-flight work
+// may run further ahead of termination notifications, absorbing an ingest
+// surge at the price of staler approximations. Any value already admitted
+// under a larger B stays valid when B is lowered again — the delay bound
+// only gates new holdbacks, so correctness is that of the largest B used.
+func (e *Engine) SetDelayBound(b int64) int64 {
+	lo, hi := e.cfg.DelayBound, e.cfg.DelayBoundCeiling
+	if hi < lo {
+		hi = lo
+	}
+	if b < lo {
+		b = lo
+	}
+	if b > hi {
+		b = hi
+	}
+	e.delayBound.Store(b)
+	return b
+}
+
+// SlowProcessor injects d of extra latency into every commit of processor i
+// (0 clears it). Unlike Config.CommitDelay it can be toggled on a running
+// engine and survives crash recoveries, which makes it the slow-consumer
+// chaos primitive behind FaultSlowProcessor.
+func (e *Engine) SlowProcessor(i int, d time.Duration) {
+	if i >= 0 && i < len(e.slow) {
+		e.slow[i].Store(int64(d))
+	}
 }
 
 // TransportMapSizes sums the current incarnation's transport bookkeeping:

@@ -61,7 +61,9 @@ func (e *Engine) AdoptBranch(br *Engine) error {
 		return ErrMergeConflict
 	}
 
-	mergeIter := inc.tracker.Notified() + e.cfg.DelayBound
+	// Use the effective (possibly controller-raised) B: adopted versions must
+	// land above anything an in-flight commit could still write under it.
+	mergeIter := inc.tracker.Notified() + e.delayBound.Load()
 	release := e.HoldQuiesce()
 	defer release()
 

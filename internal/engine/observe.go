@@ -97,6 +97,36 @@ func (e *Engine) attachObs(hub *obs.Hub) {
 		"PREPARE messages still awaiting their ACK.",
 		func() float64 { return float64(e.pendingPrepares.Load()) })
 
+	sc.RegisterCounter("tornado_flow_stalls_total",
+		"Transport inbox high-watermark crossings (delivery credit withdrawn).", &e.netStats.Stalls)
+	sc.RegisterCounter("tornado_flow_frames_held_total",
+		"Data frames senders parked while a receiver withheld credit.", &e.netStats.HeldFrames)
+	sc.RegisterCounter("tornado_flow_urgent_shed_total",
+		"Stall-exempt control frames shed (acked, not enqueued) by watermark-full receivers.", &e.netStats.UrgentShed)
+	sc.GaugeFunc("tornado_flow_inbox_depth_max",
+		"Deepest transport inbox right now (compare against the InboxHigh watermark).",
+		func() float64 { m, _, _, _ := e.cur().net.QueueDepths(); return float64(m) })
+	sc.GaugeFunc("tornado_flow_stalled_endpoints",
+		"Endpoints currently withholding delivery credit.",
+		func() float64 { _, _, s, _ := e.cur().net.QueueDepths(); return float64(s) })
+	sc.GaugeFunc("tornado_flow_held_frames",
+		"Frames currently parked at senders waiting for credit.",
+		func() float64 { _, _, _, h := e.cur().net.QueueDepths(); return float64(h) })
+	sc.GaugeFunc("tornado_flow_delay_bound",
+		"Effective delay bound B (above the configured value while degraded).",
+		func() float64 { return float64(e.delayBound.Load()) })
+	if g := e.ingestGate; g != nil {
+		sc.GaugeFunc("tornado_flow_ingest_gate_depth",
+			"Inputs admitted but not yet applied to a vertex.",
+			func() float64 { return float64(g.Depth()) })
+		sc.GaugeFunc("tornado_flow_ingest_gate_capacity",
+			"Admission-gate capacity (Config.MaxPendingInputs).",
+			func() float64 { return float64(g.Capacity()) })
+		sc.GaugeFunc("tornado_flow_ingest_pause_seconds_total",
+			"Cumulative wall-clock time producers spent blocked at the admission gate.",
+			func() float64 { return g.WaitTime().Seconds() })
+	}
+
 	e.iterCommitsHist = sc.Histogram("tornado_iteration_commits",
 		"Vertex commits per terminated iteration.", obs.ExpBuckets(1, 2, 24))
 	e.advanceGapHist = sc.Histogram("tornado_frontier_advance_seconds",
@@ -115,12 +145,30 @@ func (e *Engine) attachObs(hub *obs.Hub) {
 // statusz is the engine's per-loop /statusz section.
 func (e *Engine) statusz() any {
 	s := e.StatsSnapshot()
+	fs := e.FlowSnapshot()
 	tracker := e.cur().tracker
 	uptime := time.Since(e.created)
 	return map[string]any{
-		"kind":               e.cfg.Kind.String(),
-		"program":            fmt.Sprintf("%T", e.cfg.Program),
-		"delay_bound":        e.cfg.DelayBound,
+		"kind":        e.cfg.Kind.String(),
+		"program":     fmt.Sprintf("%T", e.cfg.Program),
+		"delay_bound": e.cfg.DelayBound,
+		"flow": map[string]any{
+			"delay_bound_effective": fs.DelayBound,
+			"gate_depth":            fs.GateDepth,
+			"gate_capacity":         fs.GateCapacity,
+			"gate_saturated":        fs.GateSaturated,
+			"gate_peak":             fs.GatePeak,
+			"gate_waits":            fs.GateWaits,
+			"ingest_pause":          fs.GateWaitTime.String(),
+			"gate_resets":           fs.GateResets,
+			"inbox_max":             fs.InboxMax,
+			"inbox_total":           fs.InboxTotal,
+			"stalled_endpoints":     fs.StalledEndpoints,
+			"held_frames":           fs.HeldFrames,
+			"stalls":                fs.Stalls,
+			"frames_held":           fs.FramesHeld,
+			"urgent_shed":           fs.UrgentShed,
+		},
 		"processors":         e.cfg.Processors,
 		"frontier":           s.Frontier,
 		"notified":           s.Notified,

@@ -102,9 +102,10 @@ func newProcessor(idx int, eng *Engine, ep *transport.Endpoint, tk *Tracker, sna
 }
 
 // cap returns the highest iteration updates may currently commit in:
-// lastTerminated + B (Section 4.4).
+// lastTerminated + B (Section 4.4). B is read through the engine's dynamic
+// bound so the overload controller can widen it mid-run.
 func (p *processor) cap() int64 {
-	return p.notified + p.eng.cfg.DelayBound
+	return p.notified + p.eng.delayBound.Load()
 }
 
 func (p *processor) run() {
@@ -316,6 +317,11 @@ func (p *processor) applyWork(v *vertex, w heldWork) {
 		if p.eng.journal != nil && w.hasJSeq {
 			p.eng.journal.Applied(w.jseq, v.id)
 		}
+		// The input has landed on its vertex: hand the admission credit back
+		// so the gate tracks unapplied inputs, not unterminated iterations.
+		if g := p.eng.ingestGate; g != nil {
+			g.Release(1)
+		}
 	}
 	p.tk.Release(w.token)
 }
@@ -487,6 +493,9 @@ func (p *processor) commit(v *vertex) {
 		if delay := d(p.idx); delay > 0 {
 			time.Sleep(delay)
 		}
+	}
+	if ns := p.eng.slow[p.idx].Load(); ns > 0 {
+		time.Sleep(time.Duration(ns)) // injected slow-consumer fault
 	}
 	v.iter = tau
 	v.lastCommit = tau

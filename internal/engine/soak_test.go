@@ -184,3 +184,124 @@ func TestChaosSoakRecovery(t *testing.T) {
 			s.Crashes, s.Recoveries, e.RecoveryLog())
 	}
 }
+
+// TestChaosSoakSurgeOverload is the overload soak: a 10x ingest surge slams
+// into a deliberately slowed processor with the whole backpressure stack on
+// (admission gate + inbox watermarks), and a planned crash lands mid-surge.
+// The queues must stay bounded while the supervisor recovers, and the run
+// must still end at the exact reference fixed point — backpressure may delay
+// tuples but must never lose or double-apply one, even across an
+// incarnation change. Skipped with -short.
+func TestChaosSoakSurgeOverload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overload soak skipped in -short mode")
+	}
+	const (
+		procs     = 5
+		inboxHigh = 256
+		maxBatch  = 16
+	)
+	base := datasets.PowerLawGraph(400, 3, 404)
+	surge := datasets.WithRemovals(datasets.PowerLawGraph(4000, 3, 405), 0.05, 11)
+	// Shift the surge into a fresh ID range so it extends the base graph.
+	for i := range surge {
+		surge[i].Src += 20000
+		surge[i].Dst += 20000
+	}
+	e, err := New(Config{
+		Processors:        procs,
+		DelayBound:        16,
+		DelayBoundCeiling: 64,
+		Kind:              MainLoop,
+		LoopID:            storage.MainLoop,
+		Store:             storage.NewMemStore(),
+		Program:           ssspProg{source: 0},
+		ResendAfter:       5 * time.Millisecond,
+		Seed:              404,
+		MaxBatch:          maxBatch,
+		MaxPendingInputs:  512,
+		InboxHigh:         inboxHigh,
+		InboxLow:          64,
+		HeartbeatInterval: 5 * time.Millisecond,
+		SuspectAfter:      6,
+		RestartBackoff:    time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.InjectFaultPlan(FaultPlan{Faults: []Fault{
+		{Kind: FaultSlowProcessor, Proc: 2, Delay: 100 * time.Microsecond, AtIteration: 1},
+		{Kind: FaultCrashProcessor, Proc: 3, AtIteration: 4},
+	}})
+	e.Start()
+	defer e.Stop()
+
+	// Track the deepest inbox seen across the whole run (incarnations
+	// included: FlowSnapshot reads the current one).
+	peakInbox := make(chan int, 1)
+	stopSampling := make(chan struct{})
+	go func() {
+		peak := 0
+		for {
+			select {
+			case <-stopSampling:
+				peakInbox <- peak
+				return
+			default:
+			}
+			if m := e.FlowSnapshot().InboxMax; m > peak {
+				peak = m
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+
+	// Baseline trickle, then the 10x surge in back-to-back waves with no
+	// quiesce barriers — the gate and watermarks are all that stand between
+	// the burst and the slow processor 2, while processor 3 crashes mid-way.
+	e.IngestAll(base)
+	per := len(surge) / 4
+	for w := 0; w < 4; w++ {
+		lo, hi := w*per, (w+1)*per
+		if w == 3 {
+			hi = len(surge)
+		}
+		e.IngestAll(surge[lo:hi])
+	}
+	waitUntil(t, waitFor, func() bool { return e.StatsSnapshot().Recoveries >= 1 },
+		"planned crash of processor 3 never recovered")
+	e.SlowProcessor(2, 0) // clear the slowdown so settling is prompt
+
+	if err := e.WaitSettled(waitFor); err != nil {
+		s := e.StatsSnapshot()
+		t.Fatalf("%v (gen=%d crashes=%d recoveries=%d frontier=%d notified=%d log tail: %+v)",
+			err, s.Generation, s.Crashes, s.Recoveries, s.Frontier, s.Notified, tail(e.RecoveryLog(), 6))
+	}
+	close(stopSampling)
+	peak := <-peakInbox
+
+	// Bounded queues: watermark plus the frame-granularity overshoot (one
+	// in-flight MaxBatch frame per sending goroutine), never the ~13k-tuple
+	// backlog an unbounded run would buffer.
+	margin := 2 * (procs + 2) * maxBatch
+	if peak > inboxHigh+margin {
+		t.Fatalf("inbox peaked at %d during surge, want <= watermark %d + overshoot margin %d",
+			peak, inboxHigh, margin)
+	}
+	fs := e.FlowSnapshot()
+	if fs.GateDepth != 0 {
+		t.Fatalf("gate depth %d after settling, want 0 (admission credits leaked across recovery)", fs.GateDepth)
+	}
+	if fs.GatePeak > 512 {
+		t.Fatalf("gate peak %d exceeds MaxPendingInputs 512", fs.GatePeak)
+	}
+
+	// No tuple lost or double-applied: the throttled, crashed run must land
+	// on the same fixed point as an unthrottled reference.
+	all := append(append([]stream.Tuple{}, base...), surge...)
+	checkSSSP(t, e, all)
+	s := e.StatsSnapshot()
+	if s.Recoveries < 1 {
+		t.Fatalf("Recoveries = %d, want >= 1 (log: %+v)", s.Recoveries, e.RecoveryLog())
+	}
+}

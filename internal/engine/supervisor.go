@@ -304,6 +304,16 @@ func (e *Engine) doRecover(from *incarnation, detected time.Time, deadProcs []in
 	e.masterPaused.Store(false)
 	old.wg.Wait()
 
+	// Every in-flight input of the dead incarnation is now either applied
+	// (its credit already released) or discarded with the incarnation.
+	// Discard the admission ledger to match: the journal replay below
+	// re-acquires for everything the checkpoint does not cover. Between the
+	// reset and the replay the bound is briefly soft — stragglers that
+	// released before the reset cannot double-count, Release clamps at zero.
+	if e.ingestGate != nil {
+		e.ingestGate.Reset()
+	}
+
 	// The last terminated iteration is the checkpoint: everything at or
 	// below it was flushed before it was announced. Read it only after the
 	// old master has exited — a closing tracker can hand the master one
@@ -370,13 +380,15 @@ func (e *Engine) doRecover(from *incarnation, detected time.Time, deadProcs []in
 		panic(fmt.Sprintf("engine: re-activate checkpoint state: %v", err))
 	}
 	e.IngestAll(residual)
-	ninc.tracker.Release(guard)
-	ninc.markReady()
-
+	// Count the recovery before dropping the quiescence guard: once the
+	// guard is gone a WaitQuiesce may succeed, and an observer reading the
+	// stats right after must already see this restart.
 	e.recoveries.Inc()
 	if e.mttrHist != nil {
 		e.mttrHist.Observe(time.Since(detected).Seconds())
 	}
+	ninc.tracker.Release(guard)
+	ninc.markReady()
 	for _, i := range quarantinedNow {
 		e.recordEvent(RecoveryEvent{Kind: EventQuarantine, Proc: i, Gen: ninc.gen,
 			Detail: fmt.Sprintf("crashed >%d times in %v; partition reassigned", e.cfg.MaxRestarts, e.cfg.RestartWindow)})
@@ -407,13 +419,20 @@ const (
 	FaultCrashProcessor FaultKind = iota
 	// FaultCrashMaster crashes the master.
 	FaultCrashMaster
+	// FaultSlowProcessor injects Delay of latency into every commit of
+	// processor Proc (the slow-consumer fault; Delay 0 clears it). The
+	// slowdown survives recoveries — a restarted processor stays slow.
+	FaultSlowProcessor
 )
 
 // Fault is one entry of a deterministic chaos schedule.
 type Fault struct {
 	Kind FaultKind
-	// Proc is the target processor (FaultCrashProcessor only).
+	// Proc is the target processor (FaultCrashProcessor and
+	// FaultSlowProcessor).
 	Proc int
+	// Delay is the injected per-commit latency (FaultSlowProcessor only).
+	Delay time.Duration
 	// AtIteration fires the fault once the terminated frontier reaches this
 	// iteration (ignored when OnFork is set).
 	AtIteration int64
@@ -455,6 +474,8 @@ func (e *Engine) applyFault(f Fault) {
 		e.CrashProcessor(f.Proc)
 	case FaultCrashMaster:
 		e.CrashMaster()
+	case FaultSlowProcessor:
+		e.SlowProcessor(f.Proc, f.Delay)
 	}
 }
 

@@ -110,6 +110,17 @@ type Options struct {
 	// DisableCache turns the result cache off (benchmarking, and tests that
 	// assert branch teardown on Close).
 	DisableCache bool
+	// DegradeStaleDeltas is the staleness tolerance the service imposes on
+	// every query while degraded (level >= 1): cache hits and running-flight
+	// joins are accepted up to this many input deltas behind the present even
+	// when the query asked for less, trading exactness for fork load
+	// (default 1024).
+	DegradeStaleDeltas uint64
+	// ShedBelowPriority is the admission cut applied at degrade level >= 2:
+	// queries with Priority below it are shed with ErrOverloaded before they
+	// can queue a new flight (default 1, i.e. the zero/default priority is
+	// the first traffic dropped).
+	ShedBelowPriority int
 }
 
 func (o *Options) fill() {
@@ -133,6 +144,12 @@ func (o *Options) fill() {
 	}
 	if o.SweepEvery <= 0 {
 		o.SweepEvery = 250 * time.Millisecond
+	}
+	if o.DegradeStaleDeltas == 0 {
+		o.DegradeStaleDeltas = 1024
+	}
+	if o.ShedBelowPriority == 0 {
+		o.ShedBelowPriority = 1
 	}
 }
 
@@ -414,6 +431,11 @@ type Snapshot struct {
 	Shed, Cancelled, Expired, Failed          int64
 	Completed                                 int64
 	QueueDepth, Inflight, Cached, Tickets     int
+	// DegradeLevel is the current graceful-degradation level (0 = exact
+	// service); ShedLowPriority counts queries dropped by the level-2
+	// priority cut (a subset of Shed).
+	DegradeLevel    int
+	ShedLowPriority int64
 }
 
 // Service is the query-serving front end. Create one with New; it owns a
@@ -441,7 +463,12 @@ type Service struct {
 	// already hold mu). Exposed through Snapshot and the obs scope.
 	submitted, admitted, coalesced, cacheHits int64
 	shed, cancelled, expired, failed          int64
-	completed                                 int64
+	completed, shedLowPri                     int64
+
+	// degraded is the graceful-degradation level set by the overload
+	// controller; it only widens tolerances and cuts admission, it never
+	// changes what an admitted query computes.
+	degraded int
 
 	obsScope  *obs.Scope
 	obsDetach func()
@@ -497,6 +524,13 @@ func (s *Service) attachObs(hub *obs.Hub) {
 	counter("tornado_queries_expired_total", "Queries that hit their deadline before resolving.", &s.expired)
 	counter("tornado_queries_failed_total", "Queries that failed (fork error or branch abort).", &s.failed)
 	counter("tornado_queries_completed_total", "Queries resolved with a result.", &s.completed)
+	counter("tornado_queries_shed_low_priority_total",
+		"Queries shed by the degrade-level-2 priority cut (subset of shed).", &s.shedLowPri)
+	sc.GaugeFunc("tornado_query_degrade_level", "Graceful-degradation level (0 = exact service).", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.degraded)
+	})
 	sc.GaugeFunc("tornado_query_queue_depth", "Flights waiting for a worker.", func() float64 {
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -519,21 +553,23 @@ func (s *Service) attachObs(hub *obs.Hub) {
 	hub.AddStatus("queryserv", func() any {
 		snap := s.Snapshot()
 		return map[string]any{
-			"submitted":   snap.Submitted,
-			"admitted":    snap.Admitted,
-			"coalesced":   snap.Coalesced,
-			"cache_hits":  snap.CacheHits,
-			"shed":        snap.Shed,
-			"cancelled":   snap.Cancelled,
-			"expired":     snap.Expired,
-			"failed":      snap.Failed,
-			"completed":   snap.Completed,
-			"queue_depth": snap.QueueDepth,
-			"inflight":    snap.Inflight,
-			"cached":      snap.Cached,
-			"tickets":     snap.Tickets,
-			"workers":     s.opts.Workers,
-			"queue_cap":   s.opts.QueueCap,
+			"submitted":         snap.Submitted,
+			"admitted":          snap.Admitted,
+			"coalesced":         snap.Coalesced,
+			"cache_hits":        snap.CacheHits,
+			"shed":              snap.Shed,
+			"cancelled":         snap.Cancelled,
+			"expired":           snap.Expired,
+			"failed":            snap.Failed,
+			"completed":         snap.Completed,
+			"queue_depth":       snap.QueueDepth,
+			"inflight":          snap.Inflight,
+			"cached":            snap.Cached,
+			"tickets":           snap.Tickets,
+			"workers":           s.opts.Workers,
+			"queue_cap":         s.opts.QueueCap,
+			"degrade_level":     snap.DegradeLevel,
+			"shed_low_priority": snap.ShedLowPriority,
 		}
 	})
 	s.obsDetach = func() {
@@ -551,8 +587,30 @@ func (s *Service) Snapshot() Snapshot {
 		CacheHits: s.cacheHits, Shed: s.shed, Cancelled: s.cancelled,
 		Expired: s.expired, Failed: s.failed, Completed: s.completed,
 		QueueDepth: len(s.queue), Inflight: s.running, Cached: len(s.cache),
-		Tickets: len(s.tickets),
+		Tickets: len(s.tickets), DegradeLevel: s.degraded, ShedLowPriority: s.shedLowPri,
 	}
+}
+
+// SetDegraded moves the service to the given graceful-degradation level
+// (clamped at 0). Level 0 is exact service; level 1 imposes
+// Options.DegradeStaleDeltas as a floor on every query's staleness tolerance
+// so cache hits and coalescing absorb more load; level 2 additionally sheds
+// queries below Options.ShedBelowPriority with ErrOverloaded before they can
+// fork. The overload controller drives this; it is also callable directly.
+func (s *Service) SetDegraded(level int) {
+	if level < 0 {
+		level = 0
+	}
+	s.mu.Lock()
+	s.degraded = level
+	s.mu.Unlock()
+}
+
+// Degraded returns the current graceful-degradation level.
+func (s *Service) Degraded() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded
 }
 
 // Submit enqueues one query and returns its ticket. The fast paths resolve
@@ -593,13 +651,22 @@ func (s *Service) Submit(ctx context.Context, spec QuerySpec) (*Ticket, error) {
 	}
 	s.tickets[t.id] = t
 
+	// While degraded the service imposes its own staleness tolerance on top
+	// of the query's: answers up to DegradeStaleDeltas behind the present are
+	// handed out from the cache or a running flight rather than forking,
+	// which is the "widen the window" rung of the degradation ladder.
+	effStale := spec.MaxStaleDeltas
+	if s.degraded >= 1 && s.opts.DegradeStaleDeltas > effStale {
+		effStale = s.opts.DegradeStaleDeltas
+	}
+
 	// Fast path 1: the freshness-bounded cache.
 	if shareable && !s.opts.DisableCache && s.opts.CacheCap > 0 {
 		if e, ok := s.cache[key]; ok {
 			cur := s.b.JournalSeq()
 			lag := cur - e.sh.forkSeq
 			age := now.Sub(e.sh.created)
-			if lag == 0 || (lag <= spec.MaxStaleDeltas &&
+			if lag == 0 || (lag <= effStale &&
 				(spec.MaxStaleAge <= 0 || age <= spec.MaxStaleAge)) {
 				s.cacheHits++
 				e.sh.acquire()
@@ -628,7 +695,7 @@ func (s *Service) Submit(ctx context.Context, spec QuerySpec) (*Ticket, error) {
 			case flightRunning:
 				if f.forked {
 					lag := s.b.JournalSeq() - f.forkSeq
-					join = lag <= spec.MaxStaleDeltas
+					join = lag <= effStale
 				}
 			}
 			if join {
@@ -647,7 +714,17 @@ func (s *Service) Submit(ctx context.Context, spec QuerySpec) (*Ticket, error) {
 		}
 	}
 
-	// Slow path: a new flight through the bounded wait queue.
+	// Slow path: a new flight through the bounded wait queue. At degrade
+	// level >= 2 low-priority traffic is cut here — it may still ride the
+	// free fast paths above, but it cannot cost a fork.
+	if s.degraded >= 2 && spec.Priority < s.opts.ShedBelowPriority {
+		s.shed++
+		s.shedLowPri++
+		delete(s.tickets, t.id)
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: degraded level %d sheds priority < %d (got %d)",
+			ErrOverloaded, s.degraded, s.opts.ShedBelowPriority, spec.Priority)
+	}
 	if len(s.queue) >= s.opts.QueueCap {
 		s.shed++
 		delete(s.tickets, t.id)

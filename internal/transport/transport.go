@@ -78,6 +78,11 @@ type frame struct {
 	// all of them even if their dedicated acks were lost.
 	ackUpTo  uint64
 	payloads []any // data frames: one or more payloads, in send order
+	// urgent marks SendNow traffic: it bypasses sender-side credit parking,
+	// and a watermark-full receiver sheds (acks without enqueueing) it
+	// rather than growing without bound — urgent payloads are refreshable
+	// control signals, not data.
+	urgent bool
 }
 
 // Stats are the network's delivery counters. The engine owns one Stats and
@@ -102,6 +107,13 @@ type Stats struct {
 	// DeadLetters counts frames abandoned after MaxResends retransmission
 	// attempts — typically traffic addressed to a crashed endpoint.
 	DeadLetters metrics.Counter
+	// Stalls counts inbox high-watermark crossings (a receiver withdrew
+	// delivery credit); HeldFrames counts data frames senders parked while
+	// waiting for that credit to come back; UrgentShed counts SendNow frames
+	// a watermark-full receiver acknowledged without enqueueing.
+	Stalls     metrics.Counter
+	HeldFrames metrics.Counter
+	UrgentShed metrics.Counter
 }
 
 // Options configure a Network.
@@ -130,6 +142,26 @@ type Options struct {
 	// DisableRouteCache forces every frame through the global endpoint table
 	// lookup instead of the per-endpoint peer cache (benchmark baseline).
 	DisableRouteCache bool
+	// InboxHigh bounds every endpoint's inbox with credit-based flow
+	// control: once an inbox holds this many envelopes the receiver
+	// withdraws delivery credit and senders park further data frames
+	// locally (they never block) until the receiver drains back to
+	// InboxLow. Control traffic — acks and SendNow frames — is never
+	// parked, so heartbeats and failure detection are immune to data
+	// congestion; a SendNow frame arriving at an inbox already holding
+	// InboxHigh envelopes is instead shed (acknowledged but not enqueued,
+	// counted in Stats.UrgentShed), so a starved consumer's control backlog
+	// stays bounded too — urgent payloads are refreshed every interval, so
+	// dropping the excess loses nothing a later beat does not restate.
+	// Zero leaves inboxes unbounded (legacy behavior). The bound is on
+	// envelopes, not frames: a frame already in flight when the watermark
+	// trips still lands whole, so momentary overshoot is at most one
+	// MaxBatch frame per concurrent sender.
+	InboxHigh int
+	// InboxLow is the drain watermark that restores credit to a stalled
+	// inbox (default InboxHigh/2). The hysteresis gap keeps senders from
+	// thrashing between parked and draining one envelope at a time.
+	InboxLow int
 	// DropSeed seeds the fault-injection and jitter RNGs.
 	DropSeed int64
 	// Stats, when non-nil, receives the network's counters; otherwise the
@@ -173,6 +205,9 @@ func NewNetwork(opts Options) *Network {
 	}
 	if opts.MaxBatch > 1 && opts.FlushInterval <= 0 {
 		opts.FlushInterval = 2 * time.Millisecond
+	}
+	if opts.InboxHigh > 0 && (opts.InboxLow <= 0 || opts.InboxLow >= opts.InboxHigh) {
+		opts.InboxLow = opts.InboxHigh / 2
 	}
 	st := opts.Stats
 	if st == nil {
@@ -394,6 +429,18 @@ type Endpoint struct {
 	recv    map[NodeID]*recvState
 	rng     *rand.Rand // jitter; guarded by mu
 
+	// stalled is the receiver-side credit flag: set (under mu, in deliver)
+	// once the inbox reaches the high watermark, cleared once a drain takes
+	// it to the low watermark. Atomic so senders can consult it without the
+	// receiver's lock.
+	stalled atomic.Bool
+	// held and draining are the sender side of flow control: frames parked
+	// per destination while its credit is withdrawn, and the flag marking an
+	// in-progress credit-grant replay (new frames park behind it to keep
+	// per-pair order). Both guarded by mu, allocated lazily.
+	held     map[NodeID][]frame
+	draining map[NodeID]bool
+
 	resendStop chan struct{}
 	flushStop  chan struct{}
 }
@@ -452,11 +499,20 @@ func (e *Endpoint) SendNow(to NodeID, payload any) {
 		hasPre = true
 	}
 	f := e.sealLocked(to, append(getPayloadSlice(), payload))
-	e.mu.Unlock()
-	if hasPre {
-		e.transmitData(pre)
+	f.urgent = true
+	if m := e.unacked[to]; m != nil {
+		if p := m[f.seq]; p != nil {
+			p.f.urgent = true // resends of an urgent frame stay sheddable
+		}
 	}
-	e.transmitData(f)
+	e.mu.Unlock()
+	// SendNow traffic skips the credit check (see transmitDataNow). The
+	// drained buffer rides the same bypass: holding it while the urgent
+	// frame jumps ahead would reorder the pair.
+	if hasPre {
+		e.transmitDataNow(pre)
+	}
+	e.transmitDataNow(f)
 }
 
 // Flush seals every non-empty output buffer into a frame and transmits it.
@@ -505,14 +561,121 @@ func (e *Endpoint) sealOutbufLocked() []frame {
 }
 
 // transmitData counts and transmits a first-transmission data frame, and
-// recycles its payload slice when the frame is not retained for resend.
+// recycles its payload slice when the frame is neither retained for resend
+// nor parked awaiting credit.
 func (e *Endpoint) transmitData(f frame) {
+	e.net.Stats.Sent.Inc()
+	e.net.Stats.Payloads.Add(int64(len(f.payloads)))
+	if e.holdOrTransmit(f) {
+		return // parked; the credit grant transmits (and recycles) it later
+	}
+	if e.net.opts.ResendAfter <= 0 {
+		putPayloadSlice(f.payloads)
+	}
+}
+
+// transmitDataNow is transmitData without the credit check: SendNow traffic
+// (heartbeats, failure detection) must reach a congested receiver — acks
+// don't queue in the inbox, and one control envelope past the watermark is
+// harmless, whereas a parked heartbeat is a false crash suspicion.
+func (e *Endpoint) transmitDataNow(f frame) {
 	e.net.Stats.Sent.Inc()
 	e.net.Stats.Payloads.Add(int64(len(f.payloads)))
 	e.transmit(f)
 	if e.net.opts.ResendAfter <= 0 {
 		putPayloadSlice(f.payloads)
 	}
+}
+
+// holdOrTransmit implements the sender half of credit-based flow control:
+// a data frame whose destination has withdrawn credit — or that would
+// overtake frames already parked for it — is queued locally instead of
+// delivered, and replayed in order when the receiver grants credit again.
+// Reports whether the frame was parked.
+func (e *Endpoint) holdOrTransmit(f frame) bool {
+	if e.net.opts.InboxHigh <= 0 {
+		e.transmit(f)
+		return false
+	}
+	dst := e.peer(f.to)
+	if dst == nil {
+		return false // unregistered destination: same as transmit's nil path
+	}
+	e.mu.Lock()
+	if !e.closed && !e.crashed && (dst.stalled.Load() || len(e.held[f.to]) > 0 || e.draining[f.to]) {
+		if e.held == nil {
+			e.held = make(map[NodeID][]frame)
+		}
+		e.held[f.to] = append(e.held[f.to], f)
+		e.net.Stats.HeldFrames.Inc()
+		e.mu.Unlock()
+		// The receiver may have granted credit between our stall check and
+		// the append; re-check so a frame can never be parked forever.
+		if !dst.stalled.Load() {
+			e.releaseHeld(f.to)
+		}
+		return true
+	}
+	e.mu.Unlock()
+	e.transmitTo(dst, f)
+	return false
+}
+
+// grantCredits replays frames parked for destination to across every
+// endpoint. The receiver calls it (with no locks held) after draining below
+// its low watermark; crash and close transitions call it too, so parked
+// frames can never outlive their destination's stall.
+func (n *Network) grantCredits(to NodeID) {
+	for _, ep := range n.list() {
+		ep.releaseHeld(to)
+	}
+}
+
+// releaseHeld transmits this endpoint's parked frames for destination to,
+// oldest first. The draining flag keeps per-pair order: concurrent sends
+// park behind the replay and the loop picks them up, and a second grant
+// returns immediately rather than interleaving.
+func (e *Endpoint) releaseHeld(to NodeID) {
+	e.mu.Lock()
+	if len(e.held[to]) == 0 || e.draining[to] {
+		e.mu.Unlock()
+		return
+	}
+	if e.draining == nil {
+		e.draining = make(map[NodeID]bool)
+	}
+	e.draining[to] = true
+	recycle := e.net.opts.ResendAfter <= 0
+	for len(e.held[to]) > 0 {
+		frames := e.held[to]
+		delete(e.held, to)
+		e.mu.Unlock()
+		dst := e.peer(to)
+		stopped := -1
+		for i, f := range frames {
+			if dst != nil && dst.stalled.Load() {
+				stopped = i
+				break
+			}
+			e.transmit(f)
+			if recycle {
+				putPayloadSlice(f.payloads)
+			}
+		}
+		e.mu.Lock()
+		if stopped >= 0 {
+			// The destination stalled again mid-replay: park the remainder
+			// ahead of anything that arrived while we were draining.
+			rest := frames[stopped:]
+			merged := make([]frame, 0, len(rest)+len(e.held[to]))
+			merged = append(merged, rest...)
+			merged = append(merged, e.held[to]...)
+			e.held[to] = merged
+			break
+		}
+	}
+	delete(e.draining, to)
+	e.mu.Unlock()
 }
 
 // transmit hands a frame to the destination endpoint, applying fault
@@ -523,6 +686,11 @@ func (e *Endpoint) transmit(f frame) {
 	if dst == nil {
 		return
 	}
+	e.transmitTo(dst, f)
+}
+
+// transmitTo is transmit with the destination already resolved.
+func (e *Endpoint) transmitTo(dst *Endpoint, f frame) {
 	if !f.ack && e.net.faulty.Load() {
 		drop, dup := e.net.rollFaults()
 		if drop {
@@ -582,7 +750,7 @@ func (e *Endpoint) deliver(f frame) {
 		st = &recvState{}
 		e.recv[f.from] = st
 	}
-	var dup, inOrder bool
+	var dup, inOrder, shed bool
 	switch {
 	case f.seq < st.next:
 		dup = true
@@ -608,10 +776,24 @@ func (e *Endpoint) deliver(f frame) {
 			}
 			st.ahead[f.seq] = struct{}{}
 		}
-		for _, pl := range f.payloads {
-			e.inbox = append(e.inbox, Envelope{From: f.from, Payload: pl})
+		// An urgent frame meeting a watermark-full inbox is shed: the seq
+		// bookkeeping above stands and the ack below confirms it, but the
+		// payloads are not enqueued — its sender refreshes them every
+		// interval, and appending would grow a starved consumer's backlog
+		// without bound (urgent traffic is exempt from sender-side parking).
+		if high := e.net.opts.InboxHigh; f.urgent && high > 0 && len(e.inbox) >= high {
+			shed = true
+		} else {
+			for _, pl := range f.payloads {
+				e.inbox = append(e.inbox, Envelope{From: f.from, Payload: pl})
+			}
+			e.cond.Broadcast()
 		}
-		e.cond.Broadcast()
+	}
+	stalledNow := false
+	if high := e.net.opts.InboxHigh; high > 0 && len(e.inbox) >= high && !e.stalled.Load() {
+		e.stalled.Store(true)
+		stalledNow = true
 	}
 	ackNow := true
 	if e.net.opts.MaxBatch > 1 && inOrder && st.next%ackEvery != 0 {
@@ -623,7 +805,12 @@ func (e *Endpoint) deliver(f frame) {
 	}
 	ackUpTo := st.next
 	e.mu.Unlock()
-	if !dup {
+	if stalledNow {
+		e.net.Stats.Stalls.Inc()
+	}
+	if shed {
+		e.net.Stats.UrgentShed.Inc()
+	} else if !dup {
 		e.net.Stats.Delivered.Add(int64(len(f.payloads)))
 	}
 	if ackNow && e.net.opts.ResendAfter > 0 {
@@ -632,31 +819,52 @@ func (e *Endpoint) deliver(f frame) {
 	}
 }
 
+// drainedLocked re-evaluates the stall flag after the inbox shrank; caller
+// holds mu. When it reports true the caller must, after releasing every
+// lock, call e.net.grantCredits(e.id) so parked senders resume.
+func (e *Endpoint) drainedLocked() bool {
+	if e.stalled.Load() && len(e.inbox) <= e.net.opts.InboxLow {
+		e.stalled.Store(false)
+		return true
+	}
+	return false
+}
+
 // Recv blocks until a message arrives or the endpoint closes. The second
 // result is false once the endpoint is closed and drained (or crashed).
 func (e *Endpoint) Recv() (Envelope, bool) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	for len(e.inbox) == 0 && !e.closed {
 		e.cond.Wait()
 	}
 	if len(e.inbox) == 0 {
+		e.mu.Unlock()
 		return Envelope{}, false
 	}
 	env := e.inbox[0]
 	e.inbox = e.inbox[1:]
+	grant := e.drainedLocked()
+	e.mu.Unlock()
+	if grant {
+		e.net.grantCredits(e.id)
+	}
 	return env, true
 }
 
 // TryRecv returns the next message without blocking.
 func (e *Endpoint) TryRecv() (Envelope, bool) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if len(e.inbox) == 0 {
+		e.mu.Unlock()
 		return Envelope{}, false
 	}
 	env := e.inbox[0]
 	e.inbox = e.inbox[1:]
+	grant := e.drainedLocked()
+	e.mu.Unlock()
+	if grant {
+		e.net.grantCredits(e.id)
+	}
 	return env, true
 }
 
@@ -680,7 +888,11 @@ func (e *Endpoint) RecvBatch(reuse []Envelope) ([]Envelope, bool) {
 	}
 	batch := e.inbox
 	e.inbox = reuse[:0]
+	grant := e.drainedLocked()
 	e.mu.Unlock()
+	if grant {
+		e.net.grantCredits(e.id)
+	}
 	return batch, true
 }
 
@@ -715,6 +927,13 @@ func (e *Endpoint) Close() {
 	for _, f := range frames {
 		e.transmitData(f)
 	}
+	// Frames other endpoints parked for us would otherwise wait for a drain
+	// that may never happen; release them now — deliver drops traffic to a
+	// closed endpoint, so this empties sender queues without side effects.
+	if e.net.opts.InboxHigh > 0 {
+		e.stalled.Store(false)
+		e.net.grantCredits(e.id)
+	}
 }
 
 // Crash tears the endpoint down with true crash semantics: queued incoming
@@ -733,6 +952,7 @@ func (e *Endpoint) Crash() {
 	e.outbuf = make(map[NodeID][]any)
 	e.unacked = make(map[NodeID]map[uint64]*pending)
 	e.recv = make(map[NodeID]*recvState)
+	e.held = nil // our own parked frames die with us
 	if !e.closed {
 		e.closed = true
 		if e.resendStop != nil {
@@ -744,6 +964,13 @@ func (e *Endpoint) Crash() {
 	}
 	e.cond.Broadcast()
 	e.mu.Unlock()
+	// A crashed inbox will never drain: clear the stall and let senders
+	// replay their parked frames into deliver's closed-endpoint drop, so
+	// their held queues cannot leak (or park new traffic forever).
+	if e.net.opts.InboxHigh > 0 {
+		e.stalled.Store(false)
+		e.net.grantCredits(e.id)
+	}
 }
 
 // Crashed reports whether the endpoint was torn down by Crash.
@@ -815,7 +1042,14 @@ func (e *Endpoint) resendLoop(after time.Duration) {
 			e.mu.Unlock()
 			continue
 		}
-		for _, m := range e.unacked {
+		for to, m := range e.unacked {
+			// Frames parked for this destination were never delivered;
+			// retransmitting them here would race the credit-grant replay
+			// and deliver a second copy out of order. The resend clock
+			// resumes once the grant empties the queue.
+			if len(e.held[to]) > 0 {
+				continue
+			}
 			for seq, p := range m {
 				if now.Before(p.nextAt) {
 					continue
@@ -884,4 +1118,39 @@ func (e *Endpoint) Buffered() int {
 		n += len(buf)
 	}
 	return n
+}
+
+// Stalled reports whether this endpoint's inbox has withdrawn delivery
+// credit (at or above the high watermark, not yet drained to the low one).
+func (e *Endpoint) Stalled() bool { return e.stalled.Load() }
+
+// HeldFrames reports how many outgoing data frames this endpoint has parked
+// waiting for destination credit.
+func (e *Endpoint) HeldFrames() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for _, fs := range e.held {
+		n += len(fs)
+	}
+	return n
+}
+
+// QueueDepths is the network-wide flow-control snapshot: the deepest and
+// total inbox depth, how many endpoints are currently withholding credit,
+// and how many frames senders have parked. The /statusz flow section and
+// the watermark tests read it.
+func (n *Network) QueueDepths() (maxDepth, total, stalled, held int) {
+	for _, ep := range n.list() {
+		d := ep.Pending()
+		if d > maxDepth {
+			maxDepth = d
+		}
+		total += d
+		if ep.Stalled() {
+			stalled++
+		}
+		held += ep.HeldFrames()
+	}
+	return maxDepth, total, stalled, held
 }

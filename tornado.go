@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"tornado/internal/engine"
+	"tornado/internal/flow"
 	"tornado/internal/obs"
 	"tornado/internal/queryserv"
 	"tornado/internal/storage"
@@ -90,6 +91,7 @@ const (
 const (
 	FaultCrashProcessor = engine.FaultCrashProcessor
 	FaultCrashMaster    = engine.FaultCrashMaster
+	FaultSlowProcessor  = engine.FaultSlowProcessor
 )
 
 // RegisterStateType registers a concrete vertex-state type for
@@ -156,6 +158,72 @@ type Options struct {
 	// shed/backpressure behavior and the freshness-bounded result cache.
 	// The zero value uses the service defaults.
 	Query QueryOptions
+
+	// Flow tunes end-to-end backpressure and the graceful-degradation
+	// ladder. The zero value bounds every queue with the FlowOptions
+	// defaults and runs the overload controller.
+	Flow FlowOptions
+}
+
+// FlowOptions bound the system's queues and drive graceful degradation
+// under overload. With the (default) bounds in place a slow consumer
+// propagates backpressure all the way to the ingesting source instead of
+// growing unbounded buffers, and the overload controller walks a
+// degradation ladder — widen the query staleness window, raise the delay
+// bound B toward its ceiling, shed low-priority queries — before any input
+// is ever dropped.
+type FlowOptions struct {
+	// Disable turns all flow control off: unbounded queues, fixed B, no
+	// degradation (the pre-flow-control behavior).
+	Disable bool
+	// MaxPendingInputs bounds stream inputs admitted into the main loop but
+	// not yet applied to a vertex; Ingest blocks at the bound, parking the
+	// source (default 16384, -1 unbounded).
+	MaxPendingInputs int
+	// InboxHigh / InboxLow are the transport's per-endpoint inbox credit
+	// watermarks: at InboxHigh a receiver withdraws delivery credit and
+	// senders park frames until it drains to InboxLow (default 4096 /
+	// high÷2, -1 unbounded).
+	InboxHigh, InboxLow int
+	// DelayBoundCeiling is how far the overload controller may raise the
+	// effective delay bound B while degraded — more asynchrony, fewer
+	// synchronization stalls, staler approximation (default 4×DelayBound,
+	// -1 pins B at its configured value).
+	DelayBoundCeiling int64
+	// DisableController keeps the bounds but never walks the degradation
+	// ladder automatically (manual control via QueryService().SetDegraded
+	// and Engine().SetDelayBound remains available).
+	DisableController bool
+	// SampleEvery is the overload controller's sampling period
+	// (default 25ms).
+	SampleEvery time.Duration
+}
+
+func (o *FlowOptions) fill(delayBound int64) {
+	if o.Disable {
+		return
+	}
+	if o.MaxPendingInputs == 0 {
+		o.MaxPendingInputs = 1 << 14
+	}
+	if o.InboxHigh == 0 {
+		o.InboxHigh = 4096
+	}
+	if o.DelayBoundCeiling == 0 {
+		o.DelayBoundCeiling = 4 * delayBound
+	}
+	if o.SampleEvery <= 0 {
+		o.SampleEvery = 25 * time.Millisecond
+	}
+}
+
+// nonNeg maps the -1 "explicitly unbounded" convention to the zero value
+// the engine understands as disabled.
+func nonNeg[T int | int64](n T) T {
+	if n < 0 {
+		return 0
+	}
+	return n
 }
 
 func (o *Options) fill() {
@@ -171,6 +239,7 @@ func (o *Options) fill() {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	o.Flow.fill(o.DelayBound)
 }
 
 // System is a running Tornado instance: one main loop plus on-demand branch
@@ -184,6 +253,14 @@ type System struct {
 
 	qs   *queryserv.Service
 	qapi *queryserv.API
+
+	// Overload controller state: the ladder base/ceiling for B and the
+	// bounds the pressure signal normalizes against (all fixed at New).
+	flowCtl       *flow.Controller
+	flowBase      int64
+	flowCeil      int64
+	flowInboxHigh int
+	flowQueueCap  int
 
 	hub          *obs.Hub
 	branchesLive atomic.Int64
@@ -207,7 +284,7 @@ func New(program Program, opts Options) (*System, error) {
 		TraceCapacity:    opts.TraceCapacity,
 		TraceSampleEvery: opts.TraceSampleEvery,
 	})
-	e, err := engine.New(engine.Config{
+	cfg := engine.Config{
 		Processors:        opts.Processors,
 		DelayBound:        opts.DelayBound,
 		Kind:              engine.MainLoop,
@@ -222,11 +299,24 @@ func New(program Program, opts Options) (*System, error) {
 		MaxRestarts:       opts.MaxRestarts,
 		RestartWindow:     opts.RestartWindow,
 		RestartBackoff:    opts.RestartBackoff,
-	})
+	}
+	if !opts.Flow.Disable {
+		cfg.MaxPendingInputs = nonNeg(opts.Flow.MaxPendingInputs)
+		cfg.InboxHigh = nonNeg(opts.Flow.InboxHigh)
+		cfg.InboxLow = nonNeg(opts.Flow.InboxLow)
+		cfg.DelayBoundCeiling = nonNeg(opts.Flow.DelayBoundCeiling)
+	}
+	e, err := engine.New(cfg)
 	if err != nil {
 		return nil, err
 	}
 	s := &System{main: e, store: opts.Store, program: program, hub: hub}
+	s.flowBase = opts.DelayBound
+	s.flowCeil = cfg.DelayBoundCeiling
+	s.flowInboxHigh = cfg.InboxHigh
+	if s.flowQueueCap = opts.Query.QueueCap; s.flowQueueCap <= 0 {
+		s.flowQueueCap = 128 // the queryserv default
+	}
 	s.nextLoop.Store(1)
 	s.attachObs()
 	s.qs = queryserv.New(queryserv.Backend{
@@ -235,10 +325,18 @@ func New(program Program, opts Options) (*System, error) {
 		JournalSeq:  func() uint64 { return s.engine().JournalSeq() },
 		OnConverged: func(d time.Duration) { s.branchHist.Observe(d.Seconds()) },
 	}, opts.Query, hub)
+	if !opts.Flow.Disable && !opts.Flow.DisableController {
+		s.flowCtl = flow.NewController(flow.ControllerOptions{
+			SampleEvery: opts.Flow.SampleEvery,
+		}, s.flowPressure, s.applyFlowLevel)
+	}
 	s.qapi = queryserv.NewAPI(s.qs, 0)
 	s.qapi.Mount(hub.Handle) // before Serve: routes are fixed at bind time
 	if opts.MetricsAddr != "" {
 		if _, err := hub.Serve(opts.MetricsAddr); err != nil {
+			if s.flowCtl != nil {
+				s.flowCtl.Stop()
+			}
 			s.qapi.Close()
 			s.qs.Close()
 			e.Stop()
@@ -270,6 +368,97 @@ func (s *System) dropBranch(loop storage.LoopID) {
 	s.branchesLive.Add(-1)
 }
 
+// flowPressure is the overload controller's signal: utilization of the
+// tightest bounded queue in the system — the ingest admission gate, the
+// deepest transport inbox against its high watermark, and the query wait
+// queue — as a 0..1 fraction.
+func (s *System) flowPressure() float64 {
+	fs := s.engine().FlowSnapshot()
+	var p float64
+	if fs.GateCapacity > 0 {
+		if fs.GateSaturated {
+			// Producers are parked at the gate: fully saturated regardless
+			// of the instantaneous depth (which may sit between the
+			// watermarks while the gate waits for the low-water drain).
+			p = 1
+		} else {
+			p = float64(fs.GateDepth) / float64(fs.GateCapacity)
+		}
+	}
+	if s.flowInboxHigh > 0 {
+		p = math.Max(p, float64(fs.InboxMax)/float64(s.flowInboxHigh))
+	}
+	if s.flowQueueCap > 0 {
+		p = math.Max(p, float64(s.qs.Snapshot().QueueDepth)/float64(s.flowQueueCap))
+	}
+	return p
+}
+
+// applyFlowLevel is the degradation ladder. Each rung trades answer quality
+// or low-priority service for headroom, and every rung is reversible — input
+// is never dropped:
+//
+//	level 0: exact service, configured delay bound.
+//	level 1: the query service imposes its degraded staleness floor, so
+//	         cache hits and coalescing absorb fork load.
+//	level 2: additionally raise the effective delay bound B to its ceiling —
+//	         fewer synchronization stalls, staler approximation.
+//	level 3: additionally shed queries below the priority cut with
+//	         ErrOverloaded.
+func (s *System) applyFlowLevel(level int) {
+	e := s.engine()
+	switch {
+	case level <= 0:
+		s.qs.SetDegraded(0)
+		e.SetDelayBound(s.flowBase)
+	case level == 1:
+		s.qs.SetDegraded(1)
+		e.SetDelayBound(s.flowBase)
+	case level == 2:
+		s.qs.SetDegraded(1)
+		e.SetDelayBound(s.flowCeil)
+	default:
+		s.qs.SetDegraded(2)
+		e.SetDelayBound(s.flowCeil)
+	}
+}
+
+// FlowStats is a point-in-time view of the system's backpressure and
+// degradation state.
+type FlowStats struct {
+	// Engine is the main loop's flow snapshot: admission-gate ledger,
+	// transport inbox depths, credit stalls, effective delay bound.
+	Engine engine.FlowSnapshot
+	// OverloadLevel is the degradation ladder's current rung (0 = normal);
+	// OverloadTransitions counts rung changes and Degraded the cumulative
+	// time spent above level 0. Pressure is the controller's last sample
+	// (utilization of the tightest bounded queue, 0..1).
+	OverloadLevel       int
+	OverloadTransitions int64
+	Degraded            time.Duration
+	Pressure            float64
+	// QueryDegradeLevel and ShedLowPriority mirror the query service: its
+	// imposed degradation level and how many low-priority queries the
+	// level-2 cut refused.
+	QueryDegradeLevel int
+	ShedLowPriority   int64
+}
+
+// FlowStats snapshots the backpressure and overload state end to end.
+func (s *System) FlowStats() FlowStats {
+	st := FlowStats{Engine: s.engine().FlowSnapshot()}
+	if c := s.flowCtl; c != nil {
+		st.OverloadLevel = c.Level()
+		st.OverloadTransitions = c.Transitions()
+		st.Degraded = c.Degraded()
+		st.Pressure = c.Pressure()
+	}
+	snap := s.qs.Snapshot()
+	st.QueryDegradeLevel = snap.DegradeLevel
+	st.ShedLowPriority = snap.ShedLowPriority
+	return st
+}
+
 // attachObs registers the system-level collectors: branch-loop lifecycle
 // counters, the branch convergence-latency histogram, and the system
 // /statusz section.
@@ -284,12 +473,35 @@ func (s *System) attachObs() {
 		func() float64 { return float64(s.branchTotal.Load()) })
 	s.branchHist = sc.Histogram("tornado_branch_converge_seconds",
 		"Wall-clock time from fork to branch-loop convergence.", nil)
+	sc.GaugeFunc("tornado_overload_level",
+		"Degradation-ladder rung the overload controller is at (0 = normal).",
+		func() float64 {
+			if c := s.flowCtl; c != nil {
+				return float64(c.Level())
+			}
+			return 0
+		})
+	sc.GaugeFunc("tornado_overload_pressure",
+		"Overload controller's last pressure sample (utilization of the tightest bounded queue).",
+		func() float64 {
+			if c := s.flowCtl; c != nil {
+				return c.Pressure()
+			}
+			return 0
+		})
 	s.hub.AddStatus("system", func() any {
-		return map[string]any{
+		m := map[string]any{
 			"branches_live":  s.branchesLive.Load(),
 			"branches_total": s.branchTotal.Load(),
 			"program":        fmt.Sprintf("%T", s.program),
 		}
+		if c := s.flowCtl; c != nil {
+			m["overload_level"] = c.Level()
+			m["overload_transitions"] = c.Transitions()
+			m["overload_pressure"] = c.Pressure()
+			m["degraded_for"] = c.Degraded().String()
+		}
+		return m
 	})
 }
 
@@ -504,9 +716,13 @@ func (s *System) IterationLog() []IterationRecord { return s.engine().IterationL
 // injection, custom forks).
 func (s *System) Engine() *engine.Engine { return s.engine() }
 
-// Close stops the query service, the main loop and the exposition endpoint.
-// Branch results obtained earlier must be closed separately.
+// Close stops the overload controller, the query service, the main loop and
+// the exposition endpoint. Branch results obtained earlier must be closed
+// separately.
 func (s *System) Close() {
+	if s.flowCtl != nil {
+		s.flowCtl.Stop()
+	}
 	s.qapi.Close()
 	s.qs.Close()
 	s.engine().Stop()
