@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-all vet bench bench-queries bench-throughput soak-overload chaos check clean
+.PHONY: all build test race race-all vet bench bench-queries bench-throughput bench-trace soak-overload chaos check clean
 
 all: check
 
@@ -44,6 +44,12 @@ bench-queries:
 bench-throughput:
 	$(GO) run ./cmd/tornado-bench -experiment throughput -scale small
 
+# Tracing-overhead benchmark (small scale): SSSP soak at span sampling
+# off/1%/100%; leaves BENCH_trace_overhead.json and exits nonzero if the
+# default 1% rate costs more than 3% of the untraced baseline's updates/sec.
+bench-trace:
+	$(GO) run ./cmd/tornado-bench -experiment trace_overhead -scale small
+
 # Overload soak: the surge-plus-slow-consumer chaos test under the race
 # detector (bounded inboxes, credit stalls, recovery mid-surge), then the
 # backpressure benchmark — sustained updates/sec and p99 ingest latency at
@@ -53,7 +59,7 @@ soak-overload:
 	$(GO) test -race . -run 'TestOverloadControllerLadder|TestFeedMaxPendingPausesSpout' -count=1
 	$(GO) run ./cmd/tornado-bench -experiment overload -scale small
 
-check: build vet test race chaos bench-queries bench-throughput soak-overload
+check: build vet test race chaos bench-queries bench-throughput bench-trace soak-overload
 
 clean:
 	$(GO) clean ./...

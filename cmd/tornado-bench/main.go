@@ -7,7 +7,7 @@
 //	tornado-bench [-scale small|full] [-experiment id|all]
 //
 // Experiment IDs: fig5a fig5b fig5c fig6 fig7 tab2 (includes fig8a) fig8b
-// fig8c fig8d fig9 tab3 ablation queries throughput overload.
+// fig8c fig8d fig9 tab3 ablation queries throughput overload trace_overhead.
 package main
 
 import (
@@ -50,6 +50,7 @@ var experiments = []experiment{
 	{"queries", "query service: latency/throughput at 1/8/64 clients, coalesced vs uncoalesced", wrap(bench.RunQueries)},
 	{"throughput", "transport batching: sustained SSSP updates/sec, batched vs unbatched", wrap(bench.RunThroughput)},
 	{"overload", "backpressure: updates/sec and p99 ingest latency at the overload knee", wrap(bench.RunOverload)},
+	{"trace_overhead", "causal span tracing: SSSP updates/sec at off/1%/100% sampling (3% gate)", wrap(bench.RunTraceOverhead)},
 }
 
 func main() {
@@ -103,6 +104,13 @@ func main() {
 				log.Fatalf("%s: write %s: %v", e.id, artifact, err)
 			}
 			fmt.Printf("    [artifact: %s]\n", artifact)
+		}
+		// Regression gates fail the run only after the artifact is on disk,
+		// so a gate violation still leaves the numbers behind it inspectable.
+		if f, ok := rep.(interface{ Failed() error }); ok {
+			if gerr := f.Failed(); gerr != nil {
+				log.Fatalf("%s: %v", e.id, gerr)
+			}
 		}
 		fmt.Printf("    [%s completed in %v]\n\n", e.id, time.Since(start).Round(time.Millisecond))
 	}

@@ -26,7 +26,12 @@
 //	                     the degradation-ladder level, admission-gate
 //	                     ledger, transport inbox watermark state, the
 //	                     effective delay bound and query shedding
-//	trace <id>           print the vertex's recorded protocol events
+//	trace [id]           no argument: print recent end-to-end causal
+//	                     freshness traces (sampled input deltas and queries
+//	                     with per-stage latency attribution); with a vertex
+//	                     id: that vertex's recorded protocol events
+//	slow [min-ms] [n]    the n slowest retained traces at least min-ms of
+//	                     wall time (defaults 0ms, 8)
 //	watch <id>           force tracing of a vertex (ignore sampling)
 //	crash <i|master>     crash processor i (or the master) for real:
 //	                     its in-memory state dies; the heartbeat
@@ -55,6 +60,7 @@ import (
 	"tornado"
 	"tornado/internal/algorithms"
 	"tornado/internal/datasets"
+	"tornado/internal/obs/trace"
 	"tornado/internal/stream"
 )
 
@@ -65,6 +71,7 @@ func main() {
 	bound := flag.Int64("bound", 64, "delay bound B (1 = synchronous)")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /statusz, /debug/pprof on host:port (\":0\" picks a port)")
 	traceEvery := flag.Int("trace-sample", 0, "trace 1 in N vertices (0 = default 64, 1 = all, negative = watched only)")
+	spanRate := flag.Float64("span-sample", 0, "head-sampling rate for causal freshness traces (0 = default 1%, 1 = all, negative = off)")
 	heartbeat := flag.Duration("heartbeat", 25*time.Millisecond, "supervision heartbeat interval (0 = unsupervised; 'crash' then needs 'recover')")
 	flag.Parse()
 
@@ -95,6 +102,7 @@ func main() {
 		DelayBound:        *bound,
 		MetricsAddr:       *metricsAddr,
 		TraceSampleEvery:  *traceEvery,
+		SpanSampleRate:    *spanRate,
 		HeartbeatInterval: *heartbeat,
 	})
 	if err != nil {
@@ -347,8 +355,19 @@ func main() {
 				fmt.Printf("quarantined processors: %v\n", q)
 			}
 		case "trace":
-			if len(fields) != 2 {
-				fmt.Println("usage: trace <vertex-id>")
+			if len(fields) > 2 {
+				fmt.Println("usage: trace [vertex-id]")
+				continue
+			}
+			if len(fields) == 1 {
+				views := sys.Spans().Traces(trace.Filter{Limit: 8})
+				if len(views) == 0 {
+					fmt.Println("no spans retained yet (tracing samples ~1% of deltas; ingest more, or raise SpanSampleRate)")
+					continue
+				}
+				for _, v := range views {
+					fmt.Print(v)
+				}
 				continue
 			}
 			id, err := strconv.ParseUint(fields[1], 10, 64)
@@ -364,6 +383,33 @@ func main() {
 			for _, e := range events {
 				fmt.Println(" ", e)
 			}
+		case "slow":
+			minDur := time.Duration(0)
+			limit := 8
+			if len(fields) > 1 {
+				msf, err := strconv.ParseFloat(fields[1], 64)
+				if err != nil {
+					fmt.Println("usage: slow [min-ms] [count]")
+					continue
+				}
+				minDur = time.Duration(msf * float64(time.Millisecond))
+			}
+			if len(fields) > 2 {
+				n, err := strconv.Atoi(fields[2])
+				if err != nil {
+					fmt.Println("usage: slow [min-ms] [count]")
+					continue
+				}
+				limit = n
+			}
+			views := sys.Spans().Slowest(minDur, limit)
+			if len(views) == 0 {
+				fmt.Println("no traces at or above that duration")
+				continue
+			}
+			for _, v := range views {
+				fmt.Print(v)
+			}
 		case "watch":
 			if len(fields) != 2 {
 				fmt.Println("usage: watch <vertex-id>")
@@ -377,7 +423,7 @@ func main() {
 			sys.Watch(tornado.VertexID(id))
 			fmt.Printf("watching vertex %d (all its protocol events are now traced)\n", id)
 		case "help":
-			fmt.Println("commands: add s d | remove s d | load n epv seed | query | submit [d] [p] | queries | result id | cancel id | merge | approx | stats | flow | trace id | watch id | crash i|master | recover | faults | quit")
+			fmt.Println("commands: add s d | remove s d | load n epv seed | query | submit [d] [p] | queries | result id | cancel id | merge | approx | stats | flow | trace [id] | slow [ms] [n] | watch id | crash i|master | recover | faults | quit")
 		case "quit", "exit":
 			return
 		default:

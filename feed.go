@@ -8,8 +8,27 @@ import (
 	"time"
 
 	"tornado/internal/dataflow"
+	"tornado/internal/obs/trace"
 	"tornado/internal/stream"
 )
+
+// tracedTuple rides the ingestion topology carrying the causal span context
+// born at spout emission; the sink hands it to IngestTraced, which closes
+// the "spout" stage (emission, routing and topology transit). Untraced
+// tuples travel bare — the wrapper exists only on the sampled path.
+type tracedTuple struct {
+	T   stream.Tuple
+	Ctx trace.Context
+}
+
+// feedTuple unwraps a topology payload into the tuple and its (possibly
+// zero) span context.
+func feedTuple(p any) (stream.Tuple, trace.Context) {
+	if tt, ok := p.(tracedTuple); ok {
+		return tt.T, tt.Ctx
+	}
+	return p.(stream.Tuple), trace.Context{}
+}
 
 // Feed is a running ingestion topology attached to a System: a spout pulls
 // from a stream.Source, a router bolt partitions tuples by their routed
@@ -84,6 +103,10 @@ type FeedStats struct {
 // sourceSpout adapts a stream.Source to the dataflow spout contract with
 // replay-on-failure.
 type sourceSpout struct {
+	// spans makes the spout the head of causal freshness traces: each
+	// emitted tuple takes its sampling decision here (nil-safe).
+	spans *trace.Tracer
+
 	mu        sync.Mutex
 	src       stream.Source
 	retry     []stream.Tuple
@@ -113,13 +136,25 @@ func (s *sourceSpout) popRetryLocked() stream.Tuple {
 	return t
 }
 
+// emitPayload takes the head-sampling decision for one emitted tuple: a
+// sampled tuple travels wrapped with its newborn span context, everything
+// else travels bare.
+func (s *sourceSpout) emitPayload(t stream.Tuple) any {
+	if s.spans.Enabled() {
+		if ctx := s.spans.Begin(s.spans.Now()); ctx.Traced() {
+			return tracedTuple{T: t, Ctx: ctx}
+		}
+	}
+	return t
+}
+
 func (s *sourceSpout) Next() (any, bool) {
 	s.mu.Lock()
 	if s.retryHead < len(s.retry) {
 		t := s.popRetryLocked()
 		s.emitted++
 		s.mu.Unlock()
-		return t, true
+		return s.emitPayload(t), true
 	}
 	if s.exhausted {
 		s.mu.Unlock()
@@ -148,7 +183,7 @@ func (s *sourceSpout) Next() (any, bool) {
 		return nil, false
 	}
 	s.emitted++
-	return t, true
+	return s.emitPayload(t), true
 }
 
 func (s *sourceSpout) Ack(any) {
@@ -158,8 +193,11 @@ func (s *sourceSpout) Ack(any) {
 }
 
 func (s *sourceSpout) Fail(p any) {
+	// Replays re-enter the queue bare: a replayed emission takes a fresh
+	// sampling decision (the failed tree's trace died with the tree).
+	t, _ := feedTuple(p)
 	s.mu.Lock()
-	s.retry = append(s.retry, p.(stream.Tuple))
+	s.retry = append(s.retry, t)
 	s.retried++
 	s.mu.Unlock()
 }
@@ -193,7 +231,7 @@ func (s *System) AttachSourceWith(src stream.Source, opts FeedOptions) (*Feed, e
 			return nil, err
 		}
 	}
-	spout := &sourceSpout{src: src}
+	spout := &sourceSpout{src: src, spans: s.hub.Spans}
 	if err := topo.AddSpout("source", spout); err != nil {
 		return nil, err
 	}
@@ -205,7 +243,8 @@ func (s *System) AttachSourceWith(src stream.Source, opts FeedOptions) (*Feed, e
 	})
 	sys := s
 	sink := dataflow.BoltFunc(func(t dataflow.Tuple, _ *dataflow.Collector) {
-		sys.Ingest(t.Payload.(stream.Tuple))
+		tup, ctx := feedTuple(t.Payload)
+		sys.engine().IngestTraced(tup, ctx)
 	})
 	if err := topo.AddBolt("router", router, opts.RouterTasks); err != nil {
 		return nil, err
@@ -214,7 +253,7 @@ func (s *System) AttachSourceWith(src stream.Source, opts FeedOptions) (*Feed, e
 		return nil, err
 	}
 	routeKey := dataflow.Fields(func(p any) uint64 {
-		t := p.(stream.Tuple)
+		t, _ := feedTuple(p)
 		switch t.Kind {
 		case stream.KindAddEdge, stream.KindRemoveEdge:
 			return uint64(t.Src)
@@ -226,6 +265,13 @@ func (s *System) AttachSourceWith(src stream.Source, opts FeedOptions) (*Feed, e
 		return nil, err
 	}
 	if err := topo.Subscribe("ingest", "router", routeKey); err != nil {
+		return nil, err
+	}
+	// Completed tuple trees feed the spout_tree stage histogram: emit-to-ack
+	// wall time through the whole ingestion topology.
+	if err := topo.SetTreeObserver(func(d time.Duration) {
+		s.hub.ObserveStage("spout_tree", d)
+	}); err != nil {
 		return nil, err
 	}
 	if err := topo.Start(); err != nil {

@@ -169,6 +169,10 @@ type Topology struct {
 	spoutPauses         atomic.Int64
 	spoutPausedNanos    atomic.Int64
 
+	// treeObs, when set, observes each completed tuple tree's emit-to-ack
+	// wall time (the feed wires it into the spout_tree stage histogram).
+	treeObs func(time.Duration)
+
 	// Processed counts tuples fully executed by bolts.
 	Processed atomic.Int64
 }
@@ -237,6 +241,18 @@ func (t *Topology) SetInboxWatermarks(high, low int) error {
 		return errors.New("dataflow: topology already running")
 	}
 	t.inboxHigh, t.inboxLow = high, low
+	return nil
+}
+
+// SetTreeObserver registers a callback observing every completed tuple
+// tree's emit-to-ack latency. Must be called before Start.
+func (t *Topology) SetTreeObserver(fn func(time.Duration)) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.running {
+		return errors.New("dataflow: topology already running")
+	}
+	t.treeObs = fn
 	return nil
 }
 
@@ -511,6 +527,7 @@ type tree struct {
 	xor      uint64
 	payload  any
 	spout    *component
+	born     time.Time
 	deadline time.Time
 }
 
@@ -538,11 +555,13 @@ func newAcker(t *Topology) *acker {
 
 func (a *acker) register(root TupleID, payload any, spout *component, initialXor uint64) {
 	a.mu.Lock()
+	now := time.Now()
 	a.trees[root] = &tree{
 		xor:      initialXor,
 		payload:  payload,
 		spout:    spout,
-		deadline: time.Now().Add(a.topo.timeout),
+		born:     now,
+		deadline: now.Add(a.topo.timeout),
 	}
 	a.mu.Unlock()
 }
@@ -579,6 +598,9 @@ func (a *acker) apply(m treeAck) {
 	}
 	a.mu.Unlock()
 	if done {
+		if obs := a.topo.treeObs; obs != nil {
+			obs(time.Since(tr.born))
+		}
 		a.ep.Send(tr.spout.taskBase, ackMsg{payload: tr.payload})
 	}
 }

@@ -180,15 +180,20 @@ func TestCrashMidFlushExactInputCounts(t *testing.T) {
 	}
 
 	// First wave lands, then the crash hits while the second wave's frames
-	// are still buffering and flushing.
+	// are still buffering and flushing. The final chunk is held back and
+	// ingested only after the crash: its frames land on the dead endpoint, so
+	// the run cannot quiesce without an actual supervised recovery — on a
+	// fast machine the concurrent waves alone can drain before the crash
+	// bites, which used to make this test flaky.
+	const tail = 100
 	e.IngestAll(tuples[:total/4])
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		for i := total / 4; i < total; i += 100 {
+		for i := total / 4; i < total-tail; i += 100 {
 			end := i + 100
-			if end > total {
-				end = total
+			if end > total-tail {
+				end = total - tail
 			}
 			e.IngestAll(tuples[i:end])
 		}
@@ -196,6 +201,7 @@ func TestCrashMidFlushExactInputCounts(t *testing.T) {
 	time.Sleep(2 * time.Millisecond)
 	e.CrashProcessor(1)
 	<-done
+	e.IngestAll(tuples[total-tail:])
 
 	if err := e.WaitQuiesce(waitFor); err != nil {
 		t.Fatal(err)

@@ -12,6 +12,7 @@ import (
 	"tornado/internal/lamport"
 	"tornado/internal/metrics"
 	"tornado/internal/obs"
+	"tornado/internal/obs/trace"
 	"tornado/internal/storage"
 	"tornado/internal/stream"
 	"tornado/internal/transport"
@@ -119,6 +120,10 @@ type Config struct {
 	// short-lived to scrape, and per-query collector registration would
 	// dominate the fork fast path.
 	Obs *obs.Hub
+	// branchObs is set by ForkBranch on branch configs: the parent main
+	// loop's pooled aggregate the branch joins instead of registering its
+	// own metric families (see observe.go).
+	branchObs *branchObs
 
 	// Supervision (main loops only; all zero = no supervisor).
 
@@ -346,11 +351,22 @@ type Engine struct {
 	obsScope        *obs.Scope
 	obsDetach       func()
 	tracer          *obs.Tracer
+	spans           *trace.Tracer
 	pendingPrepares atomic.Int64
 	iterCommitsHist *obs.StreamHist
 	advanceGapHist  *obs.StreamHist
 	mttrHist        *obs.StreamHist
 	lastAdvance     time.Time // master goroutine only
+
+	// branchObs pools the branch-loop metric series (main loops own one;
+	// branches register into their parent's instead of creating families).
+	branchObs *branchObs
+
+	// traceCommits holds traced commits awaiting frontier coverage: when the
+	// watermark advances past a commit's iteration, its trace records the
+	// "frontier" stage. Bounded; oldest entries drop under pressure.
+	traceCommitMu sync.Mutex
+	traceCommits  []tracedCommit
 
 	iterMu   sync.Mutex
 	iterLog  []IterationRecord
@@ -401,6 +417,7 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.Obs != nil {
 		e.tracer = cfg.Obs.Tracer // before the processors: they cache it
+		e.spans = cfg.Obs.Spans
 	}
 	e.inc = e.buildIncarnation(0)
 	if cfg.Obs != nil {
@@ -428,6 +445,8 @@ func (e *Engine) buildIncarnation(gen int) *incarnation {
 		InboxLow:          e.cfg.InboxLow,
 		DropSeed:          e.cfg.Seed,
 		Stats:             e.netStats,
+		Spans:             e.spans,
+		SpanLoop:          uint64(e.cfg.LoopID),
 	})
 	e.faultMu.Lock()
 	if e.faultDrop > 0 || e.faultDup > 0 {
@@ -548,14 +567,38 @@ func (e *Engine) Start() {
 // the send keeps the input atomic with respect to recovery: either it lands
 // in the old incarnation (and the journal replays it) or in the new one.
 func (e *Engine) Ingest(t stream.Tuple) {
+	e.IngestTraced(t, trace.Context{})
+}
+
+// IngestTraced is Ingest for deltas that already carry a span context (a
+// traced spout hands its context over here, closing the "spout" stage). A
+// zero context makes the engine the trace head: the head-based sampling
+// decision happens here, once per delta.
+func (e *Engine) IngestTraced(t stream.Tuple, ctx trace.Context) {
+	traceOn := e.spans.Enabled()
+	if traceOn {
+		now := e.spans.Now()
+		if ctx.Trace == 0 {
+			ctx = e.spans.Begin(now)
+		} else if ctx.Traced() {
+			// Duration since the spout stamped the context = the spout stage
+			// (emission, routing, and topology transit).
+			ctx = e.spans.Stage(ctx, trace.StageSpout, uint64(e.cfg.LoopID), uint64(routeVertex(t)), 0, now)
+		}
+	}
 	if g := e.ingestGate; g != nil {
-		g.Acquire() // before genMu: see the ingestGate field comment
+		if traceOn && ctx.Traced() {
+			g.Acquire() // before genMu: see the ingestGate field comment
+			ctx = e.spans.Stage(ctx, trace.StageGate, uint64(e.cfg.LoopID), uint64(routeVertex(t)), 0, e.spans.Now())
+		} else {
+			g.Acquire()
+		}
 	}
 	e.genMu.RLock()
 	defer e.genMu.RUnlock()
 	inc := e.inc
 	tok := inc.tracker.AcquireFloor(0)
-	m := msgInput{Tuple: t, Token: tok}
+	m := msgInput{Tuple: t, Token: tok, Ctx: ctx}
 	if e.journal != nil {
 		m.JSeq, m.HasJSeq = e.journal.Ingested(t), true
 	}
@@ -582,12 +625,20 @@ func (e *Engine) IngestAll(ts []stream.Tuple) {
 
 // ingestChunk sends one pre-admitted slice of tuples into the loop.
 func (e *Engine) ingestChunk(ts []stream.Tuple) {
+	traceOn := e.spans.Enabled()
+	var now int64
+	if traceOn {
+		now = e.spans.Now() // one clock read per chunk keeps the hot path cheap
+	}
 	e.genMu.RLock()
 	defer e.genMu.RUnlock()
 	inc := e.inc
 	for _, t := range ts {
 		tok := inc.tracker.AcquireFloor(0)
 		m := msgInput{Tuple: t, Token: tok}
+		if traceOn {
+			m.Ctx = e.spans.Begin(now)
+		}
 		if e.journal != nil {
 			m.JSeq, m.HasJSeq = e.journal.Ingested(t), true
 		}
@@ -697,6 +748,57 @@ func (e *Engine) observeAdvance(to int64) {
 			e.advanceGapHist.Observe(now.Sub(e.lastAdvance).Seconds())
 		}
 		e.lastAdvance = now
+	}
+	e.traceFrontier(to)
+}
+
+// tracedCommit is a sampled commit awaiting coverage by the iteration
+// frontier; its trace's "frontier" stage is the commit-to-watermark latency
+// — the freshness cost the paper's progress frontier puts a bound on.
+type tracedCommit struct {
+	ctx  trace.Context
+	iter int64
+}
+
+// maxTracedCommits bounds the pending list; at the cap the oldest entry is
+// dropped (its trace simply lacks a frontier span).
+const maxTracedCommits = 512
+
+// noteTracedCommit registers a traced commit for frontier attribution.
+// Called by processors only for sampled contexts.
+func (e *Engine) noteTracedCommit(ctx trace.Context, iter int64) {
+	e.traceCommitMu.Lock()
+	if len(e.traceCommits) >= maxTracedCommits {
+		e.traceCommits = append(e.traceCommits[:0], e.traceCommits[1:]...)
+	}
+	e.traceCommits = append(e.traceCommits, tracedCommit{ctx: ctx, iter: iter})
+	e.traceCommitMu.Unlock()
+}
+
+// traceFrontier closes the "frontier" stage of every traced commit the
+// advanced watermark now covers.
+func (e *Engine) traceFrontier(to int64) {
+	if !e.spans.Enabled() {
+		return
+	}
+	e.traceCommitMu.Lock()
+	var covered []tracedCommit
+	kept := e.traceCommits[:0]
+	for _, tc := range e.traceCommits {
+		if tc.iter <= to {
+			covered = append(covered, tc)
+		} else {
+			kept = append(kept, tc)
+		}
+	}
+	e.traceCommits = kept
+	e.traceCommitMu.Unlock()
+	if len(covered) == 0 {
+		return
+	}
+	now := e.spans.Now()
+	for _, tc := range covered {
+		e.spans.Stage(tc.ctx, trace.StageFrontier, uint64(e.cfg.LoopID), trace.NoVertex, uint64(tc.iter), now)
 	}
 }
 
@@ -1172,6 +1274,7 @@ func (e *Engine) ForkBranch(branchLoop storage.LoopID, override func(*Config), s
 	e.fireForkFaults()
 	cfg.Kind = BranchLoop
 	cfg.LoopID = branchLoop
+	cfg.branchObs = e.branchObs
 	cfg.Snapshot = &SnapshotSource{Loop: e.cfg.LoopID, UpTo: spec.ForkIter}
 	cfg.Converge = nil
 	cfg.MaxIterations = 0

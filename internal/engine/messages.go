@@ -2,6 +2,7 @@ package engine
 
 import (
 	"tornado/internal/lamport"
+	"tornado/internal/obs/trace"
 	"tornado/internal/stream"
 )
 
@@ -19,6 +20,17 @@ type msgInput struct {
 	// leave it zero and set HasJSeq false).
 	JSeq    uint64
 	HasJSeq bool
+	// Ctx is the causal span context of a sampled delta (zero when the delta
+	// is untraced). Exported plain data: a wire codec serializes it as-is.
+	Ctx trace.Context
+}
+
+// TraceCtx / WithTraceCtx implement trace.Carrier so the transport can
+// attribute output-buffer and frame latency without knowing engine types.
+func (m msgInput) TraceCtx() trace.Context { return m.Ctx }
+func (m msgInput) WithTraceCtx(c trace.Context) any {
+	m.Ctx = c
+	return m
 }
 
 // msgActivate re-activates a vertex without delivering data: the vertex
@@ -41,6 +53,17 @@ type msgUpdate struct {
 	Token     int64
 	Value     any
 	HasValue  bool
+	// Ctx propagates the causal span context of the traced input delta that
+	// (most recently) dirtied the producer; coalesced-away updates leave a
+	// span link in the survivor's context (see processor.coalesceUpdate).
+	Ctx trace.Context
+}
+
+// TraceCtx / WithTraceCtx implement trace.Carrier (see msgInput).
+func (m msgUpdate) TraceCtx() trace.Context { return m.Ctx }
+func (m msgUpdate) WithTraceCtx(c trace.Context) any {
+	m.Ctx = c
+	return m
 }
 
 // msgPrepare asks a consumer for its iteration number (phase two).

@@ -3,8 +3,10 @@ package engine
 import (
 	"fmt"
 	"strconv"
+	"sync"
 	"time"
 
+	"tornado/internal/metrics"
 	"tornado/internal/obs"
 	"tornado/internal/stream"
 )
@@ -18,12 +20,16 @@ import (
 // milliseconds, so no scrape could ever observe their series, while
 // registering (and unregistering) the full collector set would dominate the
 // fork fast path (~2x on the fork/converge/close cycle). They therefore
-// inherit only the shared tracer — their protocol events still carry their
-// loop ID — and are accounted for in aggregate by the system-level
-// tornado_branches_* collectors and the convergence histogram.
+// register nothing — zero new registry families per fork — and instead join
+// their parent's pooled branchObs aggregate, whose fixed tornado_branch_*
+// families sum live and retired branches at scrape time.
 func (e *Engine) attachObs(hub *obs.Hub) {
 	e.tracer = hub.Tracer
 	if e.cfg.Kind == BranchLoop {
+		if bo := e.cfg.branchObs; bo != nil {
+			bo.attach(e)
+			e.obsDetach = func() { bo.detach(e) }
+		}
 		return
 	}
 	loopStr := strconv.FormatUint(uint64(e.cfg.LoopID), 10)
@@ -122,10 +128,34 @@ func (e *Engine) attachObs(hub *obs.Hub) {
 		sc.GaugeFunc("tornado_flow_ingest_gate_capacity",
 			"Admission-gate capacity (Config.MaxPendingInputs).",
 			func() float64 { return float64(g.Capacity()) })
-		sc.GaugeFunc("tornado_flow_ingest_pause_seconds_total",
+		// Renamed: the _total suffix wrongly implied a Prometheus counter
+		// type for what is exposed as a gauge. The old name stays readable
+		// as a deprecated alias for one release.
+		sc.GaugeFunc("tornado_flow_ingest_pause_seconds",
 			"Cumulative wall-clock time producers spent blocked at the admission gate.",
 			func() float64 { return g.WaitTime().Seconds() })
+		hub.Registry.Alias("tornado_flow_ingest_pause_seconds_total", "tornado_flow_ingest_pause_seconds")
 	}
+
+	// Freshness watermarks: how far each partition's committed work runs
+	// ahead of the terminated frontier, and how many journaled inputs have
+	// not yet committed (the query path exposes its own journal-seq age).
+	for i := 0; i < e.cfg.Processors; i++ {
+		proc := i
+		sc.GaugeFunc("tornado_partition_frontier_lag_iterations",
+			"Iterations between a partition's newest commit and the terminated frontier (per-partition staleness watermark).",
+			func() float64 { return float64(e.partitionLag(proc)) },
+			obs.L("proc", strconv.Itoa(proc)))
+	}
+	if e.journal != nil {
+		sc.GaugeFunc("tornado_input_journal_uncommitted",
+			"Journaled inputs not yet covered by a vertex commit (ingest-side freshness debt).",
+			func() float64 { u, _ := e.journal.Size(); return float64(u) })
+	}
+
+	// Branch loops pool their series here instead of registering families.
+	e.branchObs = newBranchObs()
+	e.branchObs.register(sc)
 
 	e.iterCommitsHist = sc.Histogram("tornado_iteration_commits",
 		"Vertex commits per terminated iteration.", obs.ExpBuckets(1, 2, 24))
@@ -234,4 +264,113 @@ func (e *Engine) Unwatch(id stream.VertexID) {
 	if e.tracer != nil {
 		e.tracer.Unwatch(uint64(id))
 	}
+}
+
+// partitionLag is the per-partition staleness watermark: the distance between
+// the partition's newest committed iteration and the loop's terminated
+// frontier. Zero for quarantined or not-yet-committed partitions.
+func (e *Engine) partitionLag(proc int) int64 {
+	e.genMu.RLock()
+	inc := e.inc
+	e.genMu.RUnlock()
+	if proc >= len(inc.procs) || inc.procs[proc] == nil {
+		return 0
+	}
+	lag := inc.procs[proc].maxCommit.Load() - inc.tracker.Notified()
+	if lag < 0 {
+		return 0
+	}
+	return lag
+}
+
+// branchTotals accumulates the counters branch loops contribute in aggregate.
+type branchTotals struct {
+	commits, updates, inputs, emits, coalesced int64
+}
+
+func (t *branchTotals) add(e *Engine) {
+	t.commits += e.stats.Commits.Value()
+	t.updates += e.stats.UpdateMsgs.Value()
+	t.inputs += e.stats.InputMsgs.Value()
+	t.emits += e.stats.Emits.Value()
+	t.coalesced += e.stats.Coalesced.Value()
+}
+
+// branchObs pools branch-loop metric series into a fixed family set owned by
+// the parent main loop. A fork's entire registration cost is one map insert
+// under a mutex (and a delete on stop): no registry families are created or
+// destroyed per query, which is what keeps the fork fast path flat — the
+// observe-package benchmark and family-count guard pin this. Scrapes sum the
+// live branches' hot-path atomics plus the retired accumulator.
+type branchObs struct {
+	forks metrics.Counter
+
+	mu      sync.Mutex
+	live    map[*Engine]struct{}
+	retired branchTotals
+}
+
+func newBranchObs() *branchObs {
+	return &branchObs{live: make(map[*Engine]struct{})}
+}
+
+// attach registers a live branch engine into the pool.
+func (b *branchObs) attach(br *Engine) {
+	if b == nil {
+		return
+	}
+	b.forks.Inc()
+	b.mu.Lock()
+	b.live[br] = struct{}{}
+	b.mu.Unlock()
+}
+
+// detach retires a stopping branch: its final counter values fold into the
+// accumulator so aggregate totals never move backwards.
+func (b *branchObs) detach(br *Engine) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	if _, ok := b.live[br]; ok {
+		delete(b.live, br)
+		b.retired.add(br)
+	}
+	b.mu.Unlock()
+}
+
+// totals sums retired branches and a snapshot of the live ones.
+func (b *branchObs) totals() branchTotals {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t := b.retired
+	for br := range b.live {
+		t.add(br)
+	}
+	return t
+}
+
+// register creates the aggregate families once, on the owning main loop's
+// scope. Values are read at scrape time.
+func (b *branchObs) register(sc *obs.Scope) {
+	sc.RegisterCounter("tornado_branch_forks_total",
+		"Branch loops forked from this main loop.", &b.forks)
+	sc.GaugeFunc("tornado_branch_loops_live",
+		"Branch loops currently running.",
+		func() float64 { b.mu.Lock(); n := len(b.live); b.mu.Unlock(); return float64(n) })
+	sc.GaugeFunc("tornado_branch_commits_total",
+		"Vertex commits across all branch loops, live and retired.",
+		func() float64 { return float64(b.totals().commits) })
+	sc.GaugeFunc("tornado_branch_update_msgs_total",
+		"Update messages across all branch loops, live and retired.",
+		func() float64 { return float64(b.totals().updates) })
+	sc.GaugeFunc("tornado_branch_input_msgs_total",
+		"Residual/seed inputs applied across all branch loops.",
+		func() float64 { return float64(b.totals().inputs) })
+	sc.GaugeFunc("tornado_branch_emits_total",
+		"Program emissions across all branch loops.",
+		func() float64 { return float64(b.totals().emits) })
+	sc.GaugeFunc("tornado_branch_coalesced_updates_total",
+		"Updates coalesced across all branch loops.",
+		func() float64 { return float64(b.totals().coalesced) })
 }

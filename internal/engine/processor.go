@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tornado/internal/lamport"
 	"tornado/internal/obs"
+	"tornado/internal/obs/trace"
 	"tornado/internal/storage"
 	"tornado/internal/stream"
 	"tornado/internal/transport"
@@ -37,6 +39,9 @@ type processor struct {
 	// sampled-out vertices, one hash.
 	tr    *obs.Tracer
 	loopU uint64
+	// sp is the engine's causal span tracer (nil-safe); message contexts are
+	// checked with one bool load before any call touches it.
+	sp *trace.Tracer
 
 	vertices   map[stream.VertexID]*vertex
 	notified   int64 // highest iteration the master announced terminated
@@ -57,6 +62,11 @@ type processor struct {
 	pauseMu   sync.Mutex
 	pauseCond *sync.Cond
 	paused    bool
+
+	// maxCommit is the highest iteration this partition has committed;
+	// written only by the processor goroutine, read by the per-partition
+	// frontier-lag gauge at scrape time.
+	maxCommit atomic.Int64
 
 	// share exposes commit/dirty information to fork scans (Section 5.2).
 	shareMu   sync.Mutex
@@ -85,6 +95,7 @@ func newProcessor(idx int, eng *Engine, ep *transport.Endpoint, tk *Tracker, sna
 		route:      route,
 		tr:         eng.tracer,
 		loopU:      uint64(eng.cfg.LoopID),
+		sp:         eng.spans,
 		vertices:   make(map[stream.VertexID]*vertex),
 		notified:   startIter - 1,
 		holdback:   make(map[int64][]msgUpdate, 16),
@@ -262,7 +273,11 @@ func (p *processor) handleInput(m msgInput) {
 	p.eng.stats.InputMsgs.Inc()
 	v := p.ensure(routeVertex(m.Tuple))
 	p.trace(obs.EvInput, v.id, 0, v.iter)
-	work := heldWork{tuple: m.Tuple, token: m.Token, jseq: m.JSeq, hasJSeq: m.HasJSeq}
+	if m.Ctx.Traced() {
+		// Inbox dwell closes at dispatch (delivery -> this handler).
+		m.Ctx = p.sp.Stage(m.Ctx, trace.StageInbox, p.loopU, uint64(v.id), 0, p.sp.Now())
+	}
+	work := heldWork{tuple: m.Tuple, token: m.Token, jseq: m.JSeq, hasJSeq: m.HasJSeq, tctx: m.Ctx}
 	if v.preparing() {
 		v.holdInput = append(v.holdInput, work)
 		return
@@ -314,6 +329,12 @@ func (p *processor) applyWork(v *vertex, w heldWork) {
 			p.eng.cfg.Program.OnInput(ctx, w.tuple)
 			p.markDirty(v)
 		}
+		if w.tctx.Traced() {
+			// The delta's state change has landed: close the process stage
+			// and park the context on the vertex for commit attribution.
+			p.adoptTraceCtx(v, p.sp.Stage(w.tctx, trace.StageProcess,
+				p.loopU, uint64(v.id), 0, p.sp.Now()))
+		}
 		if p.eng.journal != nil && w.hasJSeq {
 			p.eng.journal.Applied(w.jseq, v.id)
 		}
@@ -347,6 +368,10 @@ func (p *processor) handleUpdate(m msgUpdate) {
 func (p *processor) gatherUpdate(m msgUpdate) {
 	v := p.ensure(m.To)
 	p.trace(obs.EvGather, v.id, m.From, m.Iteration)
+	if m.Ctx.Traced() {
+		// Inbox dwell (including delay-bound holdback) closes at gather.
+		m.Ctx = p.sp.Stage(m.Ctx, trace.StageInbox, p.loopU, uint64(m.To), uint64(m.From), p.sp.Now())
+	}
 	// Causality (Eq. 1): observing an update stamped i forces τ(x) > i.
 	if m.Iteration+1 > v.iter {
 		v.iter = m.Iteration + 1
@@ -363,10 +388,31 @@ func (p *processor) gatherUpdate(m msgUpdate) {
 			ctx := &vertexContext{p: p, v: v}
 			p.eng.cfg.Program.Gather(ctx, m.From, m.Iteration, m.Value)
 			p.markDirty(v)
+			if m.Ctx.Traced() {
+				p.adoptTraceCtx(v, p.sp.Stage(m.Ctx, trace.StageProcess,
+					p.loopU, uint64(m.To), uint64(m.From), p.sp.Now()))
+			}
 		}
 	}
 	p.tk.Release(m.Token)
 	p.maybeStart(v)
+}
+
+// adoptTraceCtx parks a traced context on the vertex so the next commit is
+// attributed to it. When a different trace already sits there, the older one
+// is coalesced: it records its terminal span linking to the newcomer, and the
+// newcomer carries a link back — latency absorbed by batching stays visible.
+func (p *processor) adoptTraceCtx(v *vertex, ctx trace.Context) {
+	if !ctx.Traced() {
+		return
+	}
+	if v.tctx.Traced() && v.tctx.Trace != ctx.Trace {
+		old := v.tctx
+		old.Link = ctx.Trace
+		p.sp.Stage(old, trace.StageCoalesce, p.loopU, uint64(v.id), 0, p.sp.Now())
+		ctx.Link = old.Trace
+	}
+	v.tctx = ctx
 }
 
 func (p *processor) handlePrepare(m msgPrepare) {
@@ -499,6 +545,9 @@ func (p *processor) commit(v *vertex) {
 	}
 	v.iter = tau
 	v.lastCommit = tau
+	if tau > p.maxCommit.Load() {
+		p.maxCommit.Store(tau)
+	}
 	p.trace(obs.EvCommit, v.id, 0, tau)
 
 	// User scatter collects emissions.
@@ -523,6 +572,20 @@ func (p *processor) commit(v *vertex) {
 		p.eng.journal.Committed(v.id, tau)
 	}
 
+	// Close the traced delta's commit stage (apply -> version persisted) and
+	// register the commit for frontier-lag attribution. The restamped context
+	// is handed to exactly ONE outgoing update (the first, below): a trace is
+	// a causal path through the propagation, not the delta's whole cone —
+	// with fanout f a cone-traced commit would amplify into ~f^depth traced
+	// messages and 1% head sampling would degenerate into tracing half the
+	// message plane (the trace_overhead bench gate pins this).
+	var tctx trace.Context
+	if v.tctx.Traced() {
+		tctx = p.sp.Stage(v.tctx, trace.StageCommit, p.loopU, uint64(v.id), 0, p.sp.Now())
+		p.eng.noteTracedCommit(tctx, tau)
+		v.tctx = trace.Context{}
+	}
+
 	// Propagate: every effective consumer gets a COMMIT message; those the
 	// program emitted to carry the value. Message tokens live at tau+1 and
 	// are acquired before the dirty token is released.
@@ -531,14 +594,16 @@ func (p *processor) commit(v *vertex) {
 	nmsgs := 0
 	for _, e := range v.emits {
 		tok := p.tk.AcquireFloor(tau + 1)
-		p.sendVertex(e.to, msgUpdate{From: v.id, To: e.to, Iteration: tau, Token: tok, Value: e.value, HasValue: true})
+		p.sendVertex(e.to, msgUpdate{From: v.id, To: e.to, Iteration: tau, Token: tok, Value: e.value, HasValue: true, Ctx: tctx})
+		tctx = trace.Context{}
 		carried[e.to] = true
 		nmsgs++
 	}
 	for _, t := range cons {
 		if !carried[t] {
 			tok := p.tk.AcquireFloor(tau + 1)
-			p.sendVertex(t, msgUpdate{From: v.id, To: t, Iteration: tau, Token: tok})
+			p.sendVertex(t, msgUpdate{From: v.id, To: t, Iteration: tau, Token: tok, Ctx: tctx})
+			tctx = trace.Context{}
 			nmsgs++
 		}
 	}
@@ -623,6 +688,20 @@ func (p *processor) coalesceUpdate(old, next msgUpdate) msgUpdate {
 			merged.Value, merged.HasValue = old.Value, true
 		} else if p.combiner != nil {
 			merged.Value = p.combiner.Combine(next.To, old.Value, next.Value)
+		}
+	}
+	// Trace batching visibility: the coalesced-away update's trace records
+	// its terminal span linking to the survivor, and the survivor's context
+	// carries a link back; a traced old context survives into an untraced
+	// newer update outright.
+	if old.Ctx.Traced() {
+		if merged.Ctx.Traced() && merged.Ctx.Trace != old.Ctx.Trace {
+			oc := old.Ctx
+			oc.Link = merged.Ctx.Trace
+			p.sp.Stage(oc, trace.StageCoalesce, p.loopU, uint64(next.To), uint64(next.From), p.sp.Now())
+			merged.Ctx.Link = old.Ctx.Trace
+		} else if !merged.Ctx.Traced() {
+			merged.Ctx = old.Ctx
 		}
 	}
 	p.tk.Release(old.Token)

@@ -35,6 +35,7 @@ import (
 	"sort"
 	"time"
 
+	"tornado/internal/obs/trace"
 	"tornado/internal/stream"
 	"tornado/internal/transport"
 )
@@ -387,6 +388,9 @@ func (e *Engine) doRecover(from *incarnation, detected time.Time, deadProcs []in
 	if e.mttrHist != nil {
 		e.mttrHist.Observe(time.Since(detected).Seconds())
 	}
+	// A recovered incarnation is exactly the window tail sampling wants
+	// traced: mark the event and force-retain the aftermath.
+	e.spans.Escalate(trace.MarkRecovery, trace.Context{}, e.spans.Now())
 	ninc.tracker.Release(guard)
 	ninc.markReady()
 	for _, i := range quarantinedNow {

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"tornado/internal/lamport"
+	"tornado/internal/obs/trace"
 	"tornado/internal/stream"
 )
 
@@ -45,6 +46,12 @@ type vertex struct {
 	holdInput  []heldWork // inputs/activations deferred while preparing
 	emits      []emission // values emitted by the current Scatter
 	rng        *rand.Rand
+
+	// tctx is the causal span context of the traced delta that most recently
+	// dirtied this vertex; the next commit records against it and propagates
+	// it to consumers. Batch-aware: a second traced delta arriving before the
+	// commit coalesces the first into a span link (see adoptTraceCtx).
+	tctx trace.Context
 }
 
 type emission struct {
@@ -58,6 +65,7 @@ type heldWork struct {
 	activate bool
 	jseq     uint64
 	hasJSeq  bool
+	tctx     trace.Context
 }
 
 func newVertex(id stream.VertexID, seed int64) *vertex {

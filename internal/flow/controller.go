@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"tornado/internal/obs/trace"
 )
 
 // ControllerOptions tunes the overload controller's sampling cadence and
@@ -26,6 +28,10 @@ type ControllerOptions struct {
 	RelaxAfter    int
 	// MaxLevel caps the ladder (default 3).
 	MaxLevel int
+	// Spans, when non-nil, is told about every ladder transition: rungs
+	// L1–L3 force-retain causal traces (tail sampling), and the current rung
+	// stamps every span recorded while degraded.
+	Spans *trace.Tracer
 }
 
 func (o *ControllerOptions) fill() {
@@ -130,8 +136,11 @@ func (c *Controller) Step() {
 	moved := c.movedPending
 	c.movedPending = false
 	c.mu.Unlock()
-	if moved && c.apply != nil {
-		c.apply(level)
+	if moved {
+		if c.apply != nil {
+			c.apply(level)
+		}
+		c.opts.Spans.SetRung(int32(level), c.opts.Spans.Now())
 	}
 }
 

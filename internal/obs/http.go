@@ -5,8 +5,13 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
+	"strconv"
 	"sync"
 	"time"
+
+	"tornado/internal/obs/trace"
 )
 
 // HubOptions configure a Hub.
@@ -16,17 +21,30 @@ type HubOptions struct {
 	// TraceSampleEvery traces 1 in N vertices (1 = all, 0 = default 64,
 	// negative = only watched vertices).
 	TraceSampleEvery int
+	// SpanCapacity is the causal-span ring size (default 4096).
+	SpanCapacity int
+	// SpanSampleRate is the head-based probability of tracing an input delta
+	// end to end (0 disables; tail escalation can still force tracing while
+	// a degradation rung is active).
+	SpanSampleRate float64
 }
 
 // Hub is one process's observability root: a Registry every loop registers
-// its collectors into, a shared protocol Tracer, and the HTTP exposition
-// surface (/metrics in Prometheus text format, /statusz as JSON, and
-// /debug/pprof). Components contribute per-loop snapshots to /statusz via
-// AddStatus.
+// its collectors into, a shared protocol Tracer, a causal span Tracer for
+// end-to-end freshness tracing, and the HTTP exposition surface (/metrics in
+// Prometheus text format, /statusz as JSON, /traces as filterable JSON span
+// dumps, and /debug/pprof). Components contribute per-loop snapshots to
+// /statusz via AddStatus.
 type Hub struct {
 	Registry *Registry
 	Tracer   *Tracer
+	Spans    *trace.Tracer
 	start    time.Time
+	build    map[string]string
+
+	stageMu    sync.RWMutex
+	stageHists map[string]*StreamHist
+	stageScope *Scope
 
 	statusMu sync.Mutex
 	status   map[string]func() any
@@ -39,14 +57,80 @@ type Hub struct {
 	lis   net.Listener
 }
 
-// NewHub returns a hub with an empty registry and a running tracer.
+// NewHub returns a hub with an empty registry and running tracers.
 func NewHub(opts HubOptions) *Hub {
-	return &Hub{
+	h := &Hub{
 		Registry: NewRegistry(),
 		Tracer:   NewTracer(opts.TraceCapacity, opts.TraceSampleEvery),
+		Spans:    trace.NewTracer(opts.SpanCapacity, opts.SpanSampleRate),
 		start:    time.Now(),
+		build:    buildInfo(),
 		status:   make(map[string]func() any),
 	}
+	h.stageHists = make(map[string]*StreamHist)
+	h.stageScope = h.Registry.Scope()
+	h.stageScope.GaugeFunc("tornado_trace_spans_recorded",
+		"Causal spans ever recorded (including overwritten).",
+		func() float64 { return float64(h.Spans.Recorded()) })
+	h.stageScope.GaugeFunc("tornado_trace_escalations",
+		"Tail-sampling escalation triggers (resend, shed, rung, recovery).",
+		func() float64 { return float64(h.Spans.Escalations()) })
+	h.stageScope.GaugeFunc("tornado_trace_sample_rate",
+		"Head-based span sampling probability.",
+		func() float64 { return h.Spans.Rate() })
+	// Every recorded stage span feeds the per-stage latency breakdown
+	// (markers carry zero width and are skipped).
+	h.Spans.OnSpan(func(sp trace.Span) {
+		if sp.Dur <= 0 {
+			return
+		}
+		h.ObserveStage(sp.Stage, sp.Dur)
+	})
+	return h
+}
+
+// ObserveStage records one latency sample into the per-stage breakdown
+// histogram tornado_stage_seconds{stage=...}. Stage families are created
+// lazily on first observation.
+func (h *Hub) ObserveStage(stage string, d time.Duration) {
+	h.stageMu.RLock()
+	hist := h.stageHists[stage]
+	h.stageMu.RUnlock()
+	if hist == nil {
+		h.stageMu.Lock()
+		hist = h.stageHists[stage]
+		if hist == nil {
+			hist = h.stageScope.Histogram("tornado_stage_seconds",
+				"Per-stage latency breakdown of traced input deltas and queries.",
+				nil, L("stage", stage))
+			h.stageHists[stage] = hist
+		}
+		h.stageMu.Unlock()
+	}
+	hist.Observe(d.Seconds())
+}
+
+// buildInfo collects the process's go version and VCS stamp once.
+func buildInfo() map[string]string {
+	out := map[string]string{"go": runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	if bi.Main.Version != "" {
+		out["module_version"] = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			out["vcs_revision"] = s.Value
+		case "vcs.time":
+			out["vcs_time"] = s.Value
+		case "vcs.modified":
+			out["vcs_dirty"] = s.Value
+		}
+	}
+	return out
 }
 
 // Uptime is the time since the hub was created.
@@ -78,12 +162,20 @@ func (h *Hub) StatusSnapshot() map[string]any {
 		fns = append(fns, fn)
 	}
 	h.statusMu.Unlock()
-	out := make(map[string]any, len(names)+2)
+	out := make(map[string]any, len(names)+4)
 	for i, name := range names {
 		out[name] = fns[i]()
 	}
 	out["uptime"] = h.Uptime().String()
 	out["trace_events"] = h.Tracer.Recorded()
+	out["trace_spans"] = map[string]any{
+		"recorded":    h.Spans.Recorded(),
+		"retained":    h.Spans.Len(),
+		"escalations": h.Spans.Escalations(),
+		"sample_rate": h.Spans.Rate(),
+	}
+	out["build"] = h.build
+	out["degrade_rung"] = h.Spans.Rung()
 	return out
 }
 
@@ -105,6 +197,7 @@ func (h *Hub) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", h.serveMetrics)
 	mux.HandleFunc("/statusz", h.serveStatusz)
+	mux.HandleFunc("/traces", h.serveTraces)
 	h.extraMu.Lock()
 	for pattern, handler := range h.extra {
 		mux.Handle(pattern, handler)
@@ -121,7 +214,7 @@ func (h *Hub) Handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_, _ = w.Write([]byte("tornado observability\n  /metrics\n  /statusz\n  /debug/pprof/\n"))
+		_, _ = w.Write([]byte("tornado observability\n  /metrics\n  /statusz\n  /traces\n  /debug/pprof/\n"))
 	})
 	return mux
 }
@@ -129,6 +222,60 @@ func (h *Hub) Handler() http.Handler {
 func (h *Hub) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = h.Registry.WritePrometheus(w)
+}
+
+// serveTraces dumps reconstructed causal traces as JSON. Query parameters:
+// trace (ID), min_ms (minimum wall duration), rung (minimum degradation
+// rung), forced (tail-escalated only), stage (must contain stage), limit.
+func (h *Hub) serveTraces(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var f trace.Filter
+	if v := q.Get("trace"); v != "" {
+		id, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, "bad trace id", http.StatusBadRequest)
+			return
+		}
+		f.Trace = id
+	}
+	if v := q.Get("min_ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || ms < 0 {
+			http.Error(w, "bad min_ms", http.StatusBadRequest)
+			return
+		}
+		f.MinDur = time.Duration(ms * float64(time.Millisecond))
+	}
+	if v := q.Get("rung"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			http.Error(w, "bad rung", http.StatusBadRequest)
+			return
+		}
+		f.MinRung = int32(n)
+	}
+	if v := q.Get("forced"); v == "1" || v == "true" {
+		f.ForcedOnly = true
+	}
+	f.Stage = q.Get("stage")
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		f.Limit = n
+	}
+	views := h.Spans.Traces(f)
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(map[string]any{
+		"sample_rate": h.Spans.Rate(),
+		"rung":        h.Spans.Rung(),
+		"escalations": h.Spans.Escalations(),
+		"traces":      views,
+	})
 }
 
 func (h *Hub) serveStatusz(w http.ResponseWriter, _ *http.Request) {

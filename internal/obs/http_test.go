@@ -5,8 +5,11 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestHubEndpoints(t *testing.T) {
@@ -104,5 +107,119 @@ func TestStatusRemove(t *testing.T) {
 	hub.RemoveStatus("x")
 	if _, ok := hub.StatusSnapshot()["x"]; ok {
 		t.Fatal("removed status section still present")
+	}
+}
+
+// TestHubConcurrentScrapeAndChurn hammers the hub's HTTP surface while the
+// metric and span state underneath it churns: scrapers pull /metrics, /traces
+// and /statusz in tight loops while writers register and close scopes, record
+// causal spans (wrapping the ring), flip status sections, and bump live
+// counters. Run under -race (make race), this pins the contract that a scrape
+// never observes a torn exposition, a half-registered family, or a torn span.
+func TestHubConcurrentScrapeAndChurn(t *testing.T) {
+	hub := NewHub(HubOptions{SpanCapacity: 64, SpanSampleRate: 1})
+	srv := httptest.NewServer(hub.Handler())
+	defer srv.Close()
+
+	get := func(path string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Errorf("GET %s: %v", path, err)
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if path == "/traces" {
+			var out map[string]any
+			if err := json.Unmarshal(body, &out); err != nil {
+				t.Errorf("GET /traces: not JSON: %v", err)
+			}
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Scrapers: each endpoint has a dedicated loop.
+	for _, path := range []string{"/metrics", "/traces", "/statusz"} {
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					get(path)
+				}
+			}
+		}(path)
+	}
+	// Scope churn: families appear and disappear mid-scrape.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sc := hub.Registry.Scope(L("loop", strconv.Itoa(i%4)))
+			sc.Counter("tornado_churn_total", "churn probe").Add(int64(i))
+			sc.Gauge("tornado_churn_depth", "churn probe").Set(float64(i))
+			sc.Histogram("tornado_churn_seconds", "churn probe", ExpBuckets(0.001, 2, 8)).Observe(float64(i))
+			if i%2 == 1 {
+				sc.Close()
+			}
+		}
+	}()
+	// Span writers: two tracers wrapping the 64-slot ring continuously, with
+	// stage fan-in to the lazy tornado_stage_seconds families.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				now := hub.Spans.Now()
+				ctx := hub.Spans.Begin(now)
+				for _, stage := range []string{"spout", "gate", "inbox", "process", "commit"} {
+					now++
+					ctx = hub.Spans.Stage(ctx, stage, 0, 7, 0, now)
+				}
+			}
+		}()
+	}
+	// Status churn.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			name := "probe/" + strconv.Itoa(i%3)
+			hub.AddStatus(name, func() any { return map[string]any{"i": i} })
+			hub.RemoveStatus(name)
+		}
+	}()
+
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	// The ring must still be coherent after the churn.
+	for _, sp := range hub.Spans.Snapshot() {
+		if sp.Trace == 0 || sp.Stage == "" {
+			t.Fatalf("torn span after churn: %+v", sp)
+		}
 	}
 }

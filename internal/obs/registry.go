@@ -106,11 +106,22 @@ type family struct {
 type Registry struct {
 	mu       sync.RWMutex
 	families map[string]*family
+	aliases  map[string]string // legacy name -> canonical name
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{families: make(map[string]*family)}
+	return &Registry{families: make(map[string]*family), aliases: make(map[string]string)}
+}
+
+// Alias exposes the canonical family under a second (legacy) name for one
+// release after a rename: scrapes see both names with identical series, and
+// the legacy HELP text marks it deprecated. Aliasing a name that never
+// registers is harmless (nothing is emitted).
+func (r *Registry) Alias(legacy, canonical string) {
+	r.mu.Lock()
+	r.aliases[legacy] = canonical
+	r.mu.Unlock()
 }
 
 // Scope returns a registration handle whose collectors all carry the given
@@ -326,31 +337,48 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for name := range r.families {
 		names = append(names, name)
 	}
+	// Legacy alias names render as additional families mirroring their
+	// canonical target's collectors.
+	for legacy, canonical := range r.aliases {
+		if r.families[canonical] != nil && r.families[legacy] == nil {
+			names = append(names, legacy)
+		}
+	}
 	sort.Strings(names)
 	type snap struct {
+		name string
+		help string
 		fam  *family
 		keys []string
 	}
 	snaps := make([]snap, 0, len(names))
 	for _, name := range names {
 		f := r.families[name]
+		help := ""
+		if f == nil {
+			canonical := r.aliases[name]
+			f = r.families[canonical]
+			help = fmt.Sprintf("Deprecated alias for %s.", canonical)
+		} else {
+			help = f.help
+		}
 		keys := make([]string, 0, len(f.collectors))
 		for k := range f.collectors {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
-		snaps = append(snaps, snap{fam: f, keys: keys})
+		snaps = append(snaps, snap{name: name, help: help, fam: f, keys: keys})
 	}
 	r.mu.RUnlock()
 
 	for _, sn := range snaps {
 		f := sn.fam
-		if f.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+		if sn.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", sn.name, sn.help); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", sn.name, f.kind); err != nil {
 			return err
 		}
 		for _, k := range sn.keys {
@@ -360,7 +388,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			if c == nil {
 				continue // unregistered between snapshot and render
 			}
-			if err := writeCollector(w, f, c); err != nil {
+			if err := writeCollector(w, sn.name, f.kind, c); err != nil {
 				return err
 			}
 		}
@@ -368,9 +396,9 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
-func writeCollector(w io.Writer, f *family, c *collector) error {
-	if f.kind != kindHistogram {
-		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, promLabels(c.labels), formatValue(c.value()))
+func writeCollector(w io.Writer, name string, kind collectorKind, c *collector) error {
+	if kind != kindHistogram {
+		_, err := fmt.Fprintf(w, "%s%s %s\n", name, promLabels(c.labels), formatValue(c.value()))
 		return err
 	}
 	s := c.hist.Snapshot()
@@ -378,17 +406,17 @@ func writeCollector(w io.Writer, f *family, c *collector) error {
 	for i, bound := range s.Bounds {
 		cum += s.Counts[i]
 		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
-			f.name, promLabels(c.labels, L("le", formatValue(bound))), cum); err != nil {
+			name, promLabels(c.labels, L("le", formatValue(bound))), cum); err != nil {
 			return err
 		}
 	}
 	cum += s.Counts[len(s.Bounds)]
-	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, promLabels(c.labels, L("le", "+Inf")), cum); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabels(c.labels, L("le", "+Inf")), cum); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, promLabels(c.labels), formatValue(s.Sum)); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, promLabels(c.labels), formatValue(s.Sum)); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, promLabels(c.labels), s.Count)
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, promLabels(c.labels), s.Count)
 	return err
 }

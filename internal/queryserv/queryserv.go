@@ -46,6 +46,7 @@ import (
 
 	"tornado/internal/engine"
 	"tornado/internal/obs"
+	"tornado/internal/obs/trace"
 	"tornado/internal/storage"
 	"tornado/internal/stream"
 )
@@ -252,6 +253,18 @@ type Result struct {
 	Staleness uint64
 }
 
+// Freshness is the result's staleness watermark right now: how many input
+// deltas the main loop has ingested past this result's fork. Unlike the
+// Staleness field (frozen at serve time) it is live — a held handle drifts
+// as ingestion moves on, which is what a freshness-bounded reader polls.
+func (r *Result) Freshness() uint64 {
+	cur := r.svc.b.JournalSeq()
+	if cur <= r.sh.forkSeq {
+		return 0
+	}
+	return cur - r.sh.forkSeq
+}
+
 // Read returns the branch's converged state of one vertex.
 func (r *Result) Read(id stream.VertexID) (any, int64, error) {
 	return r.sh.br.ReadState(id, math.MaxInt64)
@@ -314,6 +327,7 @@ type Ticket struct {
 	submitted time.Time
 	deadline  time.Time
 	coalesced bool
+	tctx      trace.Context
 
 	timer *time.Timer
 
@@ -380,6 +394,7 @@ type flight struct {
 	forkSeq   uint64
 	waiters   []*Ticket
 	index     int // heap index; -1 when not queued
+	tctx      trace.Context // creator's causal span context
 
 	abortOnce sync.Once
 	abort     chan struct{}
@@ -474,6 +489,11 @@ type Service struct {
 	obsDetach func()
 	waitHist  *obs.StreamHist
 	e2eHist   *obs.StreamHist
+	staleHist *obs.StreamHist
+
+	// spans records causal query-path spans (submit/cache/coalesce/queue/
+	// fork/wait/serve) and shed escalations; nil-safe when no hub is wired.
+	spans *trace.Tracer
 }
 
 // New assembles and starts a service over the backend. hub, when non-nil,
@@ -491,6 +511,7 @@ func New(b Backend, opts Options, hub *obs.Hub) *Service {
 	}
 	s.cond = sync.NewCond(&s.mu)
 	if hub != nil {
+		s.spans = hub.Spans
 		s.attachObs(hub)
 	}
 	for i := 0; i < opts.Workers; i++ {
@@ -550,6 +571,9 @@ func (s *Service) attachObs(hub *obs.Hub) {
 		"Queue wait from submission to the flight's fork.", nil)
 	s.e2eHist = sc.Histogram("tornado_query_latency_seconds",
 		"End-to-end query latency from submission to resolution.", nil)
+	s.staleHist = sc.Histogram("tornado_query_staleness_deltas",
+		"Input-journal deltas between a served result's fork and the present (journal-seq age at serve time).",
+		obs.ExpBuckets(1, 2, 20))
 	hub.AddStatus("queryserv", func() any {
 		snap := s.Snapshot()
 		return map[string]any{
@@ -634,6 +658,13 @@ func (s *Service) Submit(ctx context.Context, spec QuerySpec) (*Ticket, error) {
 	}
 	key, shareable := spec.shareKey()
 
+	// Each query is a trace head: the sampling decision happens once here,
+	// and the context follows the query through cache/coalesce/queue/fork.
+	var tctx trace.Context
+	if s.spans.Enabled() {
+		tctx = s.spans.Begin(s.spans.Now())
+	}
+
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -647,6 +678,7 @@ func (s *Service) Submit(ctx context.Context, spec QuerySpec) (*Ticket, error) {
 		spec:      spec,
 		submitted: now,
 		deadline:  deadline,
+		tctx:      tctx,
 		done:      make(chan struct{}),
 	}
 	s.tickets[t.id] = t
@@ -673,6 +705,10 @@ func (s *Service) Submit(ctx context.Context, spec QuerySpec) (*Ticket, error) {
 				res := &Result{
 					sh: e.sh, svc: s, CacheHit: true, Staleness: lag,
 					Latency: time.Since(now),
+				}
+				if t.tctx.Traced() {
+					// Submit -> cache handout; the query's whole life.
+					s.spans.Stage(t.tctx, trace.StageQueryCache, 0, trace.NoVertex, 0, s.spans.Now())
 				}
 				s.resolveLocked(t, res, nil)
 				s.mu.Unlock()
@@ -702,6 +738,12 @@ func (s *Service) Submit(ctx context.Context, spec QuerySpec) (*Ticket, error) {
 				s.coalesced++
 				t.coalesced = true
 				t.fl = f
+				if t.tctx.Traced() {
+					// Submit -> join, linked to the flight it rides.
+					ctx := t.tctx
+					ctx.Link = f.tctx.Trace
+					t.tctx = s.spans.Stage(ctx, trace.StageQueryCoalesce, 0, trace.NoVertex, 0, s.spans.Now())
+				}
 				f.waiters = append(f.waiters, t)
 				if spec.Priority > f.priority && f.index >= 0 {
 					f.priority = spec.Priority
@@ -722,6 +764,9 @@ func (s *Service) Submit(ctx context.Context, spec QuerySpec) (*Ticket, error) {
 		s.shedLowPri++
 		delete(s.tickets, t.id)
 		s.mu.Unlock()
+		// A shed is exactly what tail sampling force-retains: mark it and
+		// open the escalation window.
+		s.spans.Escalate(trace.MarkShed, t.tctx, s.spans.Now())
 		return nil, fmt.Errorf("%w: degraded level %d sheds priority < %d (got %d)",
 			ErrOverloaded, s.degraded, s.opts.ShedBelowPriority, spec.Priority)
 	}
@@ -729,7 +774,12 @@ func (s *Service) Submit(ctx context.Context, spec QuerySpec) (*Ticket, error) {
 		s.shed++
 		delete(s.tickets, t.id)
 		s.mu.Unlock()
+		s.spans.Escalate(trace.MarkShed, t.tctx, s.spans.Now())
 		return nil, fmt.Errorf("%w: %d flights queued (cap %d)", ErrOverloaded, s.opts.QueueCap, s.opts.QueueCap)
+	}
+	if t.tctx.Traced() {
+		// Submit entry -> admitted to a fresh flight.
+		t.tctx = s.spans.Stage(t.tctx, trace.StageQuerySubmit, 0, trace.NoVertex, 0, s.spans.Now())
 	}
 	s.nextSeq++
 	f := &flight{
@@ -739,6 +789,7 @@ func (s *Service) Submit(ctx context.Context, spec QuerySpec) (*Ticket, error) {
 		spec:      spec,
 		priority:  spec.Priority,
 		enqueued:  now,
+		tctx:      t.tctx,
 		abort:     make(chan struct{}),
 		index:     -1,
 	}
@@ -792,6 +843,14 @@ func (s *Service) resolveLocked(t *Ticket, res *Result, err error) {
 		s.completed++
 		if s.e2eHist != nil {
 			s.e2eHist.Observe(time.Since(t.submitted).Seconds())
+		}
+		if s.staleHist != nil {
+			s.staleHist.Observe(float64(res.Staleness))
+		}
+		if t.coalesced && t.tctx.Traced() {
+			// A coalesced waiter's own trace closes here: join -> handout
+			// (its flight's trace carries the queue/fork/wait breakdown).
+			s.spans.Stage(t.tctx, trace.StageQueryServe, 0, trace.NoVertex, 0, s.spans.Now())
 		}
 	} else {
 		delete(s.tickets, t.id)
@@ -955,7 +1014,14 @@ func (s *Service) worker() {
 // the result out to every waiter and feeds the cache.
 func (s *Service) execute(f *flight) {
 	start := time.Now()
+	if f.tctx.Traced() {
+		// Queue dwell closes when a worker picks the flight up.
+		f.tctx = s.spans.Stage(f.tctx, trace.StageQueryQueue, 0, trace.NoVertex, 0, s.spans.Now())
+	}
 	br, spec, loop, err := s.b.Fork(f.spec.Override, f.spec.Seed)
+	if f.tctx.Traced() {
+		f.tctx = s.spans.Stage(f.tctx, trace.StageQueryFork, 0, trace.NoVertex, uint64(loop), s.spans.Now())
+	}
 	s.mu.Lock()
 	if err != nil {
 		s.failed += int64(len(f.waiters))
@@ -985,6 +1051,10 @@ func (s *Service) execute(f *flight) {
 		if s.b.OnConverged != nil {
 			s.b.OnConverged(latency)
 		}
+		if f.tctx.Traced() {
+			// Fork -> branch convergence: the iterate cost of the query.
+			f.tctx = s.spans.Stage(f.tctx, trace.StageQueryWait, 0, trace.NoVertex, uint64(loop), s.spans.Now())
+		}
 		sh := &shared{
 			br: br, spec: spec, loop: loop, forkSeq: f.forkSeq,
 			created: time.Now(), drop: s.b.Drop,
@@ -1011,6 +1081,10 @@ func (s *Service) execute(f *flight) {
 		}
 		if f.shareable && !s.opts.DisableCache && s.opts.CacheCap > 0 && !s.closed {
 			releases = s.cacheInsertLocked(f.key, sh)
+		}
+		if f.tctx.Traced() {
+			// Convergence -> every waiter resolved.
+			s.spans.Stage(f.tctx, trace.StageQueryServe, 0, trace.NoVertex, uint64(loop), s.spans.Now())
 		}
 		s.mu.Unlock()
 		for _, old := range releases {

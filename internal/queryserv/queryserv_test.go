@@ -666,3 +666,46 @@ func TestDegradedShedsLowPriority(t *testing.T) {
 	s.Close()
 	h.checkNoLeaks()
 }
+
+// TestResultFreshnessTracksLag pins Result.Freshness(): a held result's
+// staleness watermark is live — it reads 0 while the main loop sits at the
+// fork's journal sequence and grows by exactly the number of inputs ingested
+// afterwards (the slow-consumer case: the handle outlives its exactness).
+func TestResultFreshnessTracksLag(t *testing.T) {
+	h, tuples := sssp(t, 3, 32)
+	s := h.newService(t, Options{DisableCache: true})
+	tk, err := s.Submit(context.Background(), QuerySpec{Timeout: waitFor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tk.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if got := res.Freshness(); got != 0 {
+		t.Fatalf("Freshness() = %d right after an exact serve; want 0", got)
+	}
+	if res.Staleness != 0 {
+		t.Fatalf("Staleness = %d at serve; want 0", res.Staleness)
+	}
+
+	// The slow consumer holds the handle while the main loop moves on.
+	const extra = 37
+	more := make([]stream.Tuple, 0, extra)
+	for i := 0; i < extra; i++ {
+		more = append(more, stream.AddEdge(stream.Timestamp(10_000+i),
+			stream.VertexID(i%50), stream.VertexID((i+7)%50)))
+	}
+	h.e.IngestAll(more)
+	if got := res.Freshness(); got != extra {
+		t.Fatalf("Freshness() = %d after %d more inputs; want %d", got, extra, extra)
+	}
+	if want := h.e.JournalSeq() - res.ForkSeq(); res.Freshness() != want {
+		t.Fatalf("Freshness() = %d; JournalSeq-ForkSeq = %d", res.Freshness(), want)
+	}
+	if err := h.e.WaitQuiesce(waitFor); err != nil {
+		t.Fatal(err)
+	}
+	_ = tuples
+}

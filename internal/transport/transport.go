@@ -57,6 +57,7 @@ import (
 	"time"
 
 	"tornado/internal/metrics"
+	"tornado/internal/obs/trace"
 )
 
 // NodeID identifies an endpoint of the network.
@@ -83,6 +84,10 @@ type frame struct {
 	// rather than growing without bound — urgent payloads are refreshable
 	// control signals, not data.
 	urgent bool
+	// traced marks a frame carrying at least one causally-traced payload, so
+	// the receive path pays the per-payload trace.Carrier assertion only for
+	// the rare sampled frame.
+	traced bool
 }
 
 // Stats are the network's delivery counters. The engine owns one Stats and
@@ -167,6 +172,14 @@ type Options struct {
 	// Stats, when non-nil, receives the network's counters; otherwise the
 	// network allocates its own.
 	Stats *Stats
+	// Spans, when non-nil, records causal stage spans for traced payloads
+	// riding through the transport: output-buffer dwell (batch), frame
+	// transit including credit parking (frame), and escalation markers for
+	// resends and dead letters. Payloads participate by implementing
+	// trace.Carrier.
+	Spans *trace.Tracer
+	// SpanLoop labels this network's spans with the owning loop's ID.
+	SpanLoop uint64
 }
 
 // ackEvery is the in-order ack sampling rate in batched mode: one immediate
@@ -251,13 +264,14 @@ func (n *Network) Register(id NodeID) *Endpoint {
 		panic(fmt.Sprintf("transport: node %d registered twice", id))
 	}
 	ep := &Endpoint{
-		id:      id,
-		net:     n,
-		nextSeq: make(map[NodeID]uint64),
-		outbuf:  make(map[NodeID][]any),
-		unacked: make(map[NodeID]map[uint64]*pending),
-		recv:    make(map[NodeID]*recvState),
-		rng:     rand.New(rand.NewSource(n.opts.DropSeed ^ int64(id)<<17 ^ 0x5bf03635)),
+		id:        id,
+		net:       n,
+		nextSeq:   make(map[NodeID]uint64),
+		outbuf:    make(map[NodeID][]any),
+		outTraced: make(map[NodeID]bool),
+		unacked:   make(map[NodeID]map[uint64]*pending),
+		recv:      make(map[NodeID]*recvState),
+		rng:       rand.New(rand.NewSource(n.opts.DropSeed ^ int64(id)<<17 ^ 0x5bf03635)),
 	}
 	ep.cond = sync.NewCond(&ep.mu)
 	n.endpoints[id] = ep
@@ -425,9 +439,13 @@ type Endpoint struct {
 	crashed bool
 	nextSeq map[NodeID]uint64
 	outbuf  map[NodeID][]any
-	unacked map[NodeID]map[uint64]*pending
-	recv    map[NodeID]*recvState
-	rng     *rand.Rand // jitter; guarded by mu
+	// outTraced marks destinations whose output buffer holds at least one
+	// causally-traced payload; the seal pays the per-payload restamp walk
+	// only for those. Guarded by mu, entries consumed by sealLocked.
+	outTraced map[NodeID]bool
+	unacked   map[NodeID]map[uint64]*pending
+	recv      map[NodeID]*recvState
+	rng       *rand.Rand // jitter; guarded by mu
 
 	// stalled is the receiver-side credit flag: set (under mu, in deliver)
 	// once the inbox reaches the high watermark, cleared once a drain takes
@@ -454,10 +472,21 @@ func (e *Endpoint) ID() NodeID { return e.id }
 // recovers (when the network has a resend timeout).
 func (e *Endpoint) Send(to NodeID, payload any) {
 	maxBatch := e.net.opts.MaxBatch
+	// One atomic load decides whether the trace machinery is consulted at
+	// all; only then is the payload's carrier interface inspected.
+	traced := false
+	if e.net.opts.Spans.Enabled() {
+		if c, ok := payload.(trace.Carrier); ok && c.TraceCtx().Traced() {
+			traced = true
+		}
+	}
 	e.mu.Lock()
 	if e.closed || e.dead {
 		e.mu.Unlock()
 		return
+	}
+	if traced {
+		e.outTraced[to] = true
 	}
 	if maxBatch <= 1 {
 		f := e.sealLocked(to, append(getPayloadSlice(), payload))
@@ -531,11 +560,34 @@ func (e *Endpoint) Flush() {
 }
 
 // sealLocked assigns the next sequence number for to, builds the frame and
-// registers it for retransmission. Caller holds e.mu.
+// registers it for retransmission. Caller holds e.mu. Traced payloads record
+// their output-buffer dwell here and are restamped at seal time, so the
+// receive side measures pure frame transit (including credit parking).
 func (e *Endpoint) sealLocked(to NodeID, payloads []any) frame {
+	wasTraced := e.outTraced[to]
+	if wasTraced {
+		delete(e.outTraced, to)
+		if sp := e.net.opts.Spans; sp.Enabled() {
+			now := sp.Now()
+			for i, pl := range payloads {
+				c, ok := pl.(trace.Carrier)
+				if !ok {
+					continue
+				}
+				ctx := c.TraceCtx()
+				if !ctx.Traced() {
+					continue
+				}
+				payloads[i] = c.WithTraceCtx(sp.Stage(ctx, trace.StageBatch,
+					e.net.opts.SpanLoop, trace.NoVertex, uint64(to), now))
+			}
+		} else {
+			wasTraced = false
+		}
+	}
 	seq := e.nextSeq[to]
 	e.nextSeq[to] = seq + 1
-	f := frame{from: e.id, to: to, seq: seq, payloads: payloads}
+	f := frame{from: e.id, to: to, seq: seq, payloads: payloads, traced: wasTraced}
 	if after := e.net.opts.ResendAfter; after > 0 {
 		m := e.unacked[to]
 		if m == nil {
@@ -784,7 +836,24 @@ func (e *Endpoint) deliver(f frame) {
 		if high := e.net.opts.InboxHigh; f.urgent && high > 0 && len(e.inbox) >= high {
 			shed = true
 		} else {
+			sp := e.net.opts.Spans
+			spanNow := int64(0)
+			if f.traced && sp.Enabled() {
+				spanNow = sp.Now()
+			}
 			for _, pl := range f.payloads {
+				if spanNow != 0 {
+					// Frame transit closes here: seal -> inbox, credit
+					// parking included. Restamp so inbox dwell starts now.
+					// The local pl copy is restamped (never f.payloads, which
+					// the sender may still hold for retransmission).
+					if c, ok := pl.(trace.Carrier); ok {
+						if ctx := c.TraceCtx(); ctx.Traced() {
+							pl = c.WithTraceCtx(sp.Stage(ctx, trace.StageFrame,
+								e.net.opts.SpanLoop, trace.NoVertex, uint64(f.from), spanNow))
+						}
+					}
+				}
 				e.inbox = append(e.inbox, Envelope{From: f.from, Payload: pl})
 			}
 			e.cond.Broadcast()
@@ -950,6 +1019,7 @@ func (e *Endpoint) Crash() {
 	e.dead = true
 	e.inbox = nil
 	e.outbuf = make(map[NodeID][]any)
+	e.outTraced = make(map[NodeID]bool)
 	e.unacked = make(map[NodeID]map[uint64]*pending)
 	e.recv = make(map[NodeID]*recvState)
 	e.held = nil // our own parked frames die with us
@@ -1036,6 +1106,7 @@ func (e *Endpoint) resendLoop(after time.Duration) {
 		}
 		now := time.Now()
 		var retry []frame
+		var deadTraced []frame
 		dead := 0
 		e.mu.Lock()
 		if e.dead || e.closed {
@@ -1057,6 +1128,9 @@ func (e *Endpoint) resendLoop(after time.Duration) {
 				if maxResends > 0 && p.attempts >= maxResends {
 					delete(m, seq)
 					dead++
+					if p.f.traced {
+						deadTraced = append(deadTraced, p.f)
+					}
 					continue
 				}
 				p.attempts++
@@ -1080,7 +1154,34 @@ func (e *Endpoint) resendLoop(after time.Duration) {
 			e.net.Stats.Resent.Inc()
 			e.transmit(f)
 		}
+		// A retried or abandoned traced frame is exactly the anomaly tail
+		// sampling exists for: record the marker against the trace and open
+		// the escalation window so the aftermath is fully traced.
+		if sp := e.net.opts.Spans; sp.Enabled() && (len(deadTraced) > 0 || len(retry) > 0) {
+			spanNow := sp.Now()
+			for _, f := range deadTraced {
+				sp.Escalate(trace.MarkDeadLetter, frameTraceCtx(f), spanNow)
+			}
+			for _, f := range retry {
+				if f.traced {
+					sp.Escalate(trace.MarkResend, frameTraceCtx(f), spanNow)
+				}
+			}
+		}
 	}
+}
+
+// frameTraceCtx extracts the first traced payload context of a frame, for
+// attributing resend/dead-letter escalation markers to a concrete trace.
+func frameTraceCtx(f frame) trace.Context {
+	for _, pl := range f.payloads {
+		if c, ok := pl.(trace.Carrier); ok {
+			if ctx := c.TraceCtx(); ctx.Traced() {
+				return ctx
+			}
+		}
+	}
+	return trace.Context{}
 }
 
 // Unacked reports how many frames this endpoint is still waiting to have

@@ -36,6 +36,7 @@ import (
 	"tornado/internal/engine"
 	"tornado/internal/flow"
 	"tornado/internal/obs"
+	"tornado/internal/obs/trace"
 	"tornado/internal/queryserv"
 	"tornado/internal/storage"
 	"tornado/internal/stream"
@@ -152,6 +153,16 @@ type Options struct {
 	// (default 64; 1 traces every vertex; negative disables sampling so
 	// only watched vertices are traced).
 	TraceSampleEvery int
+	// SpanSampleRate is the head-based sampling probability for causal
+	// freshness traces: each input delta (and each query) is traced with
+	// this probability from ingest through iterate to the frontier (default
+	// 0.01; 0 disables head sampling — tail escalation on sheds, resends,
+	// recoveries and degradation rungs still force-retains traces; negative
+	// disables tracing entirely). Spans surface on /traces, the shell's
+	// trace/slow commands, and the tornado_stage_seconds histograms.
+	SpanSampleRate float64
+	// SpanCapacity is the span ring's size in spans (default 4096).
+	SpanCapacity int
 
 	// Query tunes the query service that answers Submit and Query calls:
 	// worker-pool size (concurrent branch loops), wait-queue bound,
@@ -280,9 +291,18 @@ func (s *System) engine() *engine.Engine {
 // New assembles and starts a System running program.
 func New(program Program, opts Options) (*System, error) {
 	opts.fill()
+	spanRate := opts.SpanSampleRate
+	switch {
+	case spanRate == 0:
+		spanRate = 0.01
+	case spanRate < 0:
+		spanRate = 0
+	}
 	hub := obs.NewHub(obs.HubOptions{
 		TraceCapacity:    opts.TraceCapacity,
 		TraceSampleEvery: opts.TraceSampleEvery,
+		SpanCapacity:     opts.SpanCapacity,
+		SpanSampleRate:   spanRate,
 	})
 	cfg := engine.Config{
 		Processors:        opts.Processors,
@@ -328,6 +348,7 @@ func New(program Program, opts Options) (*System, error) {
 	if !opts.Flow.Disable && !opts.Flow.DisableController {
 		s.flowCtl = flow.NewController(flow.ControllerOptions{
 			SampleEvery: opts.Flow.SampleEvery,
+			Spans:       hub.Spans,
 		}, s.flowPressure, s.applyFlowLevel)
 	}
 	s.qapi = queryserv.NewAPI(s.qs, 0)
@@ -518,6 +539,14 @@ func (s *System) MetricsURL() string {
 	return ""
 }
 
+// Spans returns the causal span tracer: head-sampled end-to-end freshness
+// traces of input deltas (spout -> gate -> batch -> frame -> inbox ->
+// process -> commit -> frontier) and queries (submit -> queue -> fork ->
+// wait -> serve), with tail escalation on sheds, resends, recoveries and
+// degradation rungs. Use trace.Filter with Spans().Traces to query, or the
+// /traces HTTP endpoint.
+func (s *System) Spans() *trace.Tracer { return s.hub.Spans }
+
 // Trace returns the retained protocol events of one main-loop vertex, oldest
 // first: input applications, PREPARE/ACK negotiations, iteration-number
 // assignments at commit, and gathered updates. Only sampled or watched
@@ -594,6 +623,12 @@ func (r *Result) ForkIteration() int64 { return r.qr.ForkSpec().ForkIter }
 // ForkSeq returns the number of ingested inputs the result reflects (the
 // input-journal sequence at fork time).
 func (r *Result) ForkSeq() uint64 { return r.qr.ForkSeq() }
+
+// Freshness is the result's live staleness watermark: how many input deltas
+// the main loop has ingested past this result's fork, right now. A freshly
+// served exact result reads 0 and drifts upward as ingestion continues —
+// poll it to decide when a held handle is too stale to keep using.
+func (r *Result) Freshness() uint64 { return r.qr.Freshness() }
 
 // Engine exposes the underlying branch engine (advanced use: custom reads).
 func (r *Result) Engine() *engine.Engine { return r.qr.Engine() }

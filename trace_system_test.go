@@ -1,0 +1,182 @@
+package tornado_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"tornado"
+	"tornado/internal/algorithms"
+	"tornado/internal/datasets"
+	"tornado/internal/obs/trace"
+	"tornado/internal/stream"
+)
+
+// TestEndToEndFreshnessTrace is the PR acceptance check for the causal span
+// pipeline: with full head sampling, a sampled input delta's trace must show
+// at least six distinct pipeline stages with non-zero attributed durations,
+// both through the in-process API and reconstructed from the /traces HTTP
+// endpoint; a query submitted through the service must leave query_* spans;
+// and Result.Freshness must track the journal lag exactly.
+func TestEndToEndFreshnessTrace(t *testing.T) {
+	sys, err := tornado.New(algorithms.SSSP{Source: 0}, tornado.Options{
+		Processors:     2,
+		DelayBound:     16,
+		SpanSampleRate: 1,
+		MetricsAddr:    "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	sys.IngestAll(datasets.PowerLawGraph(80, 3, 17))
+	if err := sys.WaitQuiesce(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// A full input trace: spout/gate are recorded only on the per-tuple path
+	// (the feed or single Ingest); the IngestAll fast path starts at batch.
+	sys.Ingest(stream.AddEdge(stream.Timestamp(1_000_000), 0, 79))
+	if err := sys.WaitQuiesce(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	wantInput := []string{"gate", "batch", "frame", "inbox", "process", "commit", "frontier"}
+	views := sys.Spans().Traces(trace.Filter{Stage: "gate", Limit: 4})
+	if len(views) == 0 {
+		t.Fatal("no trace passing through the admission gate retained")
+	}
+	best := views[0]
+	stages := make(map[string]bool, len(best.Stages))
+	for _, s := range best.Stages {
+		stages[s] = true
+	}
+	var missing []string
+	for _, s := range wantInput {
+		if !stages[s] {
+			missing = append(missing, s)
+		}
+	}
+	if len(missing) > 0 || len(best.Stages) < 6 {
+		t.Fatalf("input trace %d covers stages %v; missing %v", best.Trace, best.Stages, missing)
+	}
+	for _, sp := range best.Spans {
+		if sp.Dur <= 0 {
+			t.Fatalf("span %q of trace %d has non-positive duration %v", sp.Stage, best.Trace, sp.Dur)
+		}
+	}
+
+	// The same trace must be reconstructible over HTTP.
+	url := fmt.Sprintf("%s/traces?trace=%d", sys.MetricsURL(), best.Trace)
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d\n%s", url, resp.StatusCode, body)
+	}
+	var payload struct {
+		Traces []struct {
+			Trace  uint64   `json:"trace"`
+			Stages []string `json:"stages"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(body, &payload); err != nil {
+		t.Fatalf("/traces not JSON: %v\n%s", err, body)
+	}
+	if len(payload.Traces) != 1 || payload.Traces[0].Trace != best.Trace {
+		t.Fatalf("/traces?trace=%d returned %+v", best.Trace, payload.Traces)
+	}
+	if len(payload.Traces[0].Stages) < 6 {
+		t.Fatalf("/traces shows %v for trace %d; want >= 6 stages",
+			payload.Traces[0].Stages, best.Trace)
+	}
+
+	// Query path: Submit leaves query_* spans and Freshness tracks lag.
+	tk, err := sys.Submit(context.Background(), tornado.QuerySpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tk.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Freshness(); got != 0 {
+		t.Fatalf("Freshness() = %d right after an exact query; want 0", got)
+	}
+	const lag = 23
+	var extra []stream.Tuple
+	for i := 0; i < lag; i++ {
+		extra = append(extra, stream.AddEdge(stream.Timestamp(2_000_000+i),
+			stream.VertexID(i%40), stream.VertexID((i+11)%40)))
+	}
+	sys.IngestAll(extra)
+	if got := res.Freshness(); got != lag {
+		t.Fatalf("Freshness() = %d after %d more deltas; want %d", got, lag, lag)
+	}
+	res.Close()
+
+	qviews := sys.Spans().Traces(trace.Filter{Stage: "query_serve", Limit: 1})
+	if len(qviews) == 0 {
+		t.Fatal("no query trace with a query_serve span retained")
+	}
+	qstages := map[string]bool{}
+	for _, s := range qviews[0].Stages {
+		qstages[s] = true
+	}
+	for _, s := range []string{"query_submit", "query_queue", "query_fork", "query_wait", "query_serve"} {
+		if !qstages[s] {
+			t.Fatalf("query trace %d covers %v; missing %q", qviews[0].Trace, qviews[0].Stages, s)
+		}
+	}
+}
+
+// TestFeedSpoutHeadsTrace pins the full eight-stage input path: a delta
+// pulled from an attached source takes its sampling decision at the spout,
+// and its trace runs spout → gate → batch → frame → inbox → process →
+// commit → frontier.
+func TestFeedSpoutHeadsTrace(t *testing.T) {
+	sys, err := tornado.New(algorithms.SSSP{Source: 0}, tornado.Options{
+		Processors:     2,
+		SpanSampleRate: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	q := stream.NewQueue()
+	feed, err := sys.AttachSource(q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		q.Push(stream.AddEdge(stream.Timestamp(i), stream.VertexID(i%6), stream.VertexID((i+1)%6)))
+	}
+	q.Close()
+	if err := feed.Wait(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WaitQuiesce(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	views := sys.Spans().Traces(trace.Filter{Stage: "spout", Limit: 2})
+	if len(views) == 0 {
+		t.Fatal("no spout-stage trace from the feed path")
+	}
+	got := map[string]bool{}
+	for _, s := range views[0].Stages {
+		got[s] = true
+	}
+	for _, s := range []string{"spout", "gate", "batch", "frame", "inbox", "process", "commit", "frontier"} {
+		if !got[s] {
+			t.Fatalf("feed trace %d covers %v; missing %q", views[0].Trace, views[0].Stages, s)
+		}
+	}
+}
