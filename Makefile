@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-all vet bench bench-queries bench-throughput bench-trace soak-overload chaos check clean
+.PHONY: all build test race race-all vet bench bench-queries bench-throughput bench-trace bench-wire soak-overload chaos chaos-wire check clean
 
 all: check
 
@@ -27,9 +27,19 @@ vet:
 
 # Crash-recovery and chaos suite under the race detector: true crash
 # semantics, supervised checkpoint restart, quarantine, fault plans and the
-# seeded chaos soak (crashes + lossy transport in one run).
+# seeded chaos soak (crashes + lossy transport in one run). The $-anchored
+# soak names keep the wire variants out — those run in chaos-wire.
 chaos:
-	$(GO) test -race ./internal/engine/ -run 'TestCrash|TestSupervisor|TestFlapping|TestFaultPlan|TestChaos'
+	$(GO) test -race ./internal/engine/ -run 'TestCrash|TestSupervisor|TestFlapping|TestFaultPlan|TestChaosSoakRecovery$$|TestChaosSoakSurgeOverload$$'
+
+# Wire-layer chaos under the race detector: codec/supervision/fault-conn
+# unit tests and the fuzz-regression corpus, goroutine-leak checks, the
+# multi-process SSSP cluster (real worker processes over real sockets, with
+# and without socket-level chaos), the hermetic wire-mode engine tests, and
+# both chaos soaks re-run with the message plane on the TCP loopback wire.
+chaos-wire:
+	$(GO) test -race -count=1 ./internal/transport/ ./internal/wirenode/
+	$(GO) test -race -count=1 -timeout 15m ./internal/engine/ -run 'TestWireMode|TestChaosSoakRecoveryWire|TestChaosSoakSurgeOverloadWire'
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
@@ -50,16 +60,23 @@ bench-throughput:
 bench-trace:
 	$(GO) run ./cmd/tornado-bench -experiment trace_overhead -scale small
 
+# Wire-transport benchmark (small scale): in-memory vs TCP-loopback engine
+# on identical SSSP churn, a corruption-storm recovery timing, and the
+# multi-process cluster run; leaves the BENCH_wire.json artifact and exits
+# nonzero if the cluster run diverges from the reference fixed point.
+bench-wire:
+	$(GO) run ./cmd/tornado-bench -experiment wire -scale small
+
 # Overload soak: the surge-plus-slow-consumer chaos test under the race
 # detector (bounded inboxes, credit stalls, recovery mid-surge), then the
 # backpressure benchmark — sustained updates/sec and p99 ingest latency at
 # the overload knee; leaves the BENCH_overload.json artifact.
 soak-overload:
-	$(GO) test -race ./internal/engine/ -run 'TestChaosSoakSurgeOverload|TestSlowConsumerBoundedInbox' -count=1
+	$(GO) test -race ./internal/engine/ -run 'TestChaosSoakSurgeOverload$$|TestSlowConsumerBoundedInbox' -count=1
 	$(GO) test -race . -run 'TestOverloadControllerLadder|TestFeedMaxPendingPausesSpout' -count=1
 	$(GO) run ./cmd/tornado-bench -experiment overload -scale small
 
-check: build vet test race chaos bench-queries bench-throughput bench-trace soak-overload
+check: build vet test race chaos chaos-wire bench-queries bench-throughput bench-trace bench-wire soak-overload
 
 clean:
 	$(GO) clean ./...

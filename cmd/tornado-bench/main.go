@@ -51,9 +51,13 @@ var experiments = []experiment{
 	{"throughput", "transport batching: sustained SSSP updates/sec, batched vs unbatched", wrap(bench.RunThroughput)},
 	{"overload", "backpressure: updates/sec and p99 ingest latency at the overload knee", wrap(bench.RunOverload)},
 	{"trace_overhead", "causal span tracing: SSSP updates/sec at off/1%/100% sampling (3% gate)", wrap(bench.RunTraceOverhead)},
+	{"wire", "TCP wire: serialization overhead, corruption-storm recovery, multi-process SSSP", wrap(bench.RunWire)},
 }
 
 func main() {
+	// The wire experiment re-executes this binary as worker processes; the
+	// hook takes over (and exits) when the join variable is set.
+	bench.WireWorkerHook()
 	scaleFlag := flag.String("scale", "full", "workload scale: small or full")
 	expFlag := flag.String("experiment", "all", "experiment id or 'all'")
 	listFlag := flag.Bool("list", false, "list experiments and exit")

@@ -1,0 +1,102 @@
+// Command tornado-node runs one process of a distributed SSSP over the raw
+// wire transport: a master that listens for workers, partitions the graph
+// and detects termination, or a worker that joins a master by seed address.
+//
+// Start a master and two workers (any order; workers retry their dial):
+//
+//	tornado-node -listen 127.0.0.1:7070 -workers 2 -vertices 2000
+//	tornado-node -join 127.0.0.1:7070
+//	tornado-node -join 127.0.0.1:7070
+//
+// Socket-level chaos can be injected per process with -drop, -dup and
+// -corrupt; the run must still end at the exact fixed point because corrupt
+// frames fail their CRC and every loss is repaired by the resend ledger.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"tornado/internal/datasets"
+	"tornado/internal/stream"
+	"tornado/internal/transport"
+	"tornado/internal/wirenode"
+)
+
+func main() {
+	join := flag.String("join", "", "join the master at this seed address (worker mode)")
+	listen := flag.String("listen", "127.0.0.1:7070", "listen address (master seed address, or this worker's own port)")
+	workers := flag.Int("workers", 2, "master: number of workers to wait for")
+	vertices := flag.Int("vertices", 1000, "master: demo power-law graph size")
+	epv := flag.Int("epv", 3, "master: edges per vertex of the demo graph")
+	seed := flag.Int64("seed", 42, "master: demo graph seed")
+	source := flag.Uint64("source", 0, "master: SSSP source vertex")
+	timeout := flag.Duration("timeout", 2*time.Minute, "bound on the whole run")
+	drop := flag.Float64("drop", 0, "chaos: fraction of frames dropped on this process's connections")
+	dup := flag.Float64("dup", 0, "chaos: fraction of frames duplicated")
+	corrupt := flag.Float64("corrupt", 0, "chaos: fraction of frames byte-corrupted (caught by CRC, repaired by resend)")
+	dump := flag.Bool("dump", false, "master: print every distance, not just the summary")
+	flag.Parse()
+
+	var faults *transport.WireFaults
+	if *drop > 0 || *dup > 0 || *corrupt > 0 {
+		faults = transport.NewWireFaults(*seed ^ int64(os.Getpid()))
+		faults.SetLoss(*drop, *dup)
+		faults.SetCorrupt(*corrupt)
+	}
+
+	if *join != "" {
+		err := wirenode.RunWorker(wirenode.WorkerConfig{
+			MasterAddr: *join,
+			ListenAddr: "127.0.0.1:0",
+			Faults:     faults,
+			Timeout:    *timeout,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var edges []wirenode.Edge
+	for _, t := range datasets.PowerLawGraph(*vertices, *epv, *seed) {
+		if t.Kind == stream.KindAddEdge {
+			edges = append(edges, wirenode.Edge{Src: uint64(t.Src), Dst: uint64(t.Dst), W: 1})
+		}
+	}
+	fmt.Printf("tornado-node master: %d edges, %d workers, seed %s\n", len(edges), *workers, *listen)
+	start := time.Now()
+	dists, err := wirenode.RunMaster(wirenode.MasterConfig{
+		ListenAddr: *listen,
+		Workers:    *workers,
+		Edges:      edges,
+		Source:     *source,
+		Faults:     faults,
+		Timeout:    *timeout,
+		OnListen:   func(addr string) { fmt.Printf("listening on %s\n", addr) },
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var sum int64
+	for _, d := range dists {
+		sum += d
+	}
+	fmt.Printf("converged in %s: %d reachable vertices, distance sum %d\n",
+		time.Since(start).Round(time.Millisecond), len(dists), sum)
+	if *dump {
+		ids := make([]uint64, 0, len(dists))
+		for v := range dists {
+			ids = append(ids, v)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, v := range ids {
+			fmt.Printf("%d: %d\n", v, dists[v])
+		}
+	}
+}

@@ -73,6 +73,7 @@ func main() {
 	traceEvery := flag.Int("trace-sample", 0, "trace 1 in N vertices (0 = default 64, 1 = all, negative = watched only)")
 	spanRate := flag.Float64("span-sample", 0, "head-sampling rate for causal freshness traces (0 = default 1%, 1 = all, negative = off)")
 	heartbeat := flag.Duration("heartbeat", 25*time.Millisecond, "supervision heartbeat interval (0 = unsupervised; 'crash' then needs 'recover')")
+	wire := flag.Bool("wire", false, "run the message plane over a TCP loopback socket (serialized, CRC-framed, supervised reconnects)")
 	flag.Parse()
 
 	var prog tornado.Program
@@ -97,14 +98,18 @@ func main() {
 		os.Exit(2)
 	}
 
-	sys, err := tornado.New(prog, tornado.Options{
+	opts := tornado.Options{
 		Processors:        *procs,
 		DelayBound:        *bound,
 		MetricsAddr:       *metricsAddr,
 		TraceSampleEvery:  *traceEvery,
 		SpanSampleRate:    *spanRate,
 		HeartbeatInterval: *heartbeat,
-	})
+	}
+	if *wire {
+		opts.Wire = &tornado.WireSpec{}
+	}
+	sys, err := tornado.New(prog, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -112,6 +117,9 @@ func main() {
 	defer sys.Close()
 
 	fmt.Printf("tornado-shell: %s, %d processors, B=%d (type 'help')\n", *algo, *procs, *bound)
+	if addr := sys.WireAddr(); addr != "" {
+		fmt.Printf("wire: %s\n", addr)
+	}
 	if url := sys.MetricsURL(); url != "" {
 		fmt.Printf("observability: %s/metrics %s/statusz %s/debug/pprof\n", url, url, url)
 	}
@@ -280,6 +288,15 @@ func main() {
 				s.TransportPayloads, ppf, s.Coalesced, app)
 			fmt.Printf("generation=%d crashes=%d recoveries=%d quarantined=%d dead-letters=%d\n",
 				s.Generation, s.Crashes, s.Recoveries, s.Quarantined, s.TransportDeadLetters)
+			if addr := sys.WireAddr(); addr != "" {
+				bpf := 0.0
+				if s.WireTxFrames > 0 {
+					bpf = float64(s.WireTxBytes) / float64(s.WireTxFrames)
+				}
+				fmt.Printf("wire addr=%s tx=%d rx=%d bytes tx=%d rx=%d (%.0f B/frame) reconnects=%d checksum-failures=%d torn=%d\n",
+					addr, s.WireTxFrames, s.WireRxFrames, s.WireTxBytes, s.WireRxBytes,
+					bpf, s.WireReconnects, s.WireChecksumFailures, s.WireTornFrames)
+			}
 			if url := sys.MetricsURL(); url != "" {
 				fmt.Printf("endpoint: %s/metrics\n", url)
 			}

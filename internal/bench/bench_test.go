@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -390,5 +391,42 @@ func TestOverloadShape(t *testing.T) {
 	}
 	if rep.Knee <= 0 {
 		t.Fatalf("knee not computed\n%s", rep)
+	}
+}
+
+// TestMain exists for the wire benchmark's cluster leg, which re-executes
+// this test binary as worker processes; the hook takes over (and exits) when
+// the join environment variable is set.
+func TestMain(m *testing.M) {
+	WireWorkerHook()
+	os.Exit(m.Run())
+}
+
+func TestWireShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wire bench spawns worker processes; skipped in -short mode")
+	}
+	rep, err := RunWire(SmallScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Failed(); err != nil {
+		t.Fatalf("%v\n%s", err, rep)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("want 4 legs, got %d\n%s", len(rep.Rows), rep)
+	}
+	// The wire costs real serialization: it must carry frames and be no
+	// faster than the in-memory transport on the identical workload.
+	if rep.OverheadX < 1 {
+		t.Fatalf("wire overhead %.2fx < 1: the socket path cannot beat function calls\n%s", rep.OverheadX, rep)
+	}
+	storm := rep.Rows[2]
+	if storm.RecoverySeconds <= 0 || storm.Reconnects == 0 {
+		t.Fatalf("storm leg did not exercise recovery (recovery=%.2fs reconnects=%d)\n%s",
+			storm.RecoverySeconds, storm.Reconnects, rep)
+	}
+	if !strings.Contains(rep.String(), "cluster") {
+		t.Fatal("report rendering broken")
 	}
 }

@@ -84,6 +84,13 @@ type Config struct {
 	// CommitDelay, when non-nil, injects per-commit latency into a
 	// processor (straggler and I/O-cost modelling in the experiments).
 	CommitDelay func(proc int) time.Duration
+	// Wire, when non-nil, runs the loop's message plane over a real socket
+	// substrate (see WireSpec): every frame is serialized through the
+	// CRC32-framed binary codec and crosses a supervised connection to the
+	// process's own listener. Implies ResendAfter > 0 (defaulted to 5ms if
+	// unset) — the wire sheds frames on reconnects and relies on the resend
+	// ledger for recovery.
+	Wire *WireSpec
 
 	// Flow control (all zero = unbounded legacy behavior).
 
@@ -186,6 +193,9 @@ func (c *Config) validate() error {
 	if c.MaxBatch > 1 && c.FlushInterval <= 0 {
 		c.FlushInterval = 2 * time.Millisecond
 	}
+	if c.Wire != nil && c.ResendAfter <= 0 {
+		c.ResendAfter = 5 * time.Millisecond
+	}
 	if c.DelayBoundCeiling < 0 || (c.DelayBoundCeiling > 0 && c.DelayBoundCeiling < c.DelayBound) {
 		return errors.New("engine: DelayBoundCeiling must be 0 or >= DelayBound")
 	}
@@ -249,7 +259,16 @@ type StatsSnapshot struct {
 	// ratio.
 	TransportPayloads, TransportAckFrames int64
 	TransportDeadLetters                  int64
-	Notified                              int64
+	// Wire counters (all zero without Config.Wire): frames and bytes
+	// serialized onto / decoded off the socket substrate, supervised
+	// reconnects after dead connections, and corrupt frames caught by the
+	// CRC (checksum mismatches) or the framing layer (torn frames) — caught
+	// frames drop their connection and are never delivered.
+	WireTxFrames, WireRxFrames           int64
+	WireTxBytes, WireRxBytes             int64
+	WireReconnects                       int64
+	WireChecksumFailures, WireTornFrames int64
+	Notified                             int64
 	// Frontier is the smallest iteration still holding an obligation token.
 	Frontier int64
 	// PendingPrepares is the number of PREPARE messages awaiting their ACK.
@@ -340,12 +359,17 @@ type Engine struct {
 	recoveryLog []RecoveryEvent
 
 	// Fault injection (chaos schedules + transport faults, re-applied to
-	// every incarnation's network).
+	// every incarnation's network). wireFaults is the socket-level analogue:
+	// one shared fault state wrapping every wire connection of every
+	// incarnation (nil without Config.Wire); lastWireDown rate-limits
+	// wire-down recovery events.
 	faultMu       sync.Mutex
 	faultDrop     float64
 	faultDup      float64
 	pendingFaults []Fault
 	watcherOn     bool
+	wireFaults    *transport.WireFaults
+	lastWireDown  atomic.Int64
 
 	// Observability (nil / zero unless Config.Obs was set).
 	obsScope        *obs.Scope
@@ -356,6 +380,7 @@ type Engine struct {
 	iterCommitsHist *obs.StreamHist
 	advanceGapHist  *obs.StreamHist
 	mttrHist        *obs.StreamHist
+	wireFlushHist   *obs.StreamHist
 	lastAdvance     time.Time // master goroutine only
 
 	// branchObs pools the branch-loop metric series (main loops own one;
@@ -415,6 +440,9 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Kind == MainLoop {
 		e.journal = newInputJournal()
 	}
+	if cfg.Wire != nil {
+		e.wireFaults = transport.NewWireFaults(cfg.Seed ^ 0x5719e)
+	}
 	if cfg.Obs != nil {
 		e.tracer = cfg.Obs.Tracer // before the processors: they cache it
 		e.spans = cfg.Obs.Spans
@@ -435,6 +463,10 @@ func (e *Engine) supervised() bool {
 // current configuration and quarantine set. Caller holds genMu (or is New).
 func (e *Engine) buildIncarnation(gen int) *incarnation {
 	inc := &incarnation{gen: gen, stop: make(chan struct{}), ready: make(chan struct{})}
+	var wire *transport.WireConfig
+	if e.cfg.Wire != nil {
+		wire = e.buildWire(gen)
+	}
 	inc.net = transport.NewNetwork(transport.Options{
 		ResendAfter:       e.cfg.ResendAfter,
 		MaxResends:        e.cfg.MaxResends,
@@ -447,6 +479,7 @@ func (e *Engine) buildIncarnation(gen int) *incarnation {
 		Stats:             e.netStats,
 		Spans:             e.spans,
 		SpanLoop:          uint64(e.cfg.LoopID),
+		Wire:              wire,
 	})
 	e.faultMu.Lock()
 	if e.faultDrop > 0 || e.faultDup > 0 {
@@ -1086,6 +1119,13 @@ func (e *Engine) StatsSnapshot() StatsSnapshot {
 		TransportPayloads:    e.netStats.Payloads.Value(),
 		TransportAckFrames:   e.netStats.AckFrames.Value(),
 		TransportDeadLetters: e.netStats.DeadLetters.Value(),
+		WireTxFrames:         e.netStats.WireTxFrames.Value(),
+		WireRxFrames:         e.netStats.WireRxFrames.Value(),
+		WireTxBytes:          e.netStats.WireTxBytes.Value(),
+		WireRxBytes:          e.netStats.WireRxBytes.Value(),
+		WireReconnects:       e.netStats.WireReconnects.Value(),
+		WireChecksumFailures: e.netStats.WireChecksumFailures.Value(),
+		WireTornFrames:       e.netStats.WireTornFrames.Value(),
 		Notified:             tracker.Notified(),
 		Frontier:             tracker.Frontier(),
 		PendingPrepares:      e.pendingPrepares.Load(),
@@ -1279,6 +1319,9 @@ func (e *Engine) ForkBranch(branchLoop storage.LoopID, override func(*Config), s
 	cfg.Converge = nil
 	cfg.MaxIterations = 0
 	cfg.StartIteration = 0
+	// Branches are short-lived in-process scratch loops: they never ride the
+	// wire even when the parent does (override can opt back in).
+	cfg.Wire = nil
 	if override != nil {
 		override(&cfg)
 	}

@@ -72,6 +72,23 @@ func (e *Engine) attachObs(hub *obs.Hub) {
 	sc.RegisterCounter("tornado_transport_dead_letters_total",
 		"Frames abandoned after exhausting the retransmission budget.", &e.netStats.DeadLetters)
 
+	sc.RegisterCounter("tornado_wire_frames_total",
+		"Frames serialized onto the wire substrate.", &e.netStats.WireTxFrames, obs.L("dir", "tx"))
+	sc.RegisterCounter("tornado_wire_frames_total",
+		"Frames decoded off the wire substrate.", &e.netStats.WireRxFrames, obs.L("dir", "rx"))
+	sc.RegisterCounter("tornado_wire_bytes_total",
+		"Encoded bytes written to the wire (length prefixes included).", &e.netStats.WireTxBytes, obs.L("dir", "tx"))
+	sc.RegisterCounter("tornado_wire_bytes_total",
+		"Encoded bytes read from the wire (length prefixes included).", &e.netStats.WireRxBytes, obs.L("dir", "rx"))
+	sc.RegisterCounter("tornado_wire_reconnects_total",
+		"Supervised re-dials after an established peer connection died.", &e.netStats.WireReconnects)
+	sc.RegisterCounter("tornado_wire_checksum_failures_total",
+		"Frames whose CRC32 failed verification; each drops its connection, none are delivered.", &e.netStats.WireChecksumFailures)
+	sc.RegisterCounter("tornado_wire_torn_frames_total",
+		"Frames with framing damage short of a CRC mismatch (truncated bodies, corrupt length prefixes).", &e.netStats.WireTornFrames)
+	sc.RegisterCounter("tornado_wire_shed_frames_total",
+		"Frames shed before the socket (full peer queue, unresolvable destination) or inbound for unknown endpoints.", &e.netStats.WireShed)
+
 	sc.RegisterCounter("tornado_crashes_total",
 		"Processor and master crashes injected (API or fault plan).", &e.crashes)
 	sc.RegisterCounter("tornado_recoveries_total",
@@ -163,6 +180,11 @@ func (e *Engine) attachObs(hub *obs.Hub) {
 		"Wall-clock gap between consecutive frontier advances.", nil)
 	e.mttrHist = sc.Histogram("tornado_recovery_seconds",
 		"Time from failure detection to the recovered incarnation running (MTTR).", nil)
+	if e.cfg.Wire != nil {
+		e.wireFlushHist = sc.Histogram("tornado_wire_frames_per_flush",
+			"Frames coalesced into one wire socket flush (the wire's batching ratio).",
+			obs.ExpBuckets(1, 2, 12))
+	}
 
 	statusName := "loop/" + loopStr
 	hub.AddStatus(statusName, e.statusz)
@@ -178,7 +200,7 @@ func (e *Engine) statusz() any {
 	fs := e.FlowSnapshot()
 	tracker := e.cur().tracker
 	uptime := time.Since(e.created)
-	return map[string]any{
+	m := map[string]any{
 		"kind":        e.cfg.Kind.String(),
 		"program":     fmt.Sprintf("%T", e.cfg.Program),
 		"delay_bound": e.cfg.DelayBound,
@@ -225,6 +247,20 @@ func (e *Engine) statusz() any {
 		"commit_rate":        rate(s.Commits, uptime),
 		"uptime":             uptime.String(),
 	}
+	if e.cfg.Wire != nil {
+		m["wire"] = map[string]any{
+			"addr":              e.WireAddr(),
+			"tx_frames":         s.WireTxFrames,
+			"rx_frames":         s.WireRxFrames,
+			"tx_bytes":          s.WireTxBytes,
+			"rx_bytes":          s.WireRxBytes,
+			"reconnects":        s.WireReconnects,
+			"checksum_failures": s.WireChecksumFailures,
+			"torn_frames":       s.WireTornFrames,
+			"bytes_per_frame":   ratio(s.WireTxBytes, s.WireTxFrames),
+		}
+	}
+	return m
 }
 
 // ratio divides, returning 0 for an empty denominator.

@@ -427,6 +427,16 @@ const (
 	// processor Proc (the slow-consumer fault; Delay 0 clears it). The
 	// slowdown survives recoveries — a restarted processor stays slow.
 	FaultSlowProcessor
+	// FaultWirePartition hard-partitions the socket substrate (no-op
+	// without Config.Wire): outbound frames vanish for Delay, then the
+	// partition heals (Delay 0 = until healed manually). Resend ledgers
+	// replay the backlog exactly once past the ack watermark.
+	FaultWirePartition
+	// FaultWireCorrupt flips one byte in each outbound wire frame with
+	// probability Rate (default 0.02) for Delay, then heals (Delay 0 =
+	// until healed manually). Every corruption is caught by the frame CRC
+	// and drops its connection; nothing corrupt is ever delivered.
+	FaultWireCorrupt
 )
 
 // Fault is one entry of a deterministic chaos schedule.
@@ -435,8 +445,12 @@ type Fault struct {
 	// Proc is the target processor (FaultCrashProcessor and
 	// FaultSlowProcessor).
 	Proc int
-	// Delay is the injected per-commit latency (FaultSlowProcessor only).
+	// Delay is the injected per-commit latency (FaultSlowProcessor) or the
+	// fault window before auto-heal (wire faults).
 	Delay time.Duration
+	// Rate is the per-frame corruption probability (FaultWireCorrupt only;
+	// 0 means the 0.02 default).
+	Rate float64
 	// AtIteration fires the fault once the terminated frontier reaches this
 	// iteration (ignored when OnFork is set).
 	AtIteration int64
@@ -480,6 +494,20 @@ func (e *Engine) applyFault(f Fault) {
 		e.CrashMaster()
 	case FaultSlowProcessor:
 		e.SlowProcessor(f.Proc, f.Delay)
+	case FaultWirePartition:
+		e.SetWirePartition(true)
+		if f.Delay > 0 {
+			time.AfterFunc(f.Delay, func() { e.SetWirePartition(false) })
+		}
+	case FaultWireCorrupt:
+		rate := f.Rate
+		if rate <= 0 {
+			rate = 0.02
+		}
+		e.SetWireCorrupt(rate)
+		if f.Delay > 0 {
+			time.AfterFunc(f.Delay, func() { e.SetWireCorrupt(0) })
+		}
 	}
 }
 

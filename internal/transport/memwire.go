@@ -1,0 +1,178 @@
+// In-memory wire: a loopback Dialer/Listener pair over channels. It moves
+// the same encoded frame bytes the TCP wire does — every frame still pays
+// encode, CRC and decode — without sockets, so the supervision and codec
+// machinery can be unit-tested hermetically and deterministically.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// errMemClosed is returned by mem wire operations after Close.
+var errMemClosed = errors.New("transport: mem wire closed")
+
+// MemWire is an in-process address space of wire listeners. Addresses are
+// arbitrary strings; a MemWire is typically shared by the two (or N) sides
+// of a test topology.
+type MemWire struct {
+	mu        sync.Mutex
+	listeners map[string]*memListener
+	next      int
+}
+
+// NewMemWire returns an empty in-memory wire address space.
+func NewMemWire() *MemWire {
+	return &MemWire{listeners: make(map[string]*memListener)}
+}
+
+// Listen opens a listener on addr; an empty addr allocates "mem-N".
+func (w *MemWire) Listen(addr string) (Listener, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if addr == "" {
+		w.next++
+		addr = fmt.Sprintf("mem-%d", w.next)
+	}
+	if _, ok := w.listeners[addr]; ok {
+		return nil, fmt.Errorf("transport: mem address %q already listening", addr)
+	}
+	l := &memListener{wire: w, addr: addr, accept: make(chan *memConn, 8)}
+	w.listeners[addr] = l
+	return l, nil
+}
+
+// Dialer returns a Dialer resolving addresses within this MemWire.
+func (w *MemWire) Dialer() Dialer { return memDialer{wire: w} }
+
+type memDialer struct{ wire *MemWire }
+
+// Dial implements Dialer: it creates a paired conn and hands the far end to
+// the listener's accept queue.
+func (d memDialer) Dial(addr string) (Conn, error) {
+	d.wire.mu.Lock()
+	l := d.wire.listeners[addr]
+	d.wire.mu.Unlock()
+	if l == nil {
+		return nil, fmt.Errorf("transport: mem dial %q: connection refused", addr)
+	}
+	a, b := newMemConnPair(addr)
+	select {
+	case l.accept <- b:
+		return a, nil
+	default:
+		a.Close()
+		b.Close()
+		return nil, fmt.Errorf("transport: mem dial %q: accept queue full", addr)
+	}
+}
+
+type memListener struct {
+	wire   *MemWire
+	addr   string
+	accept chan *memConn
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Accept implements Listener.
+func (l *memListener) Accept() (Conn, error) {
+	c, ok := <-l.accept
+	if !ok {
+		return nil, errMemClosed
+	}
+	return c, nil
+}
+
+// Addr implements Listener.
+func (l *memListener) Addr() string { return l.addr }
+
+// Close implements Listener.
+func (l *memListener) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.closed {
+		l.closed = true
+		l.wire.mu.Lock()
+		delete(l.wire.listeners, l.addr)
+		l.wire.mu.Unlock()
+		close(l.accept)
+	}
+	return nil
+}
+
+// memConn is one direction pair of an in-memory connection. Frames cross as
+// copied byte slices over a buffered channel.
+type memConn struct {
+	peer   string
+	out    chan<- []byte
+	in     <-chan []byte
+	closed chan struct{}
+	once   *sync.Once // shared: closing either end severs both
+}
+
+func newMemConnPair(addr string) (*memConn, *memConn) {
+	ab := make(chan []byte, 64)
+	ba := make(chan []byte, 64)
+	closed := make(chan struct{})
+	once := new(sync.Once)
+	a := &memConn{peer: addr, out: ab, in: ba, closed: closed, once: once}
+	b := &memConn{peer: "dialer", out: ba, in: ab, closed: closed, once: once}
+	return a, b
+}
+
+// WriteFrame implements Conn (mem conns have no buffering stage: each frame
+// is its own copy).
+func (c *memConn) WriteFrame(frame []byte) error {
+	b := make([]byte, len(frame))
+	copy(b, frame)
+	select {
+	case c.out <- b:
+		return nil
+	case <-c.closed:
+		return errMemClosed
+	}
+}
+
+// Flush implements Conn (no-op).
+func (c *memConn) Flush() error {
+	select {
+	case <-c.closed:
+		return errMemClosed
+	default:
+		return nil
+	}
+}
+
+// ReadFrame implements Conn.
+func (c *memConn) ReadFrame([]byte) ([]byte, error) {
+	select {
+	case b := <-c.in:
+		return b, nil
+	case <-c.closed:
+		// Drain what was in flight before reporting the close, so a
+		// graceful shutdown does not tear frames already "on the wire".
+		select {
+		case b := <-c.in:
+			return b, nil
+		default:
+			return nil, errMemClosed
+		}
+	}
+}
+
+// SetReadDeadline implements Conn (mem conns ignore deadlines; tests use
+// fault wrappers for stuck-peer scenarios).
+func (c *memConn) SetReadDeadline(time.Time) error { return nil }
+
+// RemoteAddr implements Conn.
+func (c *memConn) RemoteAddr() string { return c.peer }
+
+// Close implements Conn: severs both directions.
+func (c *memConn) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return nil
+}

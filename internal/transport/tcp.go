@@ -1,0 +1,204 @@
+// TCP wire: the real-socket implementation of the Dialer/Listener/Conn
+// abstraction. Frames cross the socket as a uint32 big-endian length prefix
+// followed by the codec bytes (version, CRC32, header, payloads — see
+// wirecodec.go). Reads and writes go through bufio so the supervised writer
+// can coalesce several frames into one syscall and Flush at queue-empty
+// boundaries, preserving the batching layer's syscall economy.
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Conn is one bidirectional frame pipe of the wire layer. WriteFrame may
+// buffer; Flush pushes everything buffered onto the medium. ReadFrame
+// returns the next frame's codec bytes, reusing the caller's buffer when it
+// is large enough. Implementations must make Close unblock concurrent reads
+// and writes.
+type Conn interface {
+	WriteFrame(frame []byte) error
+	Flush() error
+	ReadFrame(reuse []byte) ([]byte, error)
+	SetReadDeadline(t time.Time) error
+	RemoteAddr() string
+	Close() error
+}
+
+// Dialer opens connections to remote listeners.
+type Dialer interface {
+	Dial(addr string) (Conn, error)
+}
+
+// Listener accepts connections from remote dialers.
+type Listener interface {
+	Accept() (Conn, error)
+	Addr() string
+	Close() error
+}
+
+// TCPDialer dials real TCP sockets. The zero value is ready to use.
+type TCPDialer struct {
+	// Timeout bounds one dial attempt (default 2s).
+	Timeout time.Duration
+	// WriteTimeout bounds one buffered write flush; a peer that stops
+	// draining its socket (stuck-peer) fails the write and triggers the
+	// supervisor's reconnect instead of wedging the writer goroutine
+	// (default 10s).
+	WriteTimeout time.Duration
+}
+
+// Dial implements Dialer.
+func (d TCPDialer) Dial(addr string) (Conn, error) {
+	to := d.Timeout
+	if to <= 0 {
+		to = 2 * time.Second
+	}
+	c, err := net.DialTimeout("tcp", addr, to)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	return newTCPConn(c, d.WriteTimeout), nil
+}
+
+// TCPListener wraps a net.Listener into the wire Listener.
+type TCPListener struct {
+	ln net.Listener
+	// WriteTimeout is applied to accepted conns (acks and credit flow back
+	// on them); see TCPDialer.WriteTimeout.
+	WriteTimeout time.Duration
+}
+
+// ListenTCP opens a wire listener on addr ("127.0.0.1:0" picks a free
+// port; read the bound address from Addr).
+func ListenTCP(addr string) (*TCPListener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &TCPListener{ln: ln}, nil
+}
+
+// Accept implements Listener.
+func (l *TCPListener) Accept() (Conn, error) {
+	c, err := l.ln.Accept()
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	return newTCPConn(c, l.WriteTimeout), nil
+}
+
+// Addr implements Listener.
+func (l *TCPListener) Addr() string { return l.ln.Addr().String() }
+
+// Close implements Listener.
+func (l *TCPListener) Close() error { return l.ln.Close() }
+
+// tcpConn frames a net.Conn. The write side is mutex-guarded (writer
+// goroutine plus the occasional Close); the read side is owned by a single
+// reader goroutine by construction.
+type tcpConn struct {
+	c  net.Conn
+	wt time.Duration
+
+	wmu sync.Mutex
+	bw  *writeBuffer
+
+	rbuf [4]byte
+}
+
+// writeBuffer is a minimal bufio.Writer substitute that lets WriteFrame
+// assemble the length prefix and frame bytes without intermediate copies.
+type writeBuffer struct {
+	buf []byte
+}
+
+const tcpWriteBufCap = 64 << 10
+
+func newTCPConn(c net.Conn, writeTimeout time.Duration) *tcpConn {
+	if writeTimeout <= 0 {
+		writeTimeout = 10 * time.Second
+	}
+	return &tcpConn{c: c, wt: writeTimeout, bw: &writeBuffer{buf: make([]byte, 0, tcpWriteBufCap)}}
+}
+
+// WriteFrame buffers one frame (length prefix + bytes). Frames larger than
+// the buffer flush through directly.
+func (t *tcpConn) WriteFrame(frame []byte) error {
+	if len(frame) > MaxFrameBytes {
+		return fmt.Errorf("transport: frame of %d bytes exceeds wire maximum", len(frame))
+	}
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	if len(t.bw.buf)+4+len(frame) > tcpWriteBufCap && len(t.bw.buf) > 0 {
+		if err := t.flushLocked(); err != nil {
+			return err
+		}
+	}
+	t.bw.buf = binary.BigEndian.AppendUint32(t.bw.buf, uint32(len(frame)))
+	t.bw.buf = append(t.bw.buf, frame...)
+	if len(t.bw.buf) >= tcpWriteBufCap {
+		return t.flushLocked()
+	}
+	return nil
+}
+
+// Flush implements Conn.
+func (t *tcpConn) Flush() error {
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	return t.flushLocked()
+}
+
+func (t *tcpConn) flushLocked() error {
+	if len(t.bw.buf) == 0 {
+		return nil
+	}
+	_ = t.c.SetWriteDeadline(time.Now().Add(t.wt))
+	_, err := t.c.Write(t.bw.buf)
+	t.bw.buf = t.bw.buf[:0]
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame. A length prefix beyond
+// MaxFrameBytes is corruption: no allocation happens and the caller is
+// expected to drop the connection.
+func (t *tcpConn) ReadFrame(reuse []byte) ([]byte, error) {
+	if _, err := io.ReadFull(t.c, t.rbuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(t.rbuf[:])
+	if n == 0 || n > MaxFrameBytes {
+		return nil, fmt.Errorf("transport: wire length prefix %d: %w", n, errWireLength)
+	}
+	buf := reuse
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(t.c, buf); err != nil {
+		// A short body after a valid prefix is a torn frame (peer died or
+		// stalled mid-write).
+		return nil, fmt.Errorf("transport: torn frame: %w", err)
+	}
+	return buf, nil
+}
+
+// SetReadDeadline implements Conn.
+func (t *tcpConn) SetReadDeadline(d time.Time) error { return t.c.SetReadDeadline(d) }
+
+// RemoteAddr implements Conn.
+func (t *tcpConn) RemoteAddr() string { return t.c.RemoteAddr().String() }
+
+// Close implements Conn.
+func (t *tcpConn) Close() error { return t.c.Close() }

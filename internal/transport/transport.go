@@ -115,10 +115,32 @@ type Stats struct {
 	// Stalls counts inbox high-watermark crossings (a receiver withdrew
 	// delivery credit); HeldFrames counts data frames senders parked while
 	// waiting for that credit to come back; UrgentShed counts SendNow frames
-	// a watermark-full receiver acknowledged without enqueueing.
+	// a watermark-full receiver acknowledged without enqueueing, plus urgent
+	// frames shed at a full wire priority lane (both are refreshable).
 	Stalls     metrics.Counter
 	HeldFrames metrics.Counter
 	UrgentShed metrics.Counter
+	// Wire counters, all zero unless Options.Wire attaches a socket
+	// substrate. WireTxFrames/WireRxFrames count frames serialized onto and
+	// decoded off the wire; WireTxBytes/WireRxBytes count the encoded bytes
+	// (length prefix included). WireReconnects counts supervised re-dials
+	// after an established peer connection died. WireChecksumFailures counts
+	// frames whose CRC did not match (each one drops its connection);
+	// WireTornFrames counts framing damage short of a CRC mismatch —
+	// truncated bodies, corrupt length prefixes, malformed payload tables.
+	// WireShed counts frames dropped before the socket (full peer queue,
+	// unresolvable destination) and inbound frames for unknown endpoints;
+	// WireEncodeErrors counts payloads the codec refused (an unregistered
+	// type — a programming error surfaced as a counter, not a panic).
+	WireTxFrames         metrics.Counter
+	WireRxFrames         metrics.Counter
+	WireTxBytes          metrics.Counter
+	WireRxBytes          metrics.Counter
+	WireReconnects       metrics.Counter
+	WireChecksumFailures metrics.Counter
+	WireTornFrames       metrics.Counter
+	WireShed             metrics.Counter
+	WireEncodeErrors     metrics.Counter
 }
 
 // Options configure a Network.
@@ -180,6 +202,14 @@ type Options struct {
 	Spans *trace.Tracer
 	// SpanLoop labels this network's spans with the owning loop's ID.
 	SpanLoop uint64
+	// Wire, when non-nil, attaches a socket substrate (see WireConfig): in
+	// ForceLoop mode every frame between local endpoints detours through a
+	// real connection; otherwise frames addressed to NodeIDs with no local
+	// endpoint are resolved to peer addresses and shipped remotely. Wire
+	// deployments should set ResendAfter > 0 — the wire sheds frames freely
+	// (reconnects, full queues, partitions) and relies on the resend ledger
+	// for recovery.
+	Wire *WireConfig
 }
 
 // ackEvery is the in-order ack sampling rate in batched mode: one immediate
@@ -206,6 +236,9 @@ type Network struct {
 	// Stats holds the delivery counters (shared with the creator when
 	// Options.Stats was set).
 	Stats *Stats
+
+	// wire is the socket substrate, nil for pure in-process networks.
+	wire *wireHost
 }
 
 // NewNetwork returns an empty network.
@@ -226,12 +259,25 @@ func NewNetwork(opts Options) *Network {
 	if st == nil {
 		st = &Stats{}
 	}
-	return &Network{
+	n := &Network{
 		endpoints: make(map[NodeID]*Endpoint),
 		opts:      opts,
 		rng:       rand.New(rand.NewSource(opts.DropSeed)),
 		Stats:     st,
 	}
+	if opts.Wire != nil {
+		n.wire = newWireHost(n, *opts.Wire)
+	}
+	return n
+}
+
+// WireAddr returns the bound wire listener address, or "" when the network
+// has no wire attached.
+func (n *Network) WireAddr() string {
+	if n.wire == nil {
+		return ""
+	}
+	return n.wire.Addr()
 }
 
 // SetFaults configures in-flight fault injection: each data frame is dropped
@@ -333,10 +379,14 @@ func (n *Network) endpoint(id NodeID) *Endpoint {
 }
 
 // Close shuts down every endpoint gracefully: buffered frames flush and
-// receivers may drain their remaining inboxes.
+// receivers may drain their remaining inboxes. The wire (if any) comes down
+// last, after the endpoints have flushed through it.
 func (n *Network) Close() {
 	for _, ep := range n.snapshotEndpoints() {
 		ep.Close()
+	}
+	if n.wire != nil {
+		n.wire.close()
 	}
 }
 
@@ -346,6 +396,9 @@ func (n *Network) Close() {
 func (n *Network) Abort() {
 	for _, ep := range n.snapshotEndpoints() {
 		ep.Crash()
+	}
+	if n.wire != nil {
+		n.wire.close()
 	}
 }
 
@@ -621,9 +674,19 @@ func (e *Endpoint) transmitData(f frame) {
 	if e.holdOrTransmit(f) {
 		return // parked; the credit grant transmits (and recycles) it later
 	}
-	if e.net.opts.ResendAfter <= 0 {
+	if e.net.recycleAfterTransmit() {
 		putPayloadSlice(f.payloads)
 	}
+}
+
+// recycleAfterTransmit reports whether a transmitted frame's payload slice
+// can be recycled by the sender. With resends off and no wire, transmit
+// delivers synchronously and retains nothing. A wire makes transmit
+// asynchronous — the frame sits in a peer queue still referencing the slice —
+// so wire frames are left to the garbage collector instead (wire deployments
+// run with resends on anyway, where the ledger owns the slice).
+func (n *Network) recycleAfterTransmit() bool {
+	return n.opts.ResendAfter <= 0 && n.wire == nil
 }
 
 // transmitDataNow is transmitData without the credit check: SendNow traffic
@@ -634,7 +697,7 @@ func (e *Endpoint) transmitDataNow(f frame) {
 	e.net.Stats.Sent.Inc()
 	e.net.Stats.Payloads.Add(int64(len(f.payloads)))
 	e.transmit(f)
-	if e.net.opts.ResendAfter <= 0 {
+	if e.net.recycleAfterTransmit() {
 		putPayloadSlice(f.payloads)
 	}
 }
@@ -651,7 +714,11 @@ func (e *Endpoint) holdOrTransmit(f frame) bool {
 	}
 	dst := e.peer(f.to)
 	if dst == nil {
-		return false // unregistered destination: same as transmit's nil path
+		// Unregistered destination: transmit handles the wire detour (remote
+		// peers are outside the credit domain — their flow control is the
+		// bounded peer queue plus the resend ledger) or drops the frame.
+		e.transmit(f)
+		return false
 	}
 	e.mu.Lock()
 	if !e.closed && !e.crashed && (dst.stalled.Load() || len(e.held[f.to]) > 0 || e.draining[f.to]) {
@@ -697,7 +764,7 @@ func (e *Endpoint) releaseHeld(to NodeID) {
 		e.draining = make(map[NodeID]bool)
 	}
 	e.draining[to] = true
-	recycle := e.net.opts.ResendAfter <= 0
+	recycle := e.net.recycleAfterTransmit()
 	for len(e.held[to]) > 0 {
 		frames := e.held[to]
 		delete(e.held, to)
@@ -732,10 +799,15 @@ func (e *Endpoint) releaseHeld(to NodeID) {
 
 // transmit hands a frame to the destination endpoint, applying fault
 // injection to data frames. The peer cache keeps the global Network mutex
-// off this path.
+// off this path. A destination with no local endpoint routes over the wire
+// when one is attached (remote deployments); without a wire it is dropped,
+// matching the legacy unregistered-destination behavior.
 func (e *Endpoint) transmit(f frame) {
 	dst := e.peer(f.to)
 	if dst == nil {
+		if w := e.net.wire; w != nil && !w.cfg.ForceLoop {
+			w.send(f)
+		}
 		return
 	}
 	e.transmitTo(dst, f)
@@ -749,11 +821,23 @@ func (e *Endpoint) transmitTo(dst *Endpoint, f frame) {
 			e.net.Stats.Dropped.Inc()
 			return // lost in flight; the resend loop will retry
 		}
-		dst.deliver(f)
+		e.net.dispatch(dst, f)
 		if dup {
 			e.net.Stats.Duplicated.Inc()
-			dst.deliver(f) // duplicated in flight; receiver must dedup
+			e.net.dispatch(dst, f) // duplicated in flight; receiver must dedup
 		}
+		return
+	}
+	e.net.dispatch(dst, f)
+}
+
+// dispatch is the final hop of a locally-addressed frame: the destination
+// endpoint's deliver, or — in ForceLoop wire mode — a detour through the
+// host's own listener so the frame pays the full serialize/socket/decode
+// path first.
+func (n *Network) dispatch(dst *Endpoint, f frame) {
+	if w := n.wire; w != nil && w.cfg.ForceLoop {
+		w.send(f)
 		return
 	}
 	dst.deliver(f)

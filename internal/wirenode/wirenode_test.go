@@ -1,0 +1,166 @@
+package wirenode
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"testing"
+	"time"
+
+	"tornado/internal/datasets"
+	"tornado/internal/stream"
+	"tornado/internal/transport"
+)
+
+// The worker side of the multi-process tests: when the test binary is
+// re-executed with TORNADO_WIRENODE_JOIN set, it becomes a worker process
+// instead of running the test suite. Workers therefore carry the same build
+// (and race instrumentation) as the master.
+func TestMain(m *testing.M) {
+	if addr := os.Getenv("TORNADO_WIRENODE_JOIN"); addr != "" {
+		var faults *transport.WireFaults
+		if r := os.Getenv("TORNADO_WIRENODE_CHAOS"); r != "" {
+			rate, err := strconv.ParseFloat(r, 64)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bad TORNADO_WIRENODE_CHAOS:", err)
+				os.Exit(1)
+			}
+			faults = transport.NewWireFaults(int64(os.Getpid()))
+			faults.SetLoss(rate, rate)
+			faults.SetCorrupt(rate)
+		}
+		err := RunWorker(WorkerConfig{MasterAddr: addr, Faults: faults, Timeout: time.Minute})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func demoEdges(n int, seed int64) []Edge {
+	var edges []Edge
+	for _, t := range datasets.PowerLawGraph(n, 3, seed) {
+		if t.Kind == stream.KindAddEdge {
+			edges = append(edges, Edge{Src: uint64(t.Src), Dst: uint64(t.Dst), W: 1})
+		}
+	}
+	return edges
+}
+
+// refSSSP is the single-process reference: BFS layers (all weights are 1).
+func refSSSP(edges []Edge, source uint64) map[uint64]int64 {
+	adj := make(map[uint64][]uint64)
+	for _, e := range edges {
+		adj[e.Src] = append(adj[e.Src], e.Dst)
+	}
+	dist := map[uint64]int64{source: 0}
+	frontier := []uint64{source}
+	for d := int64(1); len(frontier) > 0; d++ {
+		var next []uint64
+		for _, v := range frontier {
+			for _, t := range adj[v] {
+				if _, seen := dist[t]; !seen {
+					dist[t] = d
+					next = append(next, t)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}
+
+// runCluster starts a master in-process and n workers as real OS processes
+// over real sockets, and returns the converged distance map.
+func runCluster(t *testing.T, edges []Edge, workers int, chaos string) map[uint64]int64 {
+	t.Helper()
+	self, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrCh := make(chan string, 1)
+	procs := make(chan *exec.Cmd, workers)
+	go func() {
+		addr := <-addrCh
+		for i := 0; i < workers; i++ {
+			cmd := exec.Command(self, "-test.run=TestMain")
+			cmd.Env = append(os.Environ(), "TORNADO_WIRENODE_JOIN="+addr)
+			if chaos != "" {
+				cmd.Env = append(cmd.Env, "TORNADO_WIRENODE_CHAOS="+chaos)
+			}
+			cmd.Stderr = os.Stderr
+			if err := cmd.Start(); err != nil {
+				t.Errorf("starting worker %d: %v", i, err)
+				return
+			}
+			procs <- cmd
+		}
+	}()
+	defer func() {
+		close(procs)
+		for cmd := range procs {
+			// Workers exit on Quit; Wait reaps them. Kill stragglers so a
+			// failed run cannot leak processes.
+			done := make(chan error, 1)
+			go func() { done <- cmd.Wait() }()
+			select {
+			case <-done:
+			case <-time.After(5 * time.Second):
+				_ = cmd.Process.Kill()
+				<-done
+			}
+		}
+	}()
+	dists, err := RunMaster(MasterConfig{
+		ListenAddr: "127.0.0.1:0",
+		Workers:    workers,
+		Edges:      edges,
+		Source:     0,
+		OnListen:   func(a string) { addrCh <- a },
+		Timeout:    time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dists
+}
+
+func checkExact(t *testing.T, got, want map[uint64]int64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("reachable set: got %d vertices, want %d", len(got), len(want))
+	}
+	for v, d := range want {
+		if got[v] != d {
+			t.Fatalf("vertex %d: got distance %d, want %d", v, got[v], d)
+		}
+	}
+}
+
+// TestMultiProcessSSSP runs the full distributed fixed point as one master
+// plus three worker OS processes over TCP loopback and demands the exact
+// reference answer.
+func TestMultiProcessSSSP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test skipped in -short mode")
+	}
+	edges := demoEdges(400, 11)
+	got := runCluster(t, edges, 3, "")
+	checkExact(t, got, refSSSP(edges, 0))
+}
+
+// TestMultiProcessSSSPChaos is the same run with every worker process
+// dropping, duplicating AND byte-corrupting 2% of its frames: corruption is
+// caught by the CRC and repaired — with reconnects — by the resend ledger,
+// so the fixed point is still exact.
+func TestMultiProcessSSSPChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test skipped in -short mode")
+	}
+	edges := demoEdges(300, 23)
+	got := runCluster(t, edges, 2, "0.02")
+	checkExact(t, got, refSSSP(edges, 0))
+}

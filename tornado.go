@@ -76,6 +76,9 @@ type (
 	Ticket = queryserv.Ticket
 	// QueryOptions tune the query service (worker pool, queue bound, cache).
 	QueryOptions = queryserv.Options
+	// WireSpec puts the main loop's message plane on a real socket transport
+	// (see Options.Wire and engine.WireSpec).
+	WireSpec = engine.WireSpec
 )
 
 // ErrOverloaded is returned by Submit when the query wait queue is full and
@@ -93,6 +96,8 @@ const (
 	FaultCrashProcessor = engine.FaultCrashProcessor
 	FaultCrashMaster    = engine.FaultCrashMaster
 	FaultSlowProcessor  = engine.FaultSlowProcessor
+	FaultWirePartition  = engine.FaultWirePartition
+	FaultWireCorrupt    = engine.FaultWireCorrupt
 )
 
 // RegisterStateType registers a concrete vertex-state type for
@@ -112,6 +117,12 @@ type Options struct {
 	// ResendAfter enables at-least-once transport with the given
 	// retransmission timeout (default 0: trusted in-process delivery).
 	ResendAfter time.Duration
+	// Wire, when non-nil, puts the main loop's message plane on a real
+	// socket transport: every frame is length-prefixed, CRC-framed and
+	// crosses the configured listener (a fresh TCP loopback port by
+	// default), with supervised per-peer reconnection and corruption
+	// defense. Implies at-least-once delivery — ResendAfter defaults on.
+	Wire *WireSpec
 	// Seed drives engine-internal randomness (default 1).
 	Seed int64
 
@@ -313,6 +324,7 @@ func New(program Program, opts Options) (*System, error) {
 		Program:           program,
 		ResendAfter:       opts.ResendAfter,
 		Seed:              opts.Seed,
+		Wire:              opts.Wire,
 		Obs:               hub,
 		HeartbeatInterval: opts.HeartbeatInterval,
 		SuspectAfter:      opts.SuspectAfter,
@@ -740,6 +752,19 @@ func (s *System) RecoveryLog() []RecoveryEvent { return s.engine().RecoveryLog()
 
 // Quarantined returns the indexes of quarantined main-loop processors.
 func (s *System) Quarantined() []int { return s.engine().Quarantined() }
+
+// WireAddr returns the main loop's wire listener address, or "" when the
+// system runs on the in-process transport (Options.Wire nil).
+func (s *System) WireAddr() string { return s.engine().WireAddr() }
+
+// SetWirePartition hard-partitions (or heals) the wire: while on, every
+// frame on every connection vanishes. Returns false without a wire.
+func (s *System) SetWirePartition(on bool) bool { return s.engine().SetWirePartition(on) }
+
+// SetWireCorrupt makes the wire flip bytes in roughly the given fraction of
+// frames; corrupted frames fail their checksum at the receiver and are
+// dropped with the connection, never delivered. Returns false without a wire.
+func (s *System) SetWireCorrupt(rate float64) bool { return s.engine().SetWireCorrupt(rate) }
 
 // Stats returns the main loop's counters.
 func (s *System) Stats() StatsSnapshot { return s.engine().StatsSnapshot() }
