@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-all vet bench bench-queries bench-throughput bench-trace bench-wire soak-overload chaos chaos-wire check clean
+.PHONY: all build test race race-all vet bench bench-queries bench-throughput bench-trace bench-wire bench-delta soak-overload chaos chaos-wire check clean
 
 all: check
 
@@ -30,7 +30,7 @@ vet:
 # seeded chaos soak (crashes + lossy transport in one run). The $-anchored
 # soak names keep the wire variants out — those run in chaos-wire.
 chaos:
-	$(GO) test -race ./internal/engine/ -run 'TestCrash|TestSupervisor|TestFlapping|TestFaultPlan|TestChaosSoakRecovery$$|TestChaosSoakSurgeOverload$$'
+	$(GO) test -race ./internal/engine/ -run 'TestCrash|TestSupervisor|TestFlapping|TestFaultPlan|TestChaosSoakRecovery$$|TestChaosSoakSurgeOverload$$|TestDeltaChaosSoakRecovery$$'
 
 # Wire-layer chaos under the race detector: codec/supervision/fault-conn
 # unit tests and the fuzz-regression corpus, goroutine-leak checks, the
@@ -67,6 +67,14 @@ bench-trace:
 bench-wire:
 	$(GO) run ./cmd/tornado-bench -experiment wire -scale small
 
+# Delta-execution benchmark (small scale): delta-accumulative vs value-mode
+# PageRank updates-to-convergence at an equal delay bound on power-law and
+# uniform graphs; leaves the BENCH_delta.json artifact and exits nonzero if
+# delta mode spends more update messages than value mode on the skewed
+# graph.
+bench-delta:
+	$(GO) run ./cmd/tornado-bench -experiment delta -scale small
+
 # Overload soak: the surge-plus-slow-consumer chaos test under the race
 # detector (bounded inboxes, credit stalls, recovery mid-surge), then the
 # backpressure benchmark — sustained updates/sec and p99 ingest latency at
@@ -76,7 +84,7 @@ soak-overload:
 	$(GO) test -race . -run 'TestOverloadControllerLadder|TestFeedMaxPendingPausesSpout' -count=1
 	$(GO) run ./cmd/tornado-bench -experiment overload -scale small
 
-check: build vet test race chaos chaos-wire bench-queries bench-throughput bench-trace bench-wire soak-overload
+check: build vet test race chaos chaos-wire bench-queries bench-throughput bench-trace bench-wire bench-delta soak-overload
 
 clean:
 	$(GO) clean ./...

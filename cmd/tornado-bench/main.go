@@ -51,6 +51,7 @@ var experiments = []experiment{
 	{"throughput", "transport batching: sustained SSSP updates/sec, batched vs unbatched", wrap(bench.RunThroughput)},
 	{"overload", "backpressure: updates/sec and p99 ingest latency at the overload knee", wrap(bench.RunOverload)},
 	{"trace_overhead", "causal span tracing: SSSP updates/sec at off/1%/100% sampling (3% gate)", wrap(bench.RunTraceOverhead)},
+	{"delta", "delta-accumulative PageRank: updates-to-convergence vs value mode on power-law and uniform graphs", wrap(bench.RunDelta)},
 	{"wire", "TCP wire: serialization overhead, corruption-storm recovery, multi-process SSSP", wrap(bench.RunWire)},
 }
 

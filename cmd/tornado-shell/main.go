@@ -6,7 +6,13 @@
 //
 // Usage:
 //
-//	tornado-shell [-algo sssp|pagerank] [-source N] [-procs N] [-bound B]
+//	tornado-shell [-algo sssp|pagerank] [-mode value|delta] [-source N] [-procs N] [-bound B]
+//
+// With -mode delta the loop runs the delta-accumulative engine (DESIGN.md
+// §13): updates fold into per-vertex pending deltas, a priority queue
+// activates the most significant ones first, and 'stats' additionally shows
+// the activation queue depth, merged/parked counts and the significance
+// boost. The fixed point is identical to value mode.
 //
 // Commands (also via piped stdin):
 //
@@ -66,6 +72,7 @@ import (
 
 func main() {
 	algo := flag.String("algo", "sssp", "algorithm: sssp or pagerank")
+	mode := flag.String("mode", "value", "execution mode: value or delta (delta-accumulative with selective activation)")
 	source := flag.Uint64("source", 0, "SSSP source vertex")
 	procs := flag.Int("procs", 4, "processors")
 	bound := flag.Int64("bound", 64, "delay bound B (1 = synchronous)")
@@ -76,20 +83,40 @@ func main() {
 	wire := flag.Bool("wire", false, "run the message plane over a TCP loopback socket (serialized, CRC-framed, supervised reconnects)")
 	flag.Parse()
 
+	deltaMode := *mode == "delta"
+	if !deltaMode && *mode != "value" {
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
 	var prog tornado.Program
+	var dprog tornado.DeltaProgram
 	var render func(id tornado.VertexID, state any) string
 	switch *algo {
 	case "sssp":
-		prog = algorithms.SSSP{Source: tornado.VertexID(*source)}
+		if deltaMode {
+			dprog = algorithms.DeltaSSSP{Source: tornado.VertexID(*source)}
+		} else {
+			prog = algorithms.SSSP{Source: tornado.VertexID(*source)}
+		}
 		render = func(id tornado.VertexID, state any) string {
-			d := state.(*algorithms.SSSPState).Length
+			var d int64
+			switch st := state.(type) {
+			case *algorithms.SSSPState:
+				d = st.Length
+			case *algorithms.DeltaSSSPState:
+				d = st.Length
+			}
 			if d >= algorithms.Unreachable {
 				return fmt.Sprintf("%d: unreachable", id)
 			}
 			return fmt.Sprintf("%d: %d hops", id, d)
 		}
 	case "pagerank":
-		prog = algorithms.PageRank{Epsilon: 1e-4}
+		if deltaMode {
+			dprog = algorithms.DeltaPageRank{Epsilon: 1e-4}
+		} else {
+			prog = algorithms.PageRank{Epsilon: 1e-4}
+		}
 		render = func(id tornado.VertexID, state any) string {
 			return fmt.Sprintf("%d: rank %.4f", id, state.(*algorithms.PageRankState).Rank)
 		}
@@ -109,14 +136,20 @@ func main() {
 	if *wire {
 		opts.Wire = &tornado.WireSpec{}
 	}
-	sys, err := tornado.New(prog, opts)
+	var sys *tornado.System
+	var err error
+	if deltaMode {
+		sys, err = tornado.NewDelta(dprog, opts)
+	} else {
+		sys, err = tornado.New(prog, opts)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	defer sys.Close()
 
-	fmt.Printf("tornado-shell: %s, %d processors, B=%d (type 'help')\n", *algo, *procs, *bound)
+	fmt.Printf("tornado-shell: %s (%s mode), %d processors, B=%d (type 'help')\n", *algo, *mode, *procs, *bound)
 	if addr := sys.WireAddr(); addr != "" {
 		fmt.Printf("wire: %s\n", addr)
 	}
@@ -288,6 +321,10 @@ func main() {
 				s.TransportPayloads, ppf, s.Coalesced, app)
 			fmt.Printf("generation=%d crashes=%d recoveries=%d quarantined=%d dead-letters=%d\n",
 				s.Generation, s.Crashes, s.Recoveries, s.Quarantined, s.TransportDeadLetters)
+			if deltaMode {
+				fmt.Printf("delta queue-depth=%d merged=%d parked=%d applied=%d boost=%.1f\n",
+					s.DeltaQueueDepth, s.DeltaMerged, s.DeltaSkipped, s.DeltaApplied, sys.DeltaBoost())
+			}
 			if addr := sys.WireAddr(); addr != "" {
 				bpf := 0.0
 				if s.WireTxFrames > 0 {

@@ -1,0 +1,300 @@
+package algorithms
+
+import (
+	"math"
+
+	"tornado/internal/delta"
+	"tornado/internal/engine"
+	"tornado/internal/stream"
+)
+
+// Delta-accumulative rewrites of the graph workloads (DESIGN.md §13). Each
+// program ships per-(producer,consumer) CUMULATIVE values via EmitCum and
+// synthesizes its deltas locally in Gather by diffing against the
+// per-producer record it already keeps in state — the same maps the value
+// programs use — so delta mode converges to the value mode fixed point under
+// any reordering, duplication, or resend the transport produces.
+
+func init() {
+	engine.RegisterStateType(&DeltaSSSPState{})
+	engine.RegisterStateType(ssspDelta{})
+	engine.RegisterStateType(stream.VertexID(0))
+}
+
+// DeltaPageRank is the delta-accumulative PageRank: pendings are damped-out
+// contribution changes, accumulated by addition, parked while below Epsilon.
+// It shares *PageRankState with the value program (Ranks works on both).
+type DeltaPageRank struct {
+	// Damping is d (default 0.85 when zero).
+	Damping float64
+	// Epsilon is both the re-emission tolerance and the significance
+	// threshold (default 1e-4 when zero).
+	Epsilon float64
+}
+
+func (p DeltaPageRank) damping() float64 { return PageRank{Damping: p.Damping}.damping() }
+func (p DeltaPageRank) epsilon() float64 { return PageRank{Epsilon: p.Epsilon}.epsilon() }
+
+// Identity implements delta.Program.
+func (DeltaPageRank) Identity() any { return 0.0 }
+
+// Accumulate implements delta.Program: contribution changes add.
+func (DeltaPageRank) Accumulate(a, b any) any { return a.(float64) + b.(float64) }
+
+// Priority implements delta.Program: impact is the absolute withheld mass.
+func (DeltaPageRank) Priority(_ delta.Context, pending any) float64 {
+	return math.Abs(pending.(float64))
+}
+
+// Threshold implements delta.Program.
+func (p DeltaPageRank) Threshold() float64 { return p.epsilon() }
+
+// Init implements delta.Program.
+func (p DeltaPageRank) Init(ctx delta.Context) {
+	ctx.SetState(&PageRankState{Rank: 1 - p.damping(), Contribs: make(map[stream.VertexID]float64)})
+}
+
+// OnInput implements delta.Program.
+func (DeltaPageRank) OnInput(delta.Context, stream.Tuple) {}
+
+// Gather implements delta.Program: the delta is the change in src's share.
+// Maintained invariant: Rank == (1-d) + d*(ΣContribs - pending), i.e. the
+// rank lags the contribution record by exactly the unconsumed pending mass.
+func (DeltaPageRank) Gather(ctx delta.Context, src stream.VertexID, value any, cum bool) (any, bool) {
+	st := ctx.State().(*PageRankState)
+	v := value.(float64)
+	if cum {
+		d := v - st.Contribs[src]
+		st.Contribs[src] = v
+		return d, d != 0
+	}
+	st.Contribs[src] += v
+	return v, v != 0
+}
+
+// Update implements delta.Program: fold the consumed pending into the rank
+// and propagate the new out-share when it moved by more than Epsilon.
+func (p DeltaPageRank) Update(ctx delta.Context, pending any) {
+	st := ctx.State().(*PageRankState)
+	rank := st.Rank + p.damping()*pending.(float64)
+	ctx.ReportProgress(math.Abs(rank - st.Rank))
+	st.Rank = rank
+	targets := ctx.Targets()
+	share := 0.0
+	if len(targets) > 0 {
+		share = rank / float64(len(targets))
+	}
+	for _, t := range ctx.RemovedTargets() {
+		ctx.EmitCum(t, 0.0)
+	}
+	if math.Abs(share-st.Sent) > p.epsilon() || ctx.Activated() {
+		st.Sent = share
+		for _, t := range targets {
+			ctx.EmitCum(t, share)
+		}
+		return
+	}
+	for _, t := range ctx.AddedTargets() {
+		ctx.EmitCum(t, st.Sent)
+	}
+}
+
+// DeltaSSSPState is DeltaSSSP's per-vertex state: the value-mode state plus
+// a sequence counter ordering locally synthesized deltas.
+type DeltaSSSPState struct {
+	SSSPState
+	// Seq numbers the deltas this vertex has synthesized; Accumulate keeps
+	// the newest.
+	Seq uint64
+}
+
+// ssspDelta is DeltaSSSP's pending type: the Seq-th candidate length. The
+// accumulator is "newest wins" (highest Seq; ties take the shorter length),
+// which is commutative and associative and matches SSSP's last-writer
+// semantics — an edge retraction's LONGER recomputed length must beat the
+// older shorter one.
+type ssspDelta struct {
+	Seq uint64
+	Len int64
+}
+
+// DeltaSSSP is the delta-accumulative Single-Source Shortest Path program.
+// Lengths are integral, so any real change clears the 0.5 threshold: nothing
+// parks and the fixed point is exactly the value program's.
+type DeltaSSSP struct {
+	// Source is the source vertex.
+	Source stream.VertexID
+	// MaxHops bounds finite distances (default 64 when zero).
+	MaxHops int64
+}
+
+func (p DeltaSSSP) maxHops() int64 { return SSSP{MaxHops: p.MaxHops}.maxHops() }
+
+// Identity implements delta.Program: Seq 0 loses to every real delta.
+func (DeltaSSSP) Identity() any { return ssspDelta{} }
+
+// Accumulate implements delta.Program.
+func (DeltaSSSP) Accumulate(a, b any) any {
+	x, y := a.(ssspDelta), b.(ssspDelta)
+	if x.Seq > y.Seq || (x.Seq == y.Seq && x.Len < y.Len) {
+		return x
+	}
+	return y
+}
+
+// Priority implements delta.Program: how far the pending candidate moves the
+// current length. Retraction cascades (length jumping to Unreachable) score
+// enormous and run first, bounding count-to-infinity churn.
+func (DeltaSSSP) Priority(ctx delta.Context, pending any) float64 {
+	st := ctx.State().(*DeltaSSSPState)
+	return math.Abs(float64(pending.(ssspDelta).Len - st.Length))
+}
+
+// Threshold implements delta.Program.
+func (DeltaSSSP) Threshold() float64 { return 0.5 }
+
+// Init implements delta.Program.
+func (p DeltaSSSP) Init(ctx delta.Context) {
+	l := Unreachable
+	if ctx.ID() == p.Source {
+		l = 0
+	}
+	ctx.SetState(&DeltaSSSPState{SSSPState: SSSPState{
+		Length: l, Sent: Unreachable, SrcLens: make(map[stream.VertexID]int64),
+	}})
+}
+
+// OnInput implements delta.Program.
+func (DeltaSSSP) OnInput(delta.Context, stream.Tuple) {}
+
+// recompute derives the capped length from the per-producer record.
+func (p DeltaSSSP) recompute(ctx delta.Context, st *DeltaSSSPState) int64 {
+	l := Unreachable
+	if ctx.ID() == p.Source {
+		l = 0
+	}
+	for _, v := range st.SrcLens {
+		if v+1 < l {
+			l = v + 1
+		}
+	}
+	if l > p.maxHops() {
+		l = Unreachable
+	}
+	return l
+}
+
+// Gather implements delta.Program: record the producer's cumulative length
+// and synthesize a delta only when the recomputed length actually moved.
+func (p DeltaSSSP) Gather(ctx delta.Context, src stream.VertexID, value any, _ bool) (any, bool) {
+	st := ctx.State().(*DeltaSSSPState)
+	st.SrcLens[src] = value.(int64)
+	l := p.recompute(ctx, st)
+	if l == st.Length {
+		return nil, false
+	}
+	st.Seq++
+	return ssspDelta{Seq: st.Seq, Len: l}, true
+}
+
+// Update implements delta.Program. The length is re-derived from the
+// per-producer record rather than trusted from the pending: the record is
+// what recovery restores, so state and emissions can never disagree.
+func (p DeltaSSSP) Update(ctx delta.Context, _ any) {
+	st := ctx.State().(*DeltaSSSPState)
+	l := p.recompute(ctx, st)
+	if l != st.Length {
+		ctx.ReportProgress(1)
+	}
+	st.Length = l
+	for _, t := range ctx.RemovedTargets() {
+		ctx.EmitCum(t, Unreachable)
+	}
+	if l != st.Sent || ctx.Activated() {
+		st.Sent = l
+		for _, t := range ctx.Targets() {
+			ctx.EmitCum(t, l)
+		}
+		return
+	}
+	if l < Unreachable {
+		for _, t := range ctx.AddedTargets() {
+			ctx.EmitCum(t, l)
+		}
+	}
+}
+
+// DeltaConnComp is the delta-accumulative Connected Components program:
+// pendings are candidate labels accumulated by min. Labels only ever shrink,
+// so every pending clears the 0.5 threshold and the fixed point is exactly
+// the value program's. It shares *CCState with the value program (Labels
+// works on both); edges must be symmetrized, as in value mode.
+type DeltaConnComp struct{}
+
+// Identity implements delta.Program: the maximum vertex ID loses to any
+// candidate under min.
+func (DeltaConnComp) Identity() any { return ^stream.VertexID(0) }
+
+// Accumulate implements delta.Program.
+func (DeltaConnComp) Accumulate(a, b any) any {
+	if x, y := a.(stream.VertexID), b.(stream.VertexID); x < y {
+		return x
+	}
+	return b
+}
+
+// Priority implements delta.Program: how far the label would drop.
+func (DeltaConnComp) Priority(ctx delta.Context, pending any) float64 {
+	st := ctx.State().(*CCState)
+	return float64(st.Label - pending.(stream.VertexID))
+}
+
+// Threshold implements delta.Program.
+func (DeltaConnComp) Threshold() float64 { return 0.5 }
+
+// Init implements delta.Program.
+func (DeltaConnComp) Init(ctx delta.Context) {
+	ctx.SetState(&CCState{Label: ctx.ID(), SrcLabels: make(map[stream.VertexID]stream.VertexID)})
+}
+
+// OnInput implements delta.Program.
+func (DeltaConnComp) OnInput(delta.Context, stream.Tuple) {}
+
+// Gather implements delta.Program.
+func (DeltaConnComp) Gather(ctx delta.Context, src stream.VertexID, value any, _ bool) (any, bool) {
+	st := ctx.State().(*CCState)
+	st.SrcLabels[src] = value.(stream.VertexID)
+	label := ctx.ID()
+	for _, l := range st.SrcLabels {
+		if l < label {
+			label = l
+		}
+	}
+	return label, label < st.Label
+}
+
+// Update implements delta.Program.
+func (DeltaConnComp) Update(ctx delta.Context, _ any) {
+	st := ctx.State().(*CCState)
+	label := ctx.ID()
+	for _, l := range st.SrcLabels {
+		if l < label {
+			label = l
+		}
+	}
+	if label != st.Label {
+		ctx.ReportProgress(1)
+	}
+	st.Label = label
+	if !st.Started || label != st.Sent || ctx.Activated() {
+		st.Started = true
+		st.Sent = label
+		for _, t := range ctx.Targets() {
+			ctx.EmitCum(t, label)
+		}
+		return
+	}
+	for _, t := range ctx.AddedTargets() {
+		ctx.EmitCum(t, label)
+	}
+}

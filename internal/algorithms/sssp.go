@@ -115,11 +115,17 @@ func (p SSSP) Scatter(ctx engine.Context) {
 	}
 }
 
-// Distances extracts every vertex's current length from a loop.
+// Distances extracts every vertex's current length from a loop (value- or
+// delta-mode SSSP).
 func Distances(e *engine.Engine) (map[stream.VertexID]int64, error) {
 	out := make(map[stream.VertexID]int64)
 	err := e.ScanStates(math.MaxInt64, func(id stream.VertexID, _ int64, state any) error {
-		out[id] = state.(*SSSPState).Length
+		switch st := state.(type) {
+		case *SSSPState:
+			out[id] = st.Length
+		case *DeltaSSSPState:
+			out[id] = st.Length
+		}
 		return nil
 	})
 	return out, err

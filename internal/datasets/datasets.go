@@ -105,6 +105,39 @@ func PowerLawGraph(n, edgesPerVertex int, seed int64) []stream.Tuple {
 	return tuples
 }
 
+// UniformGraph generates a directed graph with n vertices and approximately
+// edgesPerVertex out-edges per vertex whose endpoints are chosen uniformly
+// at random (Erdős–Rényi style, no preferential attachment), returned as a
+// timestamp-ordered edge-insertion stream. It is the degree-flat contrast
+// workload to PowerLawGraph: with no hubs, every vertex's rank share is
+// comparable, so selective activation has far less insignificant work to
+// park. Vertex 0 gets one out-edge to every k-th vertex so it remains a
+// sensible SSSP source.
+func UniformGraph(n, edgesPerVertex int, seed int64) []stream.Tuple {
+	rng := rand.New(rand.NewSource(seed))
+	var tuples []stream.Tuple
+	ts := stream.Timestamp(0)
+	stride := 16
+	for v := stride; v < n; v += stride {
+		ts++
+		tuples = append(tuples, stream.AddEdge(ts, 0, stream.VertexID(v)))
+	}
+	for v := 0; v < n; v++ {
+		src := stream.VertexID(v)
+		seen := map[stream.VertexID]bool{src: true}
+		for e := 0; e < edgesPerVertex; e++ {
+			dst := stream.VertexID(rng.Intn(n))
+			if seen[dst] {
+				continue
+			}
+			seen[dst] = true
+			ts++
+			tuples = append(tuples, stream.AddEdge(ts, src, dst))
+		}
+	}
+	return tuples
+}
+
 // WithRemovals rewrites an edge stream so that a fraction removeFrac of the
 // inserted edges are later retracted, interleaved at random positions after
 // their insertion. It models the paper's retractable edge stream produced by

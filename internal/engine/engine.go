@@ -3,11 +3,13 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"tornado/internal/delta"
 	"tornado/internal/flow"
 	"tornado/internal/lamport"
 	"tornado/internal/metrics"
@@ -41,8 +43,16 @@ type Config struct {
 	Store storage.Store
 	// Codec serializes vertex states; defaults to GobCodec.
 	Codec Codec
-	// Program defines vertex behavior. Required.
+	// Program defines vertex behavior (value mode). Exactly one of Program
+	// and Delta is required.
 	Program Program
+	// Delta, when non-nil, runs the loop in delta-accumulative mode
+	// (Maiter/REX style, DESIGN.md §13): gathered messages fold into
+	// per-vertex pending-delta slots via the program's accumulator, a
+	// per-processor priority queue schedules the most significant pendings
+	// first, sub-threshold pendings park without committing, and
+	// checkpoints persist (state, pending) pairs.
+	Delta delta.Program
 	// Snapshot, when non-nil, bootstraps unseen vertices from another
 	// loop's versions instead of Program.Init.
 	Snapshot *SnapshotSource
@@ -173,8 +183,8 @@ func (c *Config) validate() error {
 	if c.Store == nil {
 		return errors.New("engine: Store is required")
 	}
-	if c.Program == nil {
-		return errors.New("engine: Program is required")
+	if (c.Program == nil) == (c.Delta == nil) {
+		return errors.New("engine: exactly one of Program and Delta is required")
 	}
 	if c.Codec == nil {
 		c.Codec = GobCodec{}
@@ -242,6 +252,13 @@ type Stats struct {
 	// Coalesced counts update messages merged into a newer update for the
 	// same (producer, consumer) pair before leaving the processor.
 	Coalesced metrics.Counter
+	// Delta-mode counters (static zero in value mode). DeltaMerged counts
+	// deltas accumulated into an already-pending slot, DeltaSkipped counts
+	// sub-threshold pendings parked instead of scheduled (selective
+	// activation), DeltaApplied counts pendings consumed by commits.
+	DeltaMerged  metrics.Counter
+	DeltaSkipped metrics.Counter
+	DeltaApplied metrics.Counter
 }
 
 // StatsSnapshot is a point-in-time copy of the counters.
@@ -268,7 +285,12 @@ type StatsSnapshot struct {
 	WireTxBytes, WireRxBytes             int64
 	WireReconnects                       int64
 	WireChecksumFailures, WireTornFrames int64
-	Notified                             int64
+	// Delta-mode counters (all zero in value mode): deltas merged into
+	// pending slots, sub-threshold activations skipped, pendings consumed
+	// by commits, and the current summed activation-queue depth.
+	DeltaMerged, DeltaSkipped, DeltaApplied int64
+	DeltaQueueDepth                         int64
+	Notified                                int64
 	// Frontier is the smallest iteration still holding an obligation token.
 	Frontier int64
 	// PendingPrepares is the number of PREPARE messages awaiting their ACK.
@@ -351,6 +373,11 @@ type Engine struct {
 	ingestGate *flow.Gate
 	delayBound atomic.Int64
 	slow       []atomic.Int64
+	// deltaBoost is the overload multiplier on the delta significance
+	// threshold (Float64bits; 1.0 at rest). Raised by the degradation
+	// ladder: commits get rarer, pendings keep absorbing arrivals, and
+	// convergence quality degrades instead of input being dropped.
+	deltaBoost atomic.Uint64
 
 	// Supervision counters and event log.
 	crashes     metrics.Counter
@@ -434,6 +461,7 @@ func New(cfg Config) (*Engine, error) {
 		slow:        make([]atomic.Int64, cfg.Processors),
 	}
 	e.delayBound.Store(cfg.DelayBound)
+	e.deltaBoost.Store(math.Float64bits(1))
 	if cfg.MaxPendingInputs > 0 {
 		e.ingestGate = flow.NewGate(cfg.MaxPendingInputs, 0)
 	}
@@ -1067,6 +1095,62 @@ func (e *Engine) SetDelayBound(b int64) int64 {
 	return b
 }
 
+// progLabel names the running program for metric labels and statusz: the
+// value program's type in value mode, the delta program's in delta mode.
+func (e *Engine) progLabel() string {
+	if e.cfg.Delta != nil {
+		return fmt.Sprintf("%T", e.cfg.Delta)
+	}
+	return fmt.Sprintf("%T", e.cfg.Program)
+}
+
+// execMode reports the execution mode for statusz.
+func (e *Engine) execMode() string {
+	if e.cfg.Delta != nil {
+		return "delta"
+	}
+	return "value"
+}
+
+// DeltaBoost returns the current significance-threshold multiplier (1.0 at
+// rest; delta mode only).
+func (e *Engine) DeltaBoost() float64 {
+	return math.Float64frombits(e.deltaBoost.Load())
+}
+
+// SetDeltaBoost adjusts the delta-mode significance threshold multiplier
+// (clamped to >= 1) and returns the value adopted; a no-op returning 1 in
+// value mode. Raising the boost is a degradation rung: pendings keep
+// accumulating exactly (nothing is dropped), but fewer clear the bar, so
+// commit work shrinks and the loop's answer coarsens toward
+// threshold-sized dust. Lowering it rescans every parked pending — any that
+// became significant again are re-queued, so convergence to the base
+// threshold's fixed point is preserved once the overload passes.
+func (e *Engine) SetDeltaBoost(mult float64) float64 {
+	if e.cfg.Delta == nil {
+		return 1
+	}
+	if mult < 1 || math.IsNaN(mult) {
+		mult = 1
+	}
+	old := math.Float64frombits(e.deltaBoost.Load())
+	e.deltaBoost.Store(math.Float64bits(mult))
+	if mult < old {
+		e.genMu.RLock()
+		defer e.genMu.RUnlock()
+		inc := e.inc
+		for i, p := range inc.procs {
+			if p == nil {
+				continue
+			}
+			tok := inc.tracker.AcquireFloor(0)
+			inc.ingestE.Send(transport.NodeID(i), msgRescan{Token: tok})
+		}
+		inc.ingestE.Flush()
+	}
+	return mult
+}
+
 // SlowProcessor injects d of extra latency into every commit of processor i
 // (0 clears it). Unlike Config.CommitDelay it can be toggled on a running
 // engine and survives crash recoveries, which makes it the slow-consumer
@@ -1104,8 +1188,18 @@ func (e *Engine) StatsSnapshot() StatsSnapshot {
 	tracker := e.inc.tracker
 	gen := e.inc.gen
 	quarantined := len(e.quarantined)
+	var queueDepth int64
+	for _, p := range e.inc.procs {
+		if p != nil {
+			queueDepth += p.deltaDepth.Load()
+		}
+	}
 	e.genMu.RUnlock()
 	return StatsSnapshot{
+		DeltaMerged:          e.stats.DeltaMerged.Value(),
+		DeltaSkipped:         e.stats.DeltaSkipped.Value(),
+		DeltaApplied:         e.stats.DeltaApplied.Value(),
+		DeltaQueueDepth:      queueDepth,
 		Commits:              e.stats.Commits.Value(),
 		UpdateMsgs:           e.stats.UpdateMsgs.Value(),
 		PrepareMsgs:          e.stats.PrepareMsgs.Value(),

@@ -161,6 +161,19 @@ func (p *processor) handleAdopt(m msgAdopt) {
 	// the journal and reports it.
 	if !v.dirty && !v.preparing() && len(v.prepareList) == 0 {
 		v.state = m.State
+		if p.dp != nil {
+			// The adopted state is the branch's fixed point over its own
+			// gathered inputs; a pending accumulated against the PRE-merge
+			// per-producer records would double-count when folded into it.
+			// Drop it (and its queued activation, releasing the parked
+			// token) — producers re-sending cumulative values after the
+			// merge diff against the adopted records exactly.
+			v.pending, v.hasPending = nil, false
+			if it, ok := p.actQ.Remove(v.id); ok {
+				p.deltaDepth.Add(-1)
+				p.tk.Release(it.Token)
+			}
+		}
 		for t := range v.targets {
 			delete(v.targets, t)
 		}

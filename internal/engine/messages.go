@@ -53,6 +53,9 @@ type msgUpdate struct {
 	Token     int64
 	Value     any
 	HasValue  bool
+	// Cum marks a delta-mode cumulative value (EmitCum): the receiver diffs
+	// it against its per-producer record instead of accumulating it as-is.
+	Cum bool
 	// Ctx propagates the causal span context of the traced input delta that
 	// (most recently) dirtied the producer; coalesced-away updates leave a
 	// span link in the survivor's context (see processor.coalesceUpdate).
@@ -86,6 +89,15 @@ type msgFrontier struct {
 
 // msgHalt stops a processor (loop converged or engine stopping).
 type msgHalt struct{}
+
+// msgRescan asks a delta-mode processor to re-examine parked pending
+// deltas after the effective significance threshold was LOWERED (overload
+// boost relaxing): pendings that became significant again are enqueued for
+// activation. Raising the threshold needs no message — queued entries are
+// simply consumed under the old score.
+type msgRescan struct {
+	Token int64
+}
 
 // msgHeartbeat is a liveness beat sent to the supervisor endpoint (node P+2)
 // by every processor (Proc = index) and by the master (Proc = -1). A crashed

@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"fmt"
 	"strconv"
 	"sync"
 	"time"
@@ -36,7 +35,7 @@ func (e *Engine) attachObs(hub *obs.Hub) {
 	sc := hub.Registry.Scope(
 		obs.L("loop", loopStr),
 		obs.L("kind", e.cfg.Kind.String()),
-		obs.L("program", fmt.Sprintf("%T", e.cfg.Program)),
+		obs.L("program", e.progLabel()),
 	)
 	e.obsScope = sc
 
@@ -54,6 +53,36 @@ func (e *Engine) attachObs(hub *obs.Hub) {
 		"Values emitted by program Scatter calls.", &e.stats.Emits)
 	sc.RegisterCounter("tornado_coalesced_updates_total",
 		"Update messages merged into a newer same-pair update before leaving the processor.", &e.stats.Coalesced)
+
+	if e.cfg.Delta != nil {
+		sc.RegisterCounter("tornado_delta_merged_total",
+			"Deltas accumulated into an already-pending slot (one fewer commit each).", &e.stats.DeltaMerged)
+		sc.RegisterCounter("tornado_delta_activations_skipped_total",
+			"Sub-threshold pendings parked instead of scheduled (selective activation).", &e.stats.DeltaSkipped)
+		sc.RegisterCounter("tornado_delta_applied_total",
+			"Pending deltas consumed by commits.", &e.stats.DeltaApplied)
+		sc.GaugeFunc("tornado_delta_activation_queue_depth",
+			"Summed per-processor activation-queue depth (drained to zero at every receive-window end).",
+			func() float64 {
+				e.genMu.RLock()
+				defer e.genMu.RUnlock()
+				var n int64
+				for _, p := range e.inc.procs {
+					if p != nil {
+						n += p.deltaDepth.Load()
+					}
+				}
+				return float64(n)
+			})
+		sc.GaugeFunc("tornado_delta_threshold_boost",
+			"Significance-threshold multiplier (1.0 at rest; raised by the overload ladder).",
+			func() float64 { return e.DeltaBoost() })
+		// Shorthand spellings stay scrapeable as deprecated aliases so every
+		// delta series resolves under the canonical tornado_delta_* names.
+		hub.Registry.Alias("tornado_deltas_merged_total", "tornado_delta_merged_total")
+		hub.Registry.Alias("tornado_delta_skipped_total", "tornado_delta_activations_skipped_total")
+		hub.Registry.Alias("tornado_delta_queue_depth", "tornado_delta_activation_queue_depth")
+	}
 
 	sc.RegisterCounter("tornado_transport_sent_total",
 		"Data frames accepted for transmission, including resends and duplicates.", &e.netStats.Sent)
@@ -202,7 +231,8 @@ func (e *Engine) statusz() any {
 	uptime := time.Since(e.created)
 	m := map[string]any{
 		"kind":        e.cfg.Kind.String(),
-		"program":     fmt.Sprintf("%T", e.cfg.Program),
+		"program":     e.progLabel(),
+		"mode":        e.execMode(),
 		"delay_bound": e.cfg.DelayBound,
 		"flow": map[string]any{
 			"delay_bound_effective": fs.DelayBound,
@@ -246,6 +276,15 @@ func (e *Engine) statusz() any {
 		"ingest_rate":        rate(s.InputMsgs, uptime),
 		"commit_rate":        rate(s.Commits, uptime),
 		"uptime":             uptime.String(),
+	}
+	if e.cfg.Delta != nil {
+		m["delta"] = map[string]any{
+			"merged":              s.DeltaMerged,
+			"activations_skipped": s.DeltaSkipped,
+			"applied":             s.DeltaApplied,
+			"queue_depth":         s.DeltaQueueDepth,
+			"threshold_boost":     e.DeltaBoost(),
+		}
 	}
 	if e.cfg.Wire != nil {
 		m["wire"] = map[string]any{

@@ -3,10 +3,12 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"tornado/internal/delta"
 	"tornado/internal/lamport"
 	"tornado/internal/obs"
 	"tornado/internal/obs/trace"
@@ -59,6 +61,18 @@ type processor struct {
 	outQ     []outEntry
 	outIdx   map[pairKey]int
 
+	// Delta mode (cfg.Delta != nil): gathered messages fold into per-vertex
+	// pending slots, and actQ orders vertices with significant pendings so
+	// the highest-impact activation commits first. The queue is drained to
+	// empty at the end of every receive window, so entries never outlive a
+	// window — its depth (deltaDepth, read by the scrape-time gauge) measures
+	// in-window scheduling pressure. deltaBase caches dp.Threshold(); the
+	// effective threshold multiplies in the engine's overload boost.
+	dp         delta.Program
+	deltaBase  float64
+	actQ       *delta.Queue
+	deltaDepth atomic.Int64
+
 	pauseMu   sync.Mutex
 	pauseCond *sync.Cond
 	paused    bool
@@ -108,8 +122,20 @@ func newProcessor(idx int, eng *Engine, ep *transport.Endpoint, tk *Tracker, sna
 		p.combiner, _ = eng.cfg.Program.(Combiner)
 		p.outIdx = make(map[pairKey]int, 64)
 	}
+	if eng.cfg.Delta != nil {
+		p.dp = eng.cfg.Delta
+		p.deltaBase = p.dp.Threshold()
+		p.actQ = delta.NewQueue()
+	}
 	p.pauseCond = sync.NewCond(&p.pauseMu)
 	return p
+}
+
+// effDeltaThreshold is the significance bar a pending delta must clear to be
+// scheduled: the program's base threshold times the engine's overload boost
+// (>= 1; raised by the degradation ladder, lowered back with a rescan).
+func (p *processor) effDeltaThreshold() float64 {
+	return p.deltaBase * math.Float64frombits(p.eng.deltaBoost.Load())
 }
 
 // cap returns the highest iteration updates may currently commit in:
@@ -134,6 +160,7 @@ func (p *processor) run() {
 		if !p.dispatch(env) {
 			return
 		}
+		p.drainActQ()
 	}
 }
 
@@ -158,6 +185,10 @@ func (p *processor) runBatched() {
 				return
 			}
 		}
+		// Delta mode: consume the window's significant pendings in priority
+		// order before the flush, so the highest-impact activations commit
+		// (and coalesce) within the same frame window.
+		p.drainActQ()
 		p.flushOut()
 		buf = batch
 	}
@@ -180,6 +211,8 @@ func (p *processor) dispatch(env transport.Envelope) bool {
 		p.handleAdopt(m)
 	case msgFrontier:
 		p.handleFrontier(m)
+	case msgRescan:
+		p.handleRescan(m)
 	case msgHalt:
 		return false
 	default:
@@ -237,6 +270,14 @@ func (p *processor) ensure(id stream.VertexID) *vertex {
 			for t, ts := range blob.TargetClock {
 				v.targetClock[t] = ts
 			}
+			if p.dp != nil && blob.HasPending {
+				// A persisted unconsumed pending rides the checkpoint; if it
+				// is significant under the current threshold (e.g. the boost
+				// relaxed since it was parked), re-queue it so recovery and
+				// branch forks never strand real mass.
+				v.pending, v.hasPending = blob.Pending, true
+				p.deltaSchedule(v, p.tk.AcquireFloor(v.iter))
+			}
 			return v
 		}
 		if !errors.Is(err, storage.ErrNotFound) {
@@ -244,8 +285,91 @@ func (p *processor) ensure(id stream.VertexID) *vertex {
 		}
 	}
 	ctx := &vertexContext{p: p, v: v, allowTarget: true}
-	p.eng.cfg.Program.Init(ctx)
+	if p.dp != nil {
+		p.dp.Init(ctx)
+	} else {
+		p.eng.cfg.Program.Init(ctx)
+	}
 	return v
+}
+
+// deltaSchedule decides what to do with a vertex whose pending slot may have
+// changed, taking ownership of tok (a held tracker token): park it with the
+// queue entry, or release it when the vertex needs no (new) activation.
+func (p *processor) deltaSchedule(v *vertex, tok int64) {
+	if !v.hasPending || v.dirty {
+		// Nothing pending, or an already-scheduled commit will consume the
+		// pending under its own dirty token.
+		p.tk.Release(tok)
+		return
+	}
+	prio := p.dp.Priority(&vertexContext{p: p, v: v}, v.pending)
+	if _, queued := p.actQ.Priority(v.id); queued {
+		// Merged into an existing activation: re-score it in place and keep
+		// the OLDER queued token (it sits at the lower floor, so the merged
+		// activation still cannot be passed by the frontier).
+		p.actQ.Update(v.id, prio)
+		p.tk.Release(tok)
+		return
+	}
+	if prio >= p.effDeltaThreshold() {
+		p.actQ.Push(v.id, prio, tok)
+		p.deltaDepth.Add(1)
+		return
+	}
+	// Sub-threshold: park the pending (selective activation). The token is
+	// released, so a loop whose remaining pendings are all insignificant
+	// quiesces — that is the delta-mode convergence criterion.
+	p.eng.stats.DeltaSkipped.Inc()
+	p.tk.Release(tok)
+}
+
+// drainActQ consumes the activation queue in priority order: each popped
+// vertex is marked dirty (acquiring its own commit token before the queue
+// token is released) and offered to the three-phase protocol. Runs at the
+// end of every receive window, so the queue is empty whenever the processor
+// blocks — scheduling never delays quiescence.
+func (p *processor) drainActQ() {
+	if p.dp == nil {
+		return
+	}
+	for {
+		it, ok := p.actQ.PopMax()
+		if !ok {
+			return
+		}
+		p.deltaDepth.Add(-1)
+		v := p.vertices[it.ID]
+		p.markDirty(v)
+		p.tk.Release(it.Token)
+		p.maybeStart(v)
+	}
+}
+
+// handleRescan re-examines parked pendings after the effective threshold was
+// lowered; newly significant ones are queued with fresh tokens (acquired
+// before the rescan token is released, preserving acquire-before-release).
+func (p *processor) handleRescan(m msgRescan) {
+	if p.dp != nil {
+		for _, v := range p.vertices {
+			if !v.hasPending || v.dirty {
+				continue
+			}
+			if _, queued := p.actQ.Priority(v.id); queued {
+				continue
+			}
+			prio := p.dp.Priority(&vertexContext{p: p, v: v}, v.pending)
+			if prio >= p.effDeltaThreshold() {
+				lower := v.iter
+				if v.lastCommit+1 > lower {
+					lower = v.lastCommit + 1
+				}
+				p.actQ.Push(v.id, prio, p.tk.AcquireFloor(lower))
+				p.deltaDepth.Add(1)
+			}
+		}
+	}
+	p.tk.Release(m.Token)
 }
 
 // markDirty acquires the vertex's dirty token at the lower bound of its
@@ -326,7 +450,11 @@ func (p *processor) applyWork(v *vertex, w heldWork) {
 			}
 		}
 		if !stale {
-			p.eng.cfg.Program.OnInput(ctx, w.tuple)
+			if p.dp != nil {
+				p.dp.OnInput(ctx, w.tuple)
+			} else {
+				p.eng.cfg.Program.OnInput(ctx, w.tuple)
+			}
 			p.markDirty(v)
 		}
 		if w.tctx.Traced() {
@@ -386,6 +514,59 @@ func (p *processor) gatherUpdate(m msgUpdate) {
 		if last, seen := v.gatherSeen[m.From]; !seen || m.Iteration > last {
 			v.gatherSeen[m.From] = m.Iteration
 			ctx := &vertexContext{p: p, v: v}
+			if p.dp != nil {
+				// Delta mode: the message becomes a local delta (diffed
+				// against the per-producer record when cumulative) and folds
+				// into the pending slot instead of dirtying the vertex; the
+				// scheduler decides whether the merged pending is worth an
+				// activation.
+				if d, ok := p.dp.Gather(ctx, m.From, m.Value, m.Cum); ok {
+					if v.hasPending {
+						v.pending = p.dp.Accumulate(v.pending, d)
+						p.eng.stats.DeltaMerged.Inc()
+					} else {
+						v.pending, v.hasPending = d, true
+					}
+					if m.Ctx.Traced() {
+						p.adoptTraceCtx(v, p.sp.Stage(m.Ctx, trace.StageProcess,
+							p.loopU, uint64(m.To), uint64(m.From), p.sp.Now()))
+					}
+				}
+				// Significant pendings commit through the activation queue in
+				// priority order. Everything else must STILL commit this
+				// window: Gather may rewrite the per-producer record even when
+				// it yields no delta, and a parked pending has to reach the
+				// blob — quiescent checkpoints must equal in-memory state or
+				// branch forks and adoption silently lose records. The no-op
+				// commit emits nothing, so selective activation still saves
+				// its update messages. markDirty acquires its commit token
+				// before the message token is released.
+				if !v.dirty && v.hasPending {
+					prio := p.dp.Priority(ctx, v.pending)
+					if _, queued := p.actQ.Priority(v.id); queued {
+						// Merged into an existing activation: re-score it in
+						// place; the queued (older) token keeps the floor.
+						p.actQ.Update(v.id, prio)
+						p.tk.Release(m.Token)
+					} else if prio >= p.effDeltaThreshold() {
+						p.actQ.Push(v.id, prio, m.Token)
+						p.deltaDepth.Add(1)
+					} else {
+						// Sub-threshold: park the pending (selective
+						// activation) but persist it and the gathered record.
+						p.eng.stats.DeltaSkipped.Inc()
+						p.markDirty(v)
+						p.tk.Release(m.Token)
+					}
+				} else {
+					if !v.dirty {
+						p.markDirty(v)
+					}
+					p.tk.Release(m.Token)
+				}
+				p.maybeStart(v)
+				return
+			}
 			p.eng.cfg.Program.Gather(ctx, m.From, m.Iteration, m.Value)
 			p.markDirty(v)
 			if m.Ctx.Traced() {
@@ -553,11 +734,34 @@ func (p *processor) commit(v *vertex) {
 	// User scatter collects emissions.
 	v.emits = v.emits[:0]
 	ctx := &vertexContext{p: p, v: v, allowEmit: true}
-	p.eng.cfg.Program.Scatter(ctx)
+	if p.dp != nil {
+		// A queued activation for this vertex is satisfied by this commit
+		// (and consuming the pending would strand the entry): drop it and
+		// release its parked token — the dirty token is still held.
+		if it, ok := p.actQ.Remove(v.id); ok {
+			p.deltaDepth.Add(-1)
+			p.tk.Release(it.Token)
+		}
+		// Consume the pending if it is significant or the commit was forced
+		// by an activation (recovery replay, branch seed — those must fold
+		// everything for exactness). A sub-threshold pending stays parked
+		// and is persisted with the state below.
+		pend := p.dp.Identity()
+		if v.hasPending && (v.activated ||
+			p.dp.Priority(&vertexContext{p: p, v: v}, v.pending) >= p.effDeltaThreshold()) {
+			pend = v.pending
+			v.pending, v.hasPending = nil, false
+			p.eng.stats.DeltaApplied.Inc()
+		}
+		p.dp.Update(ctx, pend)
+	} else {
+		p.eng.cfg.Program.Scatter(ctx)
+	}
 
 	// Persist before propagating: when the iteration terminates, all of its
 	// versions are already in the store (checkpoint property, Section 5.3).
-	blob := vertexBlob{State: v.state, Targets: sortedIDs(v.targets), TargetClock: cloneClock(v.targetClock)}
+	blob := vertexBlob{State: v.state, Targets: sortedIDs(v.targets), TargetClock: cloneClock(v.targetClock),
+		Pending: v.pending, HasPending: v.hasPending}
 	data, err := p.eng.cfg.Codec.Encode(blob)
 	if err != nil {
 		panic(fmt.Sprintf("engine: encode vertex %d: %v", v.id, err))
@@ -594,7 +798,7 @@ func (p *processor) commit(v *vertex) {
 	nmsgs := 0
 	for _, e := range v.emits {
 		tok := p.tk.AcquireFloor(tau + 1)
-		p.sendVertex(e.to, msgUpdate{From: v.id, To: e.to, Iteration: tau, Token: tok, Value: e.value, HasValue: true, Ctx: tctx})
+		p.sendVertex(e.to, msgUpdate{From: v.id, To: e.to, Iteration: tau, Token: tok, Value: e.value, HasValue: true, Cum: e.cum, Ctx: tctx})
 		tctx = trace.Context{}
 		carried[e.to] = true
 		nmsgs++
@@ -684,9 +888,22 @@ func (p *processor) sendVertex(to stream.VertexID, payload any) {
 func (p *processor) coalesceUpdate(old, next msgUpdate) msgUpdate {
 	merged := next
 	if old.HasValue {
-		if !next.HasValue {
-			merged.Value, merged.HasValue = old.Value, true
-		} else if p.combiner != nil {
+		switch {
+		case !next.HasValue:
+			merged.Value, merged.HasValue, merged.Cum = old.Value, true, old.Cum
+		case p.dp != nil:
+			if next.Cum {
+				// A newer cumulative value supersedes whatever preceded it
+				// (it already embodies every earlier delta): last-writer.
+			} else {
+				// A plain delta folds into the pending message with the
+				// program's accumulator — delta merge IS the combiner. The
+				// merged value keeps the older message's cumulative flag
+				// (cum ⊕ delta is the newer cumulative value).
+				merged.Value = p.dp.Accumulate(old.Value, next.Value)
+				merged.Cum = old.Cum
+			}
+		case p.combiner != nil:
 			merged.Value = p.combiner.Combine(next.To, old.Value, next.Value)
 		}
 	}

@@ -47,6 +47,14 @@ type vertex struct {
 	emits      []emission // values emitted by the current Scatter
 	rng        *rand.Rand
 
+	// Delta mode (cfg.Delta != nil): gathered messages accumulate into
+	// pending instead of being folded into state; the next consuming commit
+	// hands the accumulated delta to Program.Update. hasPending
+	// distinguishes "no pending" from a pending that happens to equal the
+	// accumulator identity.
+	pending    any
+	hasPending bool
+
 	// tctx is the causal span context of the traced delta that most recently
 	// dirtied this vertex; the next commit records against it and propagates
 	// it to consumers. Batch-aware: a second traced delta arriving before the
@@ -57,6 +65,7 @@ type vertex struct {
 type emission struct {
 	to    stream.VertexID
 	value any
+	cum   bool // EmitCum: value is cumulative per (producer,consumer), not a delta
 }
 
 type heldWork struct {
@@ -111,6 +120,14 @@ type vertexBlob struct {
 	State       any
 	Targets     []stream.VertexID
 	TargetClock map[stream.VertexID]stream.Timestamp
+	// Pending persists an unconsumed accumulated delta alongside the state
+	// (delta mode): a commit that does not consume a sub-threshold pending
+	// must not strand its mass, because the gathers that produced it already
+	// mutated the persisted per-producer records — recovery re-sends would
+	// diff to zero. Persisting (state, pending) pairs keeps recovery and
+	// branch forks exact (DESIGN.md §13).
+	Pending    any
+	HasPending bool
 }
 
 func init() {
@@ -145,6 +162,25 @@ func (c *vertexContext) Emit(to stream.VertexID, value any) {
 		c.p.eng.stats.Emits.Inc()
 	}
 	c.v.emits = append(c.v.emits, emission{to: to, value: value})
+}
+
+// EmitCum emits a cumulative per-(producer,consumer) value (delta mode):
+// the receiver's Gather is told cum=true and diffs it against its record of
+// this producer, which keeps deltas exact under the at-least-once
+// transport's reordering and duplication (see package delta).
+func (c *vertexContext) EmitCum(to stream.VertexID, value any) {
+	if !c.allowEmit {
+		panic(fmt.Sprintf("engine: vertex %d EmitCum outside Update", c.v.id))
+	}
+	if _, ok := c.v.targets[to]; !ok {
+		if _, wasRemoved := c.v.removed[to]; !wasRemoved {
+			panic(fmt.Sprintf("engine: vertex %d EmitCum to %d, which is not a target", c.v.id, to))
+		}
+	}
+	if c.p != nil {
+		c.p.eng.stats.Emits.Inc()
+	}
+	c.v.emits = append(c.v.emits, emission{to: to, value: value, cum: true})
 }
 
 func (c *vertexContext) AddTarget(to stream.VertexID) {

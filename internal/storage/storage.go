@@ -142,6 +142,12 @@ type loopState struct {
 	verts      map[stream.VertexID]*versions
 	checkpoint int64
 	hasCkpt    bool
+	// sortedIDs caches the ascending vertex order Scan visits. Scans (state
+	// reads, branch forks, checkpoint recovery) far outnumber changes to the
+	// ID set, so the sort is paid once per membership change instead of once
+	// per scan. nil means stale: the first Put of a new vertex and any
+	// Truncate that deletes one reset it, and the next Scan rebuilds.
+	sortedIDs []stream.VertexID
 }
 
 // MemStore is an in-memory Store. The zero value is not usable; call
@@ -176,6 +182,7 @@ func (s *MemStore) Put(loop LoopID, vertex stream.VertexID, iteration int64, dat
 	if !ok {
 		vs = &versions{}
 		ls.verts[vertex] = vs
+		ls.sortedIDs = nil
 	}
 	vs.put(iteration, cp)
 	return nil
@@ -208,18 +215,52 @@ func (s *MemStore) Scan(loop LoopID, maxIter int64, fn func(Record) error) error
 		s.mu.RUnlock()
 		return nil
 	}
-	ids := make([]stream.VertexID, 0, len(ls.verts))
-	for v := range ls.verts {
-		ids = append(ids, v)
+	ids := ls.sortedIDs
+	if ids == nil {
+		// Stale cache: retake the lock for writing, rebuild, and snapshot
+		// the records under the same critical section so a concurrent Put
+		// cannot invalidate between rebuild and collection.
+		s.mu.RUnlock()
+		s.mu.Lock()
+		ls, ok = s.loops[loop]
+		if !ok {
+			s.mu.Unlock()
+			return nil
+		}
+		if ids = ls.sortedIDs; ids == nil {
+			ids = make([]stream.VertexID, 0, len(ls.verts))
+			for v := range ls.verts {
+				ids = append(ids, v)
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			ls.sortedIDs = ids
+		}
+		recs := collectRecords(ls, ids, maxIter)
+		s.mu.Unlock()
+		return visitRecords(recs, fn)
 	}
+	recs := collectRecords(ls, ids, maxIter)
+	s.mu.RUnlock()
+	return visitRecords(recs, fn)
+}
+
+// collectRecords snapshots the freshest version <= maxIter of every cached
+// vertex; callers hold s.mu (read or write).
+func collectRecords(ls *loopState, ids []stream.VertexID, maxIter int64) []Record {
 	recs := make([]Record, 0, len(ids))
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, v := range ids {
-		if data, iter, ok := ls.verts[v].latest(maxIter); ok {
+		vs, ok := ls.verts[v]
+		if !ok {
+			continue
+		}
+		if data, iter, ok := vs.latest(maxIter); ok {
 			recs = append(recs, Record{Vertex: v, Iteration: iter, Data: data})
 		}
 	}
-	s.mu.RUnlock()
+	return recs
+}
+
+func visitRecords(recs []Record, fn func(Record) error) error {
 	for _, r := range recs {
 		if err := fn(r); err != nil {
 			return err
@@ -276,6 +317,7 @@ func (s *MemStore) Truncate(loop LoopID, above int64) error {
 	for id, vs := range ls.verts {
 		if vs.truncate(above) {
 			delete(ls.verts, id)
+			ls.sortedIDs = nil
 		}
 	}
 	return nil

@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tornado/internal/delta"
 	"tornado/internal/engine"
 	"tornado/internal/flow"
 	"tornado/internal/obs"
@@ -49,6 +50,11 @@ type (
 	Program = engine.Program
 	// Context is the callback view handed to Program methods.
 	Context = engine.Context
+	// DeltaProgram defines per-vertex behavior for delta-accumulative
+	// execution (NewDelta); see delta.Program.
+	DeltaProgram = delta.Program
+	// DeltaContext is the callback view handed to DeltaProgram methods.
+	DeltaContext = delta.Context
 	// LoopKind distinguishes main and branch loops.
 	LoopKind = engine.LoopKind
 	// IterationRecord is one terminated iteration's statistics.
@@ -270,7 +276,8 @@ type System struct {
 	mu       sync.RWMutex
 	main     *engine.Engine
 	store    storage.Store
-	program  Program
+	program  Program      // value mode (nil in delta mode)
+	delta    DeltaProgram // delta mode (nil in value mode)
 	nextLoop atomic.Uint64
 
 	qs   *queryserv.Service
@@ -301,6 +308,22 @@ func (s *System) engine() *engine.Engine {
 
 // New assembles and starts a System running program.
 func New(program Program, opts Options) (*System, error) {
+	return newSystem(program, nil, opts)
+}
+
+// NewDelta assembles and starts a System running a delta-accumulative
+// program (DESIGN.md §13): gathered updates fold into per-vertex pending
+// deltas through the program's commutative-associative accumulator, a
+// per-processor priority queue activates the most significant pendings
+// first, and sub-threshold pendings park until they matter. Under overload
+// the degradation ladder raises the significance threshold instead of the
+// delay bound alone, shrinking commit work while every withheld delta keeps
+// accumulating exactly.
+func NewDelta(dp DeltaProgram, opts Options) (*System, error) {
+	return newSystem(nil, dp, opts)
+}
+
+func newSystem(program Program, dp DeltaProgram, opts Options) (*System, error) {
 	opts.fill()
 	spanRate := opts.SpanSampleRate
 	switch {
@@ -322,6 +345,7 @@ func New(program Program, opts Options) (*System, error) {
 		LoopID:            storage.MainLoop,
 		Store:             opts.Store,
 		Program:           program,
+		Delta:             dp,
 		ResendAfter:       opts.ResendAfter,
 		Seed:              opts.Seed,
 		Wire:              opts.Wire,
@@ -342,7 +366,7 @@ func New(program Program, opts Options) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &System{main: e, store: opts.Store, program: program, hub: hub}
+	s := &System{main: e, store: opts.Store, program: program, delta: dp, hub: hub}
 	s.flowBase = opts.DelayBound
 	s.flowCeil = cfg.DelayBoundCeiling
 	s.flowInboxHigh = cfg.InboxHigh
@@ -438,21 +462,32 @@ func (s *System) flowPressure() float64 {
 //	         fewer synchronization stalls, staler approximation.
 //	level 3: additionally shed queries below the priority cut with
 //	         ErrOverloaded.
+//
+// A delta-mode loop (NewDelta) gets one more reversible lever: levels 2 and
+// 3 also boost the significance threshold (×4, ×16), so sub-threshold
+// pendings park instead of committing. Nothing is dropped — parked deltas
+// keep accumulating exactly, and stepping back down rescans them — the
+// approximation just coarsens to threshold-sized dust while the overload
+// lasts.
 func (s *System) applyFlowLevel(level int) {
 	e := s.engine()
 	switch {
 	case level <= 0:
 		s.qs.SetDegraded(0)
 		e.SetDelayBound(s.flowBase)
+		e.SetDeltaBoost(1)
 	case level == 1:
 		s.qs.SetDegraded(1)
 		e.SetDelayBound(s.flowBase)
+		e.SetDeltaBoost(1)
 	case level == 2:
 		s.qs.SetDegraded(1)
 		e.SetDelayBound(s.flowCeil)
+		e.SetDeltaBoost(4)
 	default:
 		s.qs.SetDegraded(2)
 		e.SetDelayBound(s.flowCeil)
+		e.SetDeltaBoost(16)
 	}
 }
 
@@ -523,10 +558,15 @@ func (s *System) attachObs() {
 			return 0
 		})
 	s.hub.AddStatus("system", func() any {
+		prog, mode := any(s.program), "value"
+		if s.delta != nil {
+			prog, mode = s.delta, "delta"
+		}
 		m := map[string]any{
 			"branches_live":  s.branchesLive.Load(),
 			"branches_total": s.branchTotal.Load(),
-			"program":        fmt.Sprintf("%T", s.program),
+			"program":        fmt.Sprintf("%T", prog),
+			"mode":           mode,
 		}
 		if c := s.flowCtl; c != nil {
 			m["overload_level"] = c.Level()
@@ -768,6 +808,17 @@ func (s *System) SetWireCorrupt(rate float64) bool { return s.engine().SetWireCo
 
 // Stats returns the main loop's counters.
 func (s *System) Stats() StatsSnapshot { return s.engine().StatsSnapshot() }
+
+// DeltaBoost returns the delta-mode significance threshold multiplier
+// (1 at rest, and always 1 in value mode).
+func (s *System) DeltaBoost() float64 { return s.engine().DeltaBoost() }
+
+// SetDeltaBoost manually adjusts the delta-mode significance threshold
+// multiplier (clamped to >= 1; no-op in value mode) and returns the adopted
+// value. Lowering it rescans parked pendings, so the loop converges back to
+// the base threshold's fixed point. The overload controller drives the same
+// knob automatically at degradation levels 2 and 3.
+func (s *System) SetDeltaBoost(mult float64) float64 { return s.engine().SetDeltaBoost(mult) }
 
 // IterationLog returns the main loop's per-iteration records.
 func (s *System) IterationLog() []IterationRecord { return s.engine().IterationLog() }

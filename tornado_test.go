@@ -273,3 +273,58 @@ func (chatter) Scatter(ctx Context) {
 		ctx.Emit(t, st.N)
 	}
 }
+
+// TestNewDeltaQueryAndMerge drives the system-level delta mode end to end:
+// delta main loop, branch-loop query, merge back, continued streaming — and
+// requires the exact value-mode answer throughout.
+func TestNewDeltaQueryAndMerge(t *testing.T) {
+	tuples := datasets.WithRemovals(datasets.PowerLawGraph(150, 3, 19), 0.15, 6)
+	sys, err := NewDelta(algorithms.DeltaSSSP{Source: 0}, Options{Processors: 3, DelayBound: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	half := len(tuples) / 2
+	sys.IngestAll(tuples[:half])
+	res, err := sys.Query(waitFor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	halfWant := algorithms.RefSSSP(tuples[:half], 0, 64)
+	err = res.Scan(func(id VertexID, state any) error {
+		if got := state.(*algorithms.DeltaSSSPState).Length; got != halfWant[id] {
+			t.Fatalf("branch vertex %d: %d vs %d", id, got, halfWant[id])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WaitQuiesce(waitFor); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Merge(res); err != nil {
+		t.Fatal(err)
+	}
+	res.Close()
+	sys.IngestAll(tuples[half:])
+	if err := sys.WaitQuiesce(waitFor); err != nil {
+		t.Fatal(err)
+	}
+	want := algorithms.RefSSSP(tuples, 0, 64)
+	err = sys.ScanApprox(func(id VertexID, state any) error {
+		if got := state.(*algorithms.DeltaSSSPState).Length; got != want[id] {
+			t.Fatalf("vertex %d after merge+stream: %d vs %d", id, got, want[id])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.SetDeltaBoost(8); got != 8 {
+		t.Fatalf("SetDeltaBoost(8) = %v", got)
+	}
+	if got := sys.SetDeltaBoost(1); got != 1 || sys.DeltaBoost() != 1 {
+		t.Fatalf("boost did not return to rest: %v / %v", got, sys.DeltaBoost())
+	}
+}
