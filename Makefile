@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-all vet bench bench-queries bench-throughput bench-trace bench-wire bench-delta soak-overload chaos chaos-wire check clean
+.PHONY: all build test race race-all vet bench bench-queries bench-throughput bench-trace bench-wire bench-delta bench-store fuzz-store soak-overload chaos chaos-wire check clean
 
 all: check
 
@@ -14,10 +14,11 @@ build:
 test:
 	$(GO) test ./...
 
-# The obs registry/tracer and metrics primitives are hammered concurrently;
-# keep them honest under the race detector on every change.
+# The obs registry/tracer and metrics primitives are hammered concurrently,
+# and the MVCC store serves lock-free readers against concurrent writers and
+# compaction; keep them honest under the race detector on every change.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/metrics/...
+	$(GO) test -race ./internal/obs/... ./internal/metrics/... ./internal/storage/...
 
 race-all:
 	$(GO) test -race ./...
@@ -75,6 +76,19 @@ bench-wire:
 bench-delta:
 	$(GO) run ./cmd/tornado-bench -experiment delta -scale small
 
+# MVCC storage benchmark (small scale): snapshot-fork latency vs a MemStore
+# consistent view at 1k/10k/100k vertices, then a put/flush/fork churn soak
+# with background compaction; leaves the BENCH_store.json artifact and exits
+# nonzero if forks stop being O(1) (>= 10x over MemStore at 100k, flat in
+# vertex count) or live versions / post-GC heap grow instead of plateauing.
+bench-store:
+	$(GO) run ./cmd/tornado-bench -experiment store -scale small
+
+# Short randomized-op fuzz pass over the MVCC store against the MemStore
+# reference (the seed corpus plus 30s of new inputs).
+fuzz-store:
+	$(GO) test ./internal/storage/ -run '^$$' -fuzz FuzzMVCCOps -fuzztime 30s
+
 # Overload soak: the surge-plus-slow-consumer chaos test under the race
 # detector (bounded inboxes, credit stalls, recovery mid-surge), then the
 # backpressure benchmark — sustained updates/sec and p99 ingest latency at
@@ -84,7 +98,7 @@ soak-overload:
 	$(GO) test -race . -run 'TestOverloadControllerLadder|TestFeedMaxPendingPausesSpout' -count=1
 	$(GO) run ./cmd/tornado-bench -experiment overload -scale small
 
-check: build vet test race chaos chaos-wire bench-queries bench-throughput bench-trace bench-wire bench-delta soak-overload
+check: build vet test race chaos chaos-wire bench-queries bench-throughput bench-trace bench-wire bench-delta bench-store soak-overload
 
 clean:
 	$(GO) clean ./...

@@ -28,6 +28,9 @@
 //	approx               print the main loop's current approximation
 //	merge                query, then merge the result back (Section 5.2)
 //	stats                runtime counters and loop snapshot
+//	store                MVCC store stats: live versions, resident bytes,
+//	                     compactions, reclaimed versions, pinned snapshots
+//	                     and the oldest snapshot's age
 //	flow                 backpressure and overload state (alias: pressure):
 //	                     the degradation-ladder level, admission-gate
 //	                     ledger, transport inbox watermark state, the
@@ -337,6 +340,17 @@ func main() {
 			if url := sys.MetricsURL(); url != "" {
 				fmt.Printf("endpoint: %s/metrics\n", url)
 			}
+		case "store":
+			st, ok := sys.StoreStats()
+			if !ok {
+				fmt.Println("store backend does not expose MVCC stats")
+				continue
+			}
+			fmt.Printf("loops=%d live-versions=%d resident-bytes=%d\n",
+				st.Loops, st.LiveVersions, st.ResidentBytes)
+			fmt.Printf("compactions=%d reclaimed-versions=%d pinned-snapshots=%d oldest-snapshot=%s\n",
+				st.Compactions, st.ReclaimedVersions, st.PinnedSnapshots,
+				st.OldestSnapshotAge.Round(time.Millisecond))
 		case "flow", "pressure":
 			fs := sys.FlowStats()
 			qs := sys.QueryService().Snapshot()
@@ -477,7 +491,7 @@ func main() {
 			sys.Watch(tornado.VertexID(id))
 			fmt.Printf("watching vertex %d (all its protocol events are now traced)\n", id)
 		case "help":
-			fmt.Println("commands: add s d | remove s d | load n epv seed | query | submit [d] [p] | queries | result id | cancel id | merge | approx | stats | flow | trace [id] | slow [ms] [n] | watch id | crash i|master | recover | faults | quit")
+			fmt.Println("commands: add s d | remove s d | load n epv seed | query | submit [d] [p] | queries | result id | cancel id | merge | approx | stats | store | flow | trace [id] | slow [ms] [n] | watch id | crash i|master | recover | faults | quit")
 		case "quit", "exit":
 			return
 		default:

@@ -1,0 +1,300 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"tornado/internal/storage"
+	"tornado/internal/stream"
+)
+
+// StoreForkRow is one vertex-count cell of the snapshot-latency sweep: the
+// cost of obtaining a consistent read view from each backend. For MemStore
+// that is the only consistent view it can offer — a full Scan materialized
+// into a private copy; for the MVCC store it is Pin + Snapshot, an O(1)
+// root-pointer grab.
+type StoreForkRow struct {
+	Vertices   int     `json:"vertices"`
+	MemForkUs  float64 `json:"mem_fork_us"`
+	MVCCForkUs float64 `json:"mvcc_fork_us"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// StoreSoakSample is one probe of the churn soak: live version count and
+// post-GC heap, taken every few waves.
+type StoreSoakSample struct {
+	Round        int     `json:"round"`
+	LiveVersions int64   `json:"live_versions"`
+	HeapAllocMB  float64 `json:"heap_alloc_mb"`
+}
+
+// StoreReport is the MVCC storage-engine benchmark: snapshot-fork latency
+// versus MemStore across vertex counts (the O(1) claim), and a put/flush/
+// fork churn soak with background compaction on (the bounded-RSS claim),
+// with a compaction-off control for contrast.
+//
+// Gates (Failed):
+//   - at the largest vertex count, MVCC fork must be >= 10x cheaper than a
+//     MemStore consistent view;
+//   - MVCC fork latency must be flat in vertex count (largest <= 5x the
+//     smallest, above a small noise floor);
+//   - after the soak, live versions must be bounded by ~3x the vertex count;
+//   - post-GC heap at the end of the soak must not exceed 1.5x the midpoint
+//     plus a 1 MiB grace — RSS plateaus instead of growing with churn.
+type StoreReport struct {
+	Scale    string         `json:"scale"`
+	ForkRows []StoreForkRow `json:"fork_rows"`
+
+	SoakVertices  int               `json:"soak_vertices"`
+	SoakRounds    int               `json:"soak_rounds"`
+	SoakPayload   int               `json:"soak_payload_bytes"`
+	Soak          []StoreSoakSample `json:"soak"`
+	SoakEndVer    int64             `json:"soak_end_versions"`
+	ControlEndVer int64             `json:"control_end_versions"`
+	Compactions   int64             `json:"compactions"`
+	ReclaimedVer  int64             `json:"reclaimed_versions"`
+
+	Violation string `json:"violation,omitempty"`
+}
+
+// RunStore measures snapshot-fork latency and churn-soak memory behaviour of
+// the MVCC store.
+func RunStore(s Scale) (*StoreReport, error) {
+	rep := &StoreReport{Scale: s.Name}
+	sweep := []int{1_000, 10_000, 100_000}
+	reps := 50
+	soakRounds := 400
+	if s.Name == "small" {
+		reps = 20
+		soakRounds = 150
+	}
+	for _, n := range sweep {
+		row, err := forkLatencyRow(n, reps)
+		if err != nil {
+			return nil, fmt.Errorf("bench store (fork sweep %d): %w", n, err)
+		}
+		rep.ForkRows = append(rep.ForkRows, row)
+	}
+	if err := runChurnSoak(rep, 1000, soakRounds, 64); err != nil {
+		return nil, fmt.Errorf("bench store (churn soak): %w", err)
+	}
+	rep.gate()
+	return rep, nil
+}
+
+// forkLatencyRow loads n vertices (one version each) into both backends and
+// times obtaining a consistent read view from each.
+func forkLatencyRow(n, reps int) (StoreForkRow, error) {
+	payload := make([]byte, 32)
+	mem := storage.NewMemStore()
+	mv := storage.NewMVCCStore()
+	defer mem.Close()
+	defer mv.Close()
+	for v := 0; v < n; v++ {
+		for _, st := range []storage.Store{mem, mv} {
+			if err := st.Put(storage.MainLoop, stream.VertexID(v), 1, payload); err != nil {
+				return StoreForkRow{}, err
+			}
+		}
+	}
+
+	// MemStore has no O(1) snapshot: a caller needing a stable view while
+	// writers keep committing must materialize a private copy under Scan.
+	memReps := reps
+	if n >= 100_000 && memReps > 10 {
+		memReps = 10
+	}
+	start := time.Now()
+	for i := 0; i < memReps; i++ {
+		view := make(map[stream.VertexID][]byte, n)
+		err := mem.Scan(storage.MainLoop, math.MaxInt64, func(r storage.Record) error {
+			cp := make([]byte, len(r.Data))
+			copy(cp, r.Data)
+			view[r.Vertex] = cp
+			return nil
+		})
+		if err != nil {
+			return StoreForkRow{}, err
+		}
+		if len(view) != n {
+			return StoreForkRow{}, fmt.Errorf("mem view has %d vertices, want %d", len(view), n)
+		}
+	}
+	memUs := float64(time.Since(start).Nanoseconds()) / float64(memReps) / 1e3
+
+	start = time.Now()
+	for i := 0; i < reps; i++ {
+		unpin := mv.Pin(storage.MainLoop, 1)
+		snap := mv.Snapshot(storage.MainLoop)
+		snap.Release()
+		unpin()
+	}
+	mvccUs := float64(time.Since(start).Nanoseconds()) / float64(reps) / 1e3
+
+	row := StoreForkRow{Vertices: n, MemForkUs: memUs, MVCCForkUs: mvccUs}
+	if mvccUs > 0 {
+		row.Speedup = memUs / mvccUs
+	}
+	return row, nil
+}
+
+// runChurnSoak drives put-wave / flush / fork-drop churn against an MVCC
+// store with aggressive background compaction and samples live versions and
+// post-GC heap, then repeats the same churn with compaction off as a control.
+func runChurnSoak(rep *StoreReport, vertices, rounds, payloadLen int) error {
+	rep.SoakVertices = vertices
+	rep.SoakRounds = rounds
+	rep.SoakPayload = payloadLen
+
+	churn := func(st storage.Store, sample func(round int, st storage.Store)) error {
+		payload := make([]byte, payloadLen)
+		var unpin func()
+		var snap storage.Snapshot
+		for round := 1; round <= rounds; round++ {
+			for v := 0; v < vertices; v++ {
+				payload[0] = byte(round) // distinct bytes: every wave is a real new version
+				if err := st.Put(storage.MainLoop, stream.VertexID(v), int64(round), payload); err != nil {
+					return err
+				}
+			}
+			if err := st.Flush(storage.MainLoop, int64(round)); err != nil {
+				return err
+			}
+			// Periodic fork: pin a snapshot for a few waves, then drop it —
+			// the reader-churn pattern compaction has to stay live under.
+			if round%10 == 3 {
+				if unpin != nil {
+					unpin()
+					snap.Release()
+				}
+				unpin = st.Pin(storage.MainLoop, int64(round))
+				snap = st.(storage.Snapshotter).Snapshot(storage.MainLoop)
+			}
+			if sample != nil && (round%10 == 0 || round == rounds) {
+				sample(round, st)
+			}
+			time.Sleep(200 * time.Microsecond) // give the compactor air
+		}
+		if unpin != nil {
+			unpin()
+			snap.Release()
+		}
+		return nil
+	}
+
+	mv := storage.NewMVCCStore(storage.AutoCompact(2 * time.Millisecond))
+	defer mv.Close()
+	err := churn(mv, func(round int, st storage.Store) {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		rep.Soak = append(rep.Soak, StoreSoakSample{
+			Round:        round,
+			LiveVersions: st.(*storage.MVCCStore).StoreStats().LiveVersions,
+			HeapAllocMB:  float64(ms.HeapAlloc) / (1 << 20),
+		})
+	})
+	if err != nil {
+		return err
+	}
+	// Let the compactor catch up with the final waves before the verdict.
+	time.Sleep(20 * time.Millisecond)
+	st := mv.StoreStats()
+	rep.SoakEndVer = st.LiveVersions
+	rep.Compactions = st.Compactions
+	rep.ReclaimedVer = st.ReclaimedVersions
+
+	control := storage.NewMVCCStore() // no compactor: versions accumulate
+	defer control.Close()
+	if err := churn(control, nil); err != nil {
+		return err
+	}
+	rep.ControlEndVer = control.StoreStats().LiveVersions
+	return nil
+}
+
+// gate fills Violation with the first broken invariant, if any.
+func (r *StoreReport) gate() {
+	last := r.ForkRows[len(r.ForkRows)-1]
+	first := r.ForkRows[0]
+	if last.Speedup < 10 {
+		r.Violation = fmt.Sprintf(
+			"MVCC fork at %d vertices is only %.1fx cheaper than a MemStore consistent view (want >= 10x)",
+			last.Vertices, last.Speedup)
+		return
+	}
+	// Flatness above a 2us noise floor: O(1) means the largest store must
+	// not fork materially slower than the smallest.
+	floor := math.Max(first.MVCCForkUs, 2.0)
+	if last.MVCCForkUs > 5*floor {
+		r.Violation = fmt.Sprintf(
+			"MVCC fork latency grows with vertex count: %.2fus at %d vs %.2fus at %d (want <= 5x)",
+			last.MVCCForkUs, last.Vertices, first.MVCCForkUs, first.Vertices)
+		return
+	}
+	if lim := int64(3 * r.SoakVertices); r.SoakEndVer > lim {
+		r.Violation = fmt.Sprintf(
+			"churn soak ended with %d live versions for %d vertices (want <= %d): compaction is not keeping up",
+			r.SoakEndVer, r.SoakVertices, lim)
+		return
+	}
+	if len(r.Soak) >= 2 {
+		mid := r.Soak[len(r.Soak)/2].HeapAllocMB
+		end := r.Soak[len(r.Soak)-1].HeapAllocMB
+		if end > 1.5*mid+1.0 {
+			r.Violation = fmt.Sprintf(
+				"post-GC heap grew from %.1f MB (mid-soak) to %.1f MB (end): RSS is not bounded under churn",
+				mid, end)
+		}
+	}
+}
+
+// Failed surfaces the gate so the bench driver exits nonzero after the
+// artifact is written.
+func (r *StoreReport) Failed() error {
+	if r.Violation != "" {
+		return fmt.Errorf("store gate: %s", r.Violation)
+	}
+	return nil
+}
+
+func (r *StoreReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "MVCC store: snapshot fork latency and churn-soak memory (scale %s)\n", r.Scale)
+	rows := make([][]string, 0, len(r.ForkRows))
+	for _, row := range r.ForkRows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", row.Vertices),
+			fmt.Sprintf("%.1f", row.MemForkUs),
+			fmt.Sprintf("%.2f", row.MVCCForkUs),
+			fmt.Sprintf("%.0fx", row.Speedup),
+		})
+	}
+	b.WriteString(table([]string{"vertices", "mem-view-us", "mvcc-fork-us", "speedup"}, rows))
+	fmt.Fprintf(&b, "churn soak: %d vertices x %d waves, %dB payloads\n",
+		r.SoakVertices, r.SoakRounds, r.SoakPayload)
+	for _, s := range r.Soak {
+		fmt.Fprintf(&b, "  wave %4d: %7d live versions, %7.1f MB heap\n",
+			s.Round, s.LiveVersions, s.HeapAllocMB)
+	}
+	fmt.Fprintf(&b, "end: %d live versions (compaction on), %d (control, compaction off); %d compactions reclaimed %d versions\n",
+		r.SoakEndVer, r.ControlEndVer, r.Compactions, r.ReclaimedVer)
+	if r.Violation != "" {
+		fmt.Fprintf(&b, "GATE VIOLATION: %s\n", r.Violation)
+	}
+	return b.String()
+}
+
+// WriteArtifact writes the report as JSON (the BENCH_store.json artifact).
+func (r *StoreReport) WriteArtifact(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

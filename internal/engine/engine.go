@@ -26,6 +26,38 @@ import (
 type SnapshotSource struct {
 	Loop storage.LoopID
 	UpTo int64
+	// Handle, when non-nil, is a pinned point-in-time view of Loop captured
+	// at fork/recovery time (storage.Snapshotter backends): snapshot reads
+	// go through it instead of the live store, so no concurrent compaction,
+	// truncation, or drop of the source loop can narrow what this engine
+	// sees. Reads stay bounded by UpTo either way. The engine that owns the
+	// source releases it on Stop.
+	Handle storage.Snapshot
+}
+
+// latest reads the freshest snapshot version of vertex <= maxIter: through
+// the pinned handle when present, else from the live store (whose Pin clamp
+// is then the only thing standing between the read and a compaction).
+func (s *SnapshotSource) latest(st storage.Store, vertex stream.VertexID, maxIter int64) ([]byte, int64, error) {
+	if s.Handle != nil {
+		return s.Handle.Latest(vertex, maxIter)
+	}
+	return st.Latest(s.Loop, vertex, maxIter)
+}
+
+// scan visits the freshest snapshot version <= maxIter of every vertex.
+func (s *SnapshotSource) scan(st storage.Store, maxIter int64, fn func(storage.Record) error) error {
+	if s.Handle != nil {
+		return s.Handle.Scan(maxIter, fn)
+	}
+	return st.Scan(s.Loop, maxIter, fn)
+}
+
+// release drops the pinned handle, if any. Idempotent (handles are).
+func (s *SnapshotSource) release() {
+	if s != nil && s.Handle != nil {
+		s.Handle.Release()
+	}
 }
 
 // Config assembles an Engine.
@@ -966,6 +998,10 @@ func (e *Engine) Stop() {
 		if e.onStop != nil {
 			e.onStop()
 		}
+		// Drop the snapshot handle this engine reads through (recovery and
+		// Reshard grab one on self-bootstrapping loops; for branches this
+		// doubles the onStop release, which is idempotent).
+		e.snapshot().release()
 	})
 }
 
@@ -1247,7 +1283,7 @@ func (e *Engine) IterationLog() []IterationRecord {
 func (e *Engine) ReadState(id stream.VertexID, maxIter int64) (any, int64, error) {
 	data, iter, err := e.cfg.Store.Latest(e.cfg.LoopID, id, maxIter)
 	if snap := e.snapshot(); errors.Is(err, storage.ErrNotFound) && snap != nil {
-		data, iter, err = e.cfg.Store.Latest(snap.Loop, id, snap.UpTo)
+		data, iter, err = snap.latest(e.cfg.Store, id, snap.UpTo)
 	}
 	if err != nil {
 		return nil, 0, err
@@ -1280,7 +1316,7 @@ func (e *Engine) ScanStates(maxIter int64, fn func(id stream.VertexID, iter int6
 	}
 	merged := make([]storage.Record, 0, len(own))
 	if snap := e.snapshot(); snap != nil {
-		if err := e.cfg.Store.Scan(snap.Loop, snap.UpTo, func(r storage.Record) error {
+		if err := snap.scan(e.cfg.Store, snap.UpTo, func(r storage.Record) error {
 			if _, overlaid := own[r.Vertex]; !overlaid {
 				merged = append(merged, r)
 			}
@@ -1397,9 +1433,15 @@ func (e *Engine) ForkBranch(branchLoop storage.LoopID, override func(*Config), s
 	// Pin before capturing the spec so a concurrent compaction can never
 	// drop versions between the snapshot decision and the pin. The pinned
 	// iteration is at most the spec's fork iteration (the frontier only
-	// advances), which keeps the pin conservative and safe.
+	// advances), which keeps the pin conservative and safe. The pin is
+	// taken twice on purpose: engine-side (compactFloor, for this engine's
+	// own periodic compaction) and store-side (the Store.Pin clamp, which
+	// also covers direct Compact calls and background compactors the
+	// engine never sees).
 	e.genMu.RLock()
-	pin := e.pinFork(e.inc.tracker.Notified())
+	pinIter := e.inc.tracker.Notified()
+	enginePin := e.pinFork(pinIter)
+	storePin := e.cfg.Store.Pin(e.cfg.LoopID, pinIter)
 	forkSeq := e.journalSeq() // before the spec: conservative for merges
 	spec := e.forkLocked()
 	cfg := e.cfg
@@ -1409,7 +1451,15 @@ func (e *Engine) ForkBranch(branchLoop storage.LoopID, override func(*Config), s
 	cfg.Kind = BranchLoop
 	cfg.LoopID = branchLoop
 	cfg.branchObs = e.branchObs
-	cfg.Snapshot = &SnapshotSource{Loop: e.cfg.LoopID, UpTo: spec.ForkIter}
+	// An MVCC-style backend upgrades the fork to an O(1) pinned handle: the
+	// grab is safe here, after the spec, because the pins above already
+	// clamp any compaction below the fork iteration. From now on the branch
+	// reads an immutable root instead of racing the parent's live tree.
+	var handle storage.Snapshot
+	if sn, ok := cfg.Store.(storage.Snapshotter); ok {
+		handle = sn.Snapshot(e.cfg.LoopID)
+	}
+	cfg.Snapshot = &SnapshotSource{Loop: e.cfg.LoopID, UpTo: spec.ForkIter, Handle: handle}
 	cfg.Converge = nil
 	cfg.MaxIterations = 0
 	cfg.StartIteration = 0
@@ -1419,14 +1469,21 @@ func (e *Engine) ForkBranch(branchLoop storage.LoopID, override func(*Config), s
 	if override != nil {
 		override(&cfg)
 	}
+	unpin := func() {
+		enginePin()
+		storePin()
+		if handle != nil {
+			handle.Release()
+		}
+	}
 	br, err := New(cfg)
 	if err != nil {
-		pin()
+		unpin()
 		return nil, ForkSpec{}, err
 	}
 	// Keep the snapshot's versions alive in the parent store until the
 	// branch is stopped (lazy snapshot reads happen throughout its life).
-	br.onStop = pin
+	br.onStop = unpin
 	br.forkJournalSeq = forkSeq
 	br.Start()
 	// Guard against the empty instant between Start and the first seed, in
@@ -1462,7 +1519,7 @@ func (e *Engine) ActivateStored() error {
 		return errors.New("engine: ActivateStored requires a snapshot source")
 	}
 	var ids []stream.VertexID
-	if err := e.cfg.Store.Scan(snap.Loop, snap.UpTo, func(r storage.Record) error {
+	if err := snap.scan(e.cfg.Store, snap.UpTo, func(r storage.Record) error {
 		ids = append(ids, r.Vertex)
 		return nil
 	}); err != nil {
@@ -1495,9 +1552,16 @@ func Reshard(e *Engine, newProcs int, newPartition func(stream.VertexID, int) in
 		cfg.Partition = newPartition
 	}
 	cfg.Snapshot = &SnapshotSource{Loop: cfg.LoopID, UpTo: resume}
+	// Resuming over own history: pin the view like a fork would, so the
+	// replacement's lazy bootstrap reads are immune to compaction. The old
+	// engine is already stopped, so the grab sees all its commits.
+	if sn, ok := cfg.Store.(storage.Snapshotter); ok {
+		cfg.Snapshot.Handle = sn.Snapshot(cfg.LoopID)
+	}
 	cfg.StartIteration = resume + 1
 	ne, err := New(cfg)
 	if err != nil {
+		cfg.Snapshot.release()
 		return nil, err
 	}
 	ne.Start()

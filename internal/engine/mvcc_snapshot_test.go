@@ -1,0 +1,171 @@
+package engine
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"tornado/internal/datasets"
+	"tornado/internal/storage"
+	"tornado/internal/stream"
+)
+
+// TestForkBranchExactSnapshotUnderCompaction is the tentpole's isolation
+// guarantee end to end: a branch forked off an MVCC-backed main loop must
+// keep reading its exact fork-time prefix while the parent keeps committing
+// and the store is compacted aggressively — including direct Compact calls
+// at keepFrom far above the fork iteration, which only the store-level pin
+// clamp and the pinned handle can survive.
+func TestForkBranchExactSnapshotUnderCompaction(t *testing.T) {
+	store := storage.NewMVCCStore()
+	defer store.Close()
+	tuples := datasets.PowerLawGraph(250, 3, 17)
+	e := newSSSPEngine(t, 3, 8, store, storage.MainLoop)
+	e.Start()
+	defer e.Stop()
+	e.IngestAll(tuples)
+	if err := e.WaitQuiesce(waitFor); err != nil {
+		t.Fatal(err)
+	}
+
+	// Capture the fork-time truth, then fork.
+	want := make(map[stream.VertexID]int64)
+	if err := e.ScanStates(math.MaxInt64, func(id stream.VertexID, _ int64, s any) error {
+		want[id] = s.(*ssspState).Length
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	br, _, err := e.ForkBranch(7, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer br.Stop()
+	if err := br.WaitDone(waitFor); err != nil {
+		t.Fatal(err)
+	}
+
+	// Evolve the parent past the fork (new edges shorten distances) while a
+	// compactor hammers the store with floors far above the fork iteration.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if err := store.Compact(storage.MainLoop, math.MaxInt64/2); err != nil {
+					t.Error(err)
+					return
+				}
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}()
+	extra := datasets.PowerLawGraph(250, 2, 99)
+	e.IngestAll(extra)
+	if err := e.WaitQuiesce(waitFor); err != nil {
+		t.Fatal(err)
+	}
+
+	// The branch must still read the exact fork-time snapshot: its own
+	// converged commits overlay the pinned parent prefix, and neither the
+	// parent's new versions nor the compactions may show through.
+	got := make(map[stream.VertexID]int64)
+	if err := br.ScanStates(math.MaxInt64, func(id stream.VertexID, _ int64, s any) error {
+		got[id] = s.(*ssspState).Length
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	for v, w := range want {
+		if g, ok := got[v]; !ok || g != w {
+			t.Fatalf("vertex %d: branch reads %d (present=%v), fork-time value %d", v, g, ok, w)
+		}
+	}
+	for v := range got {
+		if _, ok := want[v]; !ok {
+			t.Fatalf("vertex %d appeared in the branch but not in the fork-time snapshot", v)
+		}
+	}
+}
+
+// TestCrashRecoveryMVCCStore reruns supervised master-crash recovery on the
+// MVCC backend: the rollback (Truncate), handle-pinned checkpoint bootstrap,
+// and post-recovery commits must reach the exact fixed point, with an
+// aggressive background compactor running the whole time.
+func TestCrashRecoveryMVCCStore(t *testing.T) {
+	store := storage.NewMVCCStore(storage.AutoCompact(time.Millisecond))
+	defer store.Close()
+	tuples := datasets.PowerLawGraph(200, 3, 31)
+	e, err := New(Config{
+		Processors:        3,
+		DelayBound:        4,
+		Kind:              MainLoop,
+		LoopID:            storage.MainLoop,
+		Store:             store,
+		Program:           ssspProg{source: 0},
+		Seed:              31,
+		HeartbeatInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	defer e.Stop()
+
+	half := len(tuples) / 2
+	e.IngestAll(tuples[:half])
+	if err := e.WaitQuiesce(waitFor); err != nil {
+		t.Fatal(err)
+	}
+	e.CrashMaster()
+	e.IngestAll(tuples[half:])
+	if err := e.WaitSettled(waitFor); err != nil {
+		t.Fatal(err)
+	}
+	checkSSSP(t, e, tuples)
+	if s := e.StatsSnapshot(); s.Recoveries < 1 {
+		t.Fatalf("Recoveries = %d, want >= 1", s.Recoveries)
+	}
+}
+
+// TestForkPinsReleasedMVCC asserts the full fork lifecycle returns the
+// store to zero pinned snapshots — the leak check behind the
+// tornado_store_pinned_snapshots gauge.
+func TestForkPinsReleasedMVCC(t *testing.T) {
+	store := storage.NewMVCCStore()
+	defer store.Close()
+	e := newSSSPEngine(t, 2, 4, store, storage.MainLoop)
+	e.Start()
+	defer e.Stop()
+	e.IngestAll(datasets.PowerLawGraph(60, 2, 5))
+	if err := e.WaitQuiesce(waitFor); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		br, _, err := e.ForkBranch(storage.LoopID(10+i), nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := br.WaitDone(waitFor); err != nil {
+			t.Fatal(err)
+		}
+		if st := store.StoreStats(); st.PinnedSnapshots < 1 {
+			t.Fatalf("fork %d: no pinned snapshot while branch lives: %+v", i, st)
+		}
+		br.Stop()
+	}
+	if st := store.StoreStats(); st.PinnedSnapshots != 0 {
+		t.Fatalf("pins leaked after all branches stopped: %+v", st)
+	}
+	if n := e.PinnedForks(); n != 0 {
+		t.Fatalf("engine pins leaked: %d", n)
+	}
+}

@@ -253,7 +253,7 @@ func (p *processor) ensure(id stream.VertexID) *vertex {
 	v := newVertex(id, p.eng.cfg.Seed)
 	p.vertices[id] = v
 	if snap := p.snap; snap != nil {
-		data, _, err := p.eng.cfg.Store.Latest(snap.Loop, id, snap.UpTo)
+		data, _, err := snap.latest(p.eng.cfg.Store, id, snap.UpTo)
 		if err == nil {
 			decoded, derr := p.eng.cfg.Codec.Decode(data)
 			if derr != nil {

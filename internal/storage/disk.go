@@ -211,6 +211,12 @@ func (s *DiskStore) Compact(loop LoopID, keepFrom int64) error {
 	return s.mem.Compact(loop, keepFrom)
 }
 
+// Pin implements Store: pins live in the in-memory index's registry, which
+// is exactly what Compact (also delegated to the index) clamps against.
+func (s *DiskStore) Pin(loop LoopID, iter int64) func() {
+	return s.mem.Pin(loop, iter)
+}
+
 // Truncate implements Store: a truncation record is logged (and fsynced, so
 // a crash during recovery cannot resurrect the truncated versions) and the
 // index floor applied.

@@ -1,0 +1,653 @@
+package storage
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tornado/internal/stream"
+)
+
+// This file implements MVCCStore, the copy-on-write multi-version backend.
+//
+// MemStore serializes every fork against every commit: taking a consistent
+// view means materializing a full Scan under the store lock, O(n) in the
+// vertex count, and nothing ties version reclamation to the snapshots still
+// reading. MVCCStore inverts the design. Each loop's index is a persistent
+// treap keyed by vertex: writers path-copy the O(log n) spine from the root
+// to the touched node and publish the new root with a single atomic pointer
+// store, so every root ever published describes a complete, immutable tree.
+// A Snapshot is therefore one atomic root load — O(1) regardless of how
+// many vertices or versions exist — and readers (live or snapshot) never
+// take a lock at all.
+//
+// Reclamation is epoch-style by construction: a snapshot handle keeps its
+// root reachable, the root keeps exactly the nodes of its epoch reachable,
+// and Go's GC frees a version the moment no published root and no
+// outstanding handle can reach it. Compaction rewrites version chains below
+// `min(checkpoint horizon, oldest pin)` into a new root; subtrees with
+// nothing to reclaim are shared, not copied, so the treap's shape (and its
+// hash-derived priorities) survive. A handle taken before the compaction
+// still reads the old root — a live branch structurally cannot lose its
+// view — while the pin registry additionally clamps the floor for readers
+// of the live root (the engine's non-handle fallback paths).
+type MVCCStore struct {
+	loops sync.Map // LoopID -> *mvccLoop
+	pins  pinRegistry
+
+	// handles tracks unreleased snapshots for the pinned-snapshot and
+	// snapshot-age gauges; correctness never depends on it (the root
+	// reference inside the handle is what preserves the view).
+	handleMu sync.Mutex
+	handles  map[*mvccSnap]time.Time
+
+	compactions  atomic.Int64
+	reclaimedVer atomic.Int64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// mvccLoop is one loop's namespace: an atomically published tree root plus
+// the checkpoint mark and residency counters. wmu serializes writers only;
+// readers load root without any lock.
+type mvccLoop struct {
+	wmu  sync.Mutex
+	root atomic.Pointer[treapNode]
+	ckpt atomic.Pointer[int64] // nil until the first Flush
+
+	liveVersions atomic.Int64
+	liveBytes    atomic.Int64
+}
+
+// treapNode is one immutable node of the persistent vertex index. Nodes are
+// never modified after their root is published; writers copy the path from
+// the root down and share every untouched subtree.
+type treapNode struct {
+	key         stream.VertexID
+	prio        uint64
+	left, right *treapNode
+	chain       *vchain
+}
+
+// vchain is an immutable version chain in ascending iteration order.
+// Mutating operations return a fresh chain (or the receiver, when nothing
+// changed) instead of editing in place.
+type vchain struct {
+	iters []int64
+	data  [][]byte
+}
+
+// MVCCOption configures an MVCCStore.
+type MVCCOption func(*mvccConfig)
+
+type mvccConfig struct {
+	compactInterval time.Duration
+}
+
+// AutoCompact runs a background compactor that, every interval, compacts
+// each loop to its checkpoint horizon (clamped, as every compaction is, at
+// the oldest pinned snapshot). Without it the store still compacts whenever
+// the engine calls Compact; the background pass additionally reclaims loops
+// the engine is not actively driving.
+func AutoCompact(interval time.Duration) MVCCOption {
+	return func(c *mvccConfig) { c.compactInterval = interval }
+}
+
+// NewMVCCStore returns an empty copy-on-write store.
+func NewMVCCStore(opts ...MVCCOption) *MVCCStore {
+	var cfg mvccConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	s := &MVCCStore{
+		handles: make(map[*mvccSnap]time.Time),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	if cfg.compactInterval > 0 {
+		go s.compactor(cfg.compactInterval)
+	} else {
+		close(s.done)
+	}
+	return s
+}
+
+func (s *MVCCStore) loop(l LoopID) *mvccLoop {
+	if lp, ok := s.loops.Load(l); ok {
+		return lp.(*mvccLoop)
+	}
+	lp, _ := s.loops.LoadOrStore(l, &mvccLoop{})
+	return lp.(*mvccLoop)
+}
+
+func (s *MVCCStore) lookup(l LoopID) *mvccLoop {
+	if lp, ok := s.loops.Load(l); ok {
+		return lp.(*mvccLoop)
+	}
+	return nil
+}
+
+// Put implements Store. Like MemStore, a re-delivered identical write is a
+// no-op with zero allocations and — here — zero published roots.
+func (s *MVCCStore) Put(loop LoopID, vertex stream.VertexID, iteration int64, data []byte) error {
+	lp := s.loop(loop)
+	lp.wmu.Lock()
+	defer lp.wmu.Unlock()
+	root := lp.root.Load()
+	if c := find(root, vertex); c != nil {
+		if old, ok := c.get(iteration); ok && bytes.Equal(old, data) {
+			return nil
+		}
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	var dVer, dBytes int64
+	lp.root.Store(insert(root, vertex, func(old *vchain) *vchain {
+		nc, replaced, overwrote := old.withPut(iteration, cp)
+		if overwrote {
+			dBytes = int64(len(cp)) - replaced
+		} else {
+			dVer, dBytes = 1, int64(len(cp))
+		}
+		return nc
+	}))
+	lp.liveVersions.Add(dVer)
+	lp.liveBytes.Add(dBytes)
+	return nil
+}
+
+// Latest implements Store: a lock-free read of the current root.
+func (s *MVCCStore) Latest(loop LoopID, vertex stream.VertexID, maxIter int64) ([]byte, int64, error) {
+	lp := s.lookup(loop)
+	if lp == nil {
+		return nil, 0, ErrNotFound
+	}
+	return chainLatest(find(lp.root.Load(), vertex), maxIter)
+}
+
+func chainLatest(c *vchain, maxIter int64) ([]byte, int64, error) {
+	if c == nil {
+		return nil, 0, ErrNotFound
+	}
+	data, iter, ok := c.latest(maxIter)
+	if !ok {
+		return nil, 0, ErrNotFound
+	}
+	return data, iter, nil
+}
+
+// Scan implements Store. The in-order walk of one atomically loaded root is
+// a consistent point-in-time view by construction — no record
+// materialization, no lock, and concurrent writers are never blocked.
+func (s *MVCCStore) Scan(loop LoopID, maxIter int64, fn func(Record) error) error {
+	lp := s.lookup(loop)
+	if lp == nil {
+		return nil
+	}
+	return scanTree(lp.root.Load(), maxIter, fn)
+}
+
+func scanTree(n *treapNode, maxIter int64, fn func(Record) error) error {
+	if n == nil {
+		return nil
+	}
+	if err := scanTree(n.left, maxIter, fn); err != nil {
+		return err
+	}
+	if data, iter, ok := n.chain.latest(maxIter); ok {
+		if err := fn(Record{Vertex: n.key, Iteration: iter, Data: data}); err != nil {
+			return err
+		}
+	}
+	return scanTree(n.right, maxIter, fn)
+}
+
+// Flush implements Store: it records the checkpoint mark (all state is
+// already "durable" in memory).
+func (s *MVCCStore) Flush(loop LoopID, upTo int64) error {
+	lp := s.loop(loop)
+	lp.wmu.Lock()
+	defer lp.wmu.Unlock()
+	if ck := lp.ckpt.Load(); ck == nil || upTo > *ck {
+		v := upTo
+		lp.ckpt.Store(&v)
+	}
+	return nil
+}
+
+// LastCheckpoint implements Store.
+func (s *MVCCStore) LastCheckpoint(loop LoopID) (int64, error) {
+	lp := s.lookup(loop)
+	if lp == nil {
+		return 0, ErrNotFound
+	}
+	ck := lp.ckpt.Load()
+	if ck == nil {
+		return 0, ErrNotFound
+	}
+	return *ck, nil
+}
+
+// Compact implements Store: chains are rewritten below keepFrom (clamped at
+// the oldest pin) into a fresh root; subtrees with nothing to drop are
+// shared with the old root, which outstanding snapshot handles keep intact.
+func (s *MVCCStore) Compact(loop LoopID, keepFrom int64) error {
+	keepFrom = s.pins.clamp(loop, keepFrom)
+	lp := s.lookup(loop)
+	if lp == nil {
+		return nil
+	}
+	lp.wmu.Lock()
+	defer lp.wmu.Unlock()
+	var rc reclaim
+	root := lp.root.Load()
+	if nr := compactTree(root, keepFrom, &rc); nr != root {
+		lp.root.Store(nr)
+		lp.liveVersions.Add(-rc.versions)
+		lp.liveBytes.Add(-rc.bytes)
+		s.reclaimedVer.Add(rc.versions)
+	}
+	s.compactions.Add(1)
+	return nil
+}
+
+// Truncate implements Store: the crash-recovery floor, deliberately not
+// clamped by pins (see Store.Pin).
+func (s *MVCCStore) Truncate(loop LoopID, above int64) error {
+	lp := s.lookup(loop)
+	if lp == nil {
+		return nil
+	}
+	lp.wmu.Lock()
+	defer lp.wmu.Unlock()
+	var rc reclaim
+	root := lp.root.Load()
+	if nr := truncateTree(root, above, &rc); nr != root {
+		lp.root.Store(nr)
+		lp.liveVersions.Add(-rc.versions)
+		lp.liveBytes.Add(-rc.bytes)
+	}
+	return nil
+}
+
+// DropLoop implements Store. Outstanding handles on the loop keep reading
+// their captured root; only the live index disappears.
+func (s *MVCCStore) DropLoop(loop LoopID) error {
+	s.loops.Delete(loop)
+	return nil
+}
+
+// Pin implements Store.
+func (s *MVCCStore) Pin(loop LoopID, iter int64) func() {
+	return s.pins.pin(loop, iter)
+}
+
+// Close implements Store: it stops the background compactor and drops all
+// loops. Idempotent.
+func (s *MVCCStore) Close() error {
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.done
+	s.loops.Range(func(k, _ any) bool {
+		s.loops.Delete(k)
+		return true
+	})
+	return nil
+}
+
+// compactor is the background reclamation pass: every interval, each loop
+// with a checkpoint is compacted to that horizon (Compact clamps at pins).
+func (s *MVCCStore) compactor(interval time.Duration) {
+	defer close(s.done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.CompactAll()
+		}
+	}
+}
+
+// CompactAll compacts every loop below its checkpoint horizon (loops never
+// flushed are left untouched; nothing below no-checkpoint is reclaimable).
+func (s *MVCCStore) CompactAll() {
+	s.loops.Range(func(k, _ any) bool {
+		loop := k.(LoopID)
+		if ck, err := s.LastCheckpoint(loop); err == nil {
+			_ = s.Compact(loop, ck)
+		}
+		return true
+	})
+}
+
+// NumVersions reports the number of live versions in a loop (the published
+// root's, not any handle's).
+func (s *MVCCStore) NumVersions(loop LoopID) int {
+	lp := s.lookup(loop)
+	if lp == nil {
+		return 0
+	}
+	return int(lp.liveVersions.Load())
+}
+
+// Snapshot returns an O(1) read-only handle on the loop's current state:
+// one atomic root load, no locks, no copying. The handle stays exactly as
+// consistent and complete as it was at the grab no matter what Put, Compact,
+// Truncate or DropLoop do afterwards; Release it when done so the
+// pinned-snapshot gauges (and the GC) can let its epoch go.
+func (s *MVCCStore) Snapshot(loop LoopID) Snapshot {
+	var root *treapNode
+	if lp := s.lookup(loop); lp != nil {
+		root = lp.root.Load()
+	}
+	h := &mvccSnap{store: s, root: root}
+	s.handleMu.Lock()
+	s.handles[h] = time.Now()
+	s.handleMu.Unlock()
+	return h
+}
+
+// mvccSnap is a point-in-time view: just a captured root.
+type mvccSnap struct {
+	store *MVCCStore
+	root  *treapNode
+	once  sync.Once
+}
+
+// Latest implements Snapshot.
+func (h *mvccSnap) Latest(vertex stream.VertexID, maxIter int64) ([]byte, int64, error) {
+	return chainLatest(find(h.root, vertex), maxIter)
+}
+
+// Scan implements Snapshot.
+func (h *mvccSnap) Scan(maxIter int64, fn func(Record) error) error {
+	return scanTree(h.root, maxIter, fn)
+}
+
+// Release implements Snapshot. Idempotent.
+func (h *mvccSnap) Release() {
+	h.once.Do(func() {
+		h.store.handleMu.Lock()
+		delete(h.store.handles, h)
+		h.store.handleMu.Unlock()
+		h.root = nil
+	})
+}
+
+// StoreStats implements StatsProvider.
+func (s *MVCCStore) StoreStats() StoreStats {
+	st := StoreStats{
+		Compactions:       s.compactions.Load(),
+		ReclaimedVersions: s.reclaimedVer.Load(),
+	}
+	s.loops.Range(func(_, v any) bool {
+		lp := v.(*mvccLoop)
+		st.Loops++
+		st.LiveVersions += lp.liveVersions.Load()
+		st.ResidentBytes += lp.liveBytes.Load()
+		return true
+	})
+	s.handleMu.Lock()
+	now := time.Now()
+	for _, taken := range s.handles {
+		st.PinnedSnapshots++
+		if age := now.Sub(taken); age > st.OldestSnapshotAge {
+			st.OldestSnapshotAge = age
+		}
+	}
+	s.handleMu.Unlock()
+	st.PinnedSnapshots += s.pins.count()
+	return st
+}
+
+var (
+	_ Store         = (*MVCCStore)(nil)
+	_ Snapshotter   = (*MVCCStore)(nil)
+	_ StatsProvider = (*MVCCStore)(nil)
+)
+
+// ---- persistent treap machinery ----
+
+// prioOf derives a node's heap priority from its key (splitmix64 finalizer):
+// deterministic, so compaction and truncation can rebuild chains without
+// re-randomizing, and uniform enough to keep the treap balanced in
+// expectation regardless of insertion order.
+func prioOf(key stream.VertexID) uint64 {
+	x := uint64(key) + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// find returns the chain at key, or nil. Pure read: safe on any root.
+func find(n *treapNode, key stream.VertexID) *vchain {
+	for n != nil {
+		switch {
+		case key == n.key:
+			return n.chain
+		case key < n.key:
+			n = n.left
+		default:
+			n = n.right
+		}
+	}
+	return nil
+}
+
+// insert returns the root of a tree identical to n except that the chain at
+// key is upd(old) (old is nil for a fresh vertex). Only the root-to-key
+// path is copied; the returned node is always freshly allocated, which is
+// what makes the local rotation relinks below safe.
+func insert(n *treapNode, key stream.VertexID, upd func(*vchain) *vchain) *treapNode {
+	if n == nil {
+		return &treapNode{key: key, prio: prioOf(key), chain: upd(nil)}
+	}
+	cp := *n
+	switch {
+	case key == n.key:
+		cp.chain = upd(n.chain)
+		return &cp
+	case key < n.key:
+		l := insert(n.left, key, upd)
+		cp.left = l
+		if l.prio > cp.prio {
+			cp.left = l.right
+			l.right = &cp
+			return l
+		}
+		return &cp
+	default:
+		r := insert(n.right, key, upd)
+		cp.right = r
+		if r.prio > cp.prio {
+			cp.right = r.left
+			r.left = &cp
+			return r
+		}
+		return &cp
+	}
+}
+
+// join merges two treaps where every key of l precedes every key of r
+// (deletion support for truncated-empty chains). Path-copying like insert.
+func join(l, r *treapNode) *treapNode {
+	if l == nil {
+		return r
+	}
+	if r == nil {
+		return l
+	}
+	if l.prio >= r.prio {
+		cp := *l
+		cp.right = join(l.right, r)
+		return &cp
+	}
+	cp := *r
+	cp.left = join(l, r.left)
+	return &cp
+}
+
+// reclaim accumulates what a compaction or truncation pass dropped.
+type reclaim struct{ versions, bytes int64 }
+
+// compactTree rewrites every chain to keep the freshest version <= keepFrom
+// plus all newer ones. Untouched subtrees are returned as-is (pointer
+// equality), so an idle region of the key space costs nothing to "compact".
+func compactTree(n *treapNode, keepFrom int64, rc *reclaim) *treapNode {
+	if n == nil {
+		return nil
+	}
+	l := compactTree(n.left, keepFrom, rc)
+	r := compactTree(n.right, keepFrom, rc)
+	c := n.chain.compacted(keepFrom, rc)
+	if l == n.left && r == n.right && c == n.chain {
+		return n
+	}
+	cp := *n
+	cp.left, cp.right, cp.chain = l, r, c
+	return &cp
+}
+
+// truncateTree drops every version above `above`; vertices whose chains
+// empty out are deleted from the index entirely.
+func truncateTree(n *treapNode, above int64, rc *reclaim) *treapNode {
+	if n == nil {
+		return nil
+	}
+	l := truncateTree(n.left, above, rc)
+	r := truncateTree(n.right, above, rc)
+	c, empty := n.chain.truncated(above, rc)
+	if empty {
+		return join(l, r)
+	}
+	if l == n.left && r == n.right && c == n.chain {
+		return n
+	}
+	cp := *n
+	cp.left, cp.right, cp.chain = l, r, c
+	return &cp
+}
+
+// ---- immutable version chains ----
+
+// get returns the exact version at iteration. Nil receiver: absent vertex.
+func (c *vchain) get(iteration int64) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	i, ok := c.search(iteration)
+	if !ok {
+		return nil, false
+	}
+	return c.data[i], true
+}
+
+// latest returns the freshest version <= maxIter.
+func (c *vchain) latest(maxIter int64) ([]byte, int64, bool) {
+	if c == nil {
+		return nil, 0, false
+	}
+	i := c.upperBound(maxIter)
+	if i == 0 {
+		return nil, 0, false
+	}
+	return c.data[i-1], c.iters[i-1], true
+}
+
+// upperBound returns the first index with iters[i] > iter. Unlike
+// search(iter+1) it is safe at iter == MaxInt64 (readers pass it for "the
+// newest").
+func (c *vchain) upperBound(iter int64) int {
+	lo, hi := 0, len(c.iters)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.iters[mid] <= iter {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// search returns the insertion index for iteration (first i with
+// iters[i] >= iteration) and whether an exact match sits there.
+func (c *vchain) search(iteration int64) (int, bool) {
+	lo, hi := 0, len(c.iters)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.iters[mid] < iteration {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(c.iters) && c.iters[lo] == iteration
+}
+
+// withPut returns a fresh chain with the version at iteration set to data.
+// replaced is the byte length of an overwritten payload (overwrote reports
+// whether one existed).
+func (c *vchain) withPut(iteration int64, data []byte) (nc *vchain, replaced int64, overwrote bool) {
+	if c == nil {
+		return &vchain{iters: []int64{iteration}, data: [][]byte{data}}, 0, false
+	}
+	i, exact := c.search(iteration)
+	if exact {
+		nc = &vchain{iters: c.iters, data: make([][]byte, len(c.data))}
+		copy(nc.data, c.data)
+		replaced = int64(len(nc.data[i]))
+		nc.data[i] = data
+		return nc, replaced, true
+	}
+	nc = &vchain{
+		iters: make([]int64, len(c.iters)+1),
+		data:  make([][]byte, len(c.data)+1),
+	}
+	copy(nc.iters, c.iters[:i])
+	copy(nc.data, c.data[:i])
+	nc.iters[i], nc.data[i] = iteration, data
+	copy(nc.iters[i+1:], c.iters[i:])
+	copy(nc.data[i+1:], c.data[i:])
+	return nc, 0, false
+}
+
+// compacted keeps the freshest version <= keepFrom plus all newer ones,
+// returning the receiver when nothing drops.
+func (c *vchain) compacted(keepFrom int64, rc *reclaim) *vchain {
+	i := c.upperBound(keepFrom)
+	if i <= 1 {
+		return c
+	}
+	keep := i - 1
+	for _, d := range c.data[:keep] {
+		rc.bytes += int64(len(d))
+	}
+	rc.versions += int64(keep)
+	return &vchain{iters: c.iters[keep:], data: c.data[keep:]}
+}
+
+// truncated drops versions above `above`, reporting whether the chain
+// emptied. Returns the receiver when nothing drops.
+func (c *vchain) truncated(above int64, rc *reclaim) (*vchain, bool) {
+	i := c.upperBound(above)
+	if i == len(c.iters) {
+		return c, len(c.iters) == 0
+	}
+	for _, d := range c.data[i:] {
+		rc.bytes += int64(len(d))
+	}
+	rc.versions += int64(len(c.iters) - i)
+	if i == 0 {
+		return nil, true
+	}
+	return &vchain{iters: c.iters[:i:i], data: c.data[:i:i]}, false
+}

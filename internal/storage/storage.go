@@ -21,6 +21,7 @@
 package storage
 
 import (
+	"bytes"
 	"errors"
 	"sort"
 	"sync"
@@ -83,14 +84,98 @@ type Store interface {
 	// their results are consumed or merged).
 	DropLoop(loop LoopID) error
 
+	// Pin marks iteration iter of the loop as snapshot-visible: until the
+	// returned release is called, Compact keeps every version a reader at
+	// iter can observe (the freshest version <= iter of each vertex).
+	// Pinning is the store-level guarantee behind branch forks — the engine
+	// additionally caps its own compaction floor, but only the store can
+	// promise that a direct Compact call never races a fork window. The
+	// release is idempotent. Truncate and DropLoop are deliberately not
+	// clamped: they are crash-recovery and teardown floors, authoritative
+	// over any snapshot.
+	Pin(loop LoopID, iter int64) func()
+
 	// Close releases resources. The store must not be used afterwards.
 	Close() error
+}
+
+// pinRegistry is the shared snapshot-pin ledger every backend consults
+// before compacting. It maps loop -> pinned iteration -> refcount; Compact
+// clamps its keepFrom at the oldest pinned iteration so the version a
+// pinned reader may observe is always the one kept.
+type pinRegistry struct {
+	mu   sync.Mutex
+	pins map[LoopID]map[int64]int
+}
+
+// pin registers iter and returns its idempotent release.
+func (r *pinRegistry) pin(loop LoopID, iter int64) func() {
+	r.mu.Lock()
+	if r.pins == nil {
+		r.pins = make(map[LoopID]map[int64]int)
+	}
+	m := r.pins[loop]
+	if m == nil {
+		m = make(map[int64]int)
+		r.pins[loop] = m
+	}
+	m[iter]++
+	r.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			r.mu.Lock()
+			if m := r.pins[loop]; m != nil {
+				if m[iter]--; m[iter] <= 0 {
+					delete(m, iter)
+					if len(m) == 0 {
+						delete(r.pins, loop)
+					}
+				}
+			}
+			r.mu.Unlock()
+		})
+	}
+}
+
+// clamp caps keepFrom at the oldest pinned iteration of the loop.
+func (r *pinRegistry) clamp(loop LoopID, keepFrom int64) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for iter := range r.pins[loop] {
+		if iter < keepFrom {
+			keepFrom = iter
+		}
+	}
+	return keepFrom
+}
+
+// count returns the number of live pins across all loops.
+func (r *pinRegistry) count() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var n int64
+	for _, m := range r.pins {
+		for _, c := range m {
+			n += int64(c)
+		}
+	}
+	return n
 }
 
 // versions is a per-vertex version chain ordered by ascending iteration.
 type versions struct {
 	iters []int64
 	data  [][]byte
+}
+
+// get returns the exact version at iteration, if present.
+func (v *versions) get(iteration int64) ([]byte, bool) {
+	i := sort.Search(len(v.iters), func(i int) bool { return v.iters[i] >= iteration })
+	if i < len(v.iters) && v.iters[i] == iteration {
+		return v.data[i], true
+	}
+	return nil, false
 }
 
 // put inserts or overwrites the version at iteration.
@@ -155,6 +240,7 @@ type loopState struct {
 type MemStore struct {
 	mu    sync.RWMutex
 	loops map[LoopID]*loopState
+	pins  pinRegistry
 }
 
 // NewMemStore returns an empty in-memory store.
@@ -171,19 +257,31 @@ func (s *MemStore) loop(l LoopID) *loopState {
 	return ls
 }
 
-// Put implements Store.
+// Put implements Store. The defensive copy is taken under the lock only
+// when a new payload actually lands: re-delivered identical writes — the
+// common case under at-least-once delivery, where an acked commit is
+// retransmitted and re-applied idempotently — allocate nothing. A differing
+// overwrite cannot reuse the old slice's capacity in place, because slices
+// previously returned by Latest/Scan alias it and an in-place write would
+// race their readers; it gets a fresh copy instead.
 func (s *MemStore) Put(loop LoopID, vertex stream.VertexID, iteration int64, data []byte) error {
-	cp := make([]byte, len(data))
-	copy(cp, data)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ls := s.loop(loop)
 	vs, ok := ls.verts[vertex]
 	if !ok {
-		vs = &versions{}
+		// Pre-size the chain: commit/compact cycles hold steady-state chains
+		// at a handful of versions, so one up-front allocation absorbs the
+		// early append-growth churn on the hot commit path.
+		vs = &versions{iters: make([]int64, 0, 4), data: make([][]byte, 0, 4)}
 		ls.verts[vertex] = vs
 		ls.sortedIDs = nil
 	}
+	if old, exists := vs.get(iteration); exists && bytes.Equal(old, data) {
+		return nil
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
 	vs.put(iteration, cp)
 	return nil
 }
@@ -292,8 +390,10 @@ func (s *MemStore) LastCheckpoint(loop LoopID) (int64, error) {
 	return ls.checkpoint, nil
 }
 
-// Compact implements Store.
+// Compact implements Store. keepFrom is clamped at the oldest pinned
+// iteration so a pinned snapshot never loses a version it can observe.
 func (s *MemStore) Compact(loop LoopID, keepFrom int64) error {
+	keepFrom = s.pins.clamp(loop, keepFrom)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ls, ok := s.loops[loop]
@@ -304,6 +404,11 @@ func (s *MemStore) Compact(loop LoopID, keepFrom int64) error {
 		vs.compact(keepFrom)
 	}
 	return nil
+}
+
+// Pin implements Store.
+func (s *MemStore) Pin(loop LoopID, iter int64) func() {
+	return s.pins.pin(loop, iter)
 }
 
 // Truncate implements Store.

@@ -85,6 +85,9 @@ type (
 	// WireSpec puts the main loop's message plane on a real socket transport
 	// (see Options.Wire and engine.WireSpec).
 	WireSpec = engine.WireSpec
+	// StoreStats is the versioned store's residency report (live versions,
+	// resident bytes, compactions, pinned snapshots; see System.StoreStats).
+	StoreStats = storage.StoreStats
 )
 
 // ErrOverloaded is returned by Submit when the query wait queue is full and
@@ -117,7 +120,12 @@ type Options struct {
 	Processors int
 	// DelayBound is the iteration delay bound B (default 64; 1 = BSP).
 	DelayBound int64
-	// Store holds versioned vertex state (default in-memory). Use
+	// Store holds versioned vertex state. The default is the in-memory MVCC
+	// copy-on-write store with a background compactor: query forks pin O(1)
+	// snapshot handles and superseded versions are reclaimed below the
+	// checkpoint horizon, so RSS stays bounded on long-running streams (the
+	// system closes a store it defaulted; one you pass stays yours to
+	// close). Use storage.NewMemStore for the plain map backend or
 	// storage.OpenDisk for durable checkpoints.
 	Store storage.Store
 	// ResendAfter enables at-least-once transport with the given
@@ -262,7 +270,7 @@ func (o *Options) fill() {
 		o.DelayBound = 64
 	}
 	if o.Store == nil {
-		o.Store = storage.NewMemStore()
+		o.Store = storage.NewMVCCStore(storage.AutoCompact(2 * time.Second))
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
@@ -276,6 +284,7 @@ type System struct {
 	mu       sync.RWMutex
 	main     *engine.Engine
 	store    storage.Store
+	ownStore bool         // store was defaulted by New: Close owns it
 	program  Program      // value mode (nil in delta mode)
 	delta    DeltaProgram // delta mode (nil in value mode)
 	nextLoop atomic.Uint64
@@ -324,6 +333,7 @@ func NewDelta(dp DeltaProgram, opts Options) (*System, error) {
 }
 
 func newSystem(program Program, dp DeltaProgram, opts Options) (*System, error) {
+	ownStore := opts.Store == nil // defaulted below: Close tears it down
 	opts.fill()
 	spanRate := opts.SpanSampleRate
 	switch {
@@ -366,7 +376,7 @@ func newSystem(program Program, dp DeltaProgram, opts Options) (*System, error) 
 	if err != nil {
 		return nil, err
 	}
-	s := &System{main: e, store: opts.Store, program: program, delta: dp, hub: hub}
+	s := &System{main: e, store: opts.Store, ownStore: ownStore, program: program, delta: dp, hub: hub}
 	s.flowBase = opts.DelayBound
 	s.flowCeil = cfg.DelayBoundCeiling
 	s.flowInboxHigh = cfg.InboxHigh
@@ -423,6 +433,17 @@ func (s *System) forkBranch(override func(*engine.Config), seed func(*engine.Eng
 func (s *System) dropBranch(loop storage.LoopID) {
 	_ = s.store.DropLoop(loop)
 	s.branchesLive.Add(-1)
+}
+
+// StoreStats reports the versioned store's residency counters — live
+// versions and bytes, compaction activity, pinned snapshots and the oldest
+// handle's age. ok is false when the configured store does not account
+// itself (the default MVCC store does; MemStore and DiskStore do not).
+func (s *System) StoreStats() (stats StoreStats, ok bool) {
+	if sp, isProvider := s.store.(storage.StatsProvider); isProvider {
+		return sp.StoreStats(), true
+	}
+	return StoreStats{}, false
 }
 
 // flowPressure is the overload controller's signal: utilization of the
@@ -837,6 +858,9 @@ func (s *System) Close() {
 	s.qapi.Close()
 	s.qs.Close()
 	s.engine().Stop()
+	if s.ownStore {
+		_ = s.store.Close() // stops the default MVCC store's compactor
+	}
 	if s.obsScope != nil {
 		s.hub.RemoveStatus("system")
 		s.obsScope.Close()
