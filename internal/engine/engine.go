@@ -469,7 +469,8 @@ type Engine struct {
 	pins  map[int64]int
 
 	// onStop runs after the engine stops (branch engines release their
-	// parent's fork pin here).
+	// parent's fork pin here; a Reshard replacement releases its resume
+	// pin).
 	onStop func()
 	// forkJournalSeq is, on a branch engine, the parent's input-journal
 	// sequence at fork time; AdoptBranch uses it to detect inputs that
@@ -1553,8 +1554,12 @@ func Reshard(e *Engine, newProcs int, newPartition func(stream.VertexID, int) in
 	}
 	cfg.Snapshot = &SnapshotSource{Loop: cfg.LoopID, UpTo: resume}
 	// Resuming over own history: pin the view like a fork would, so the
-	// replacement's lazy bootstrap reads are immune to compaction. The old
-	// engine is already stopped, so the grab sees all its commits.
+	// replacement's lazy bootstrap reads are immune to compaction. The
+	// Store.Pin clamp covers every backend (MemStore and DiskStore have no
+	// handles, only the pin registry); on Snapshotter backends the handle
+	// additionally makes the view immutable. The old engine is already
+	// stopped, so the grab sees all its commits.
+	storePin := cfg.Store.Pin(cfg.LoopID, resume)
 	if sn, ok := cfg.Store.(storage.Snapshotter); ok {
 		cfg.Snapshot.Handle = sn.Snapshot(cfg.LoopID)
 	}
@@ -1562,8 +1567,12 @@ func Reshard(e *Engine, newProcs int, newPartition func(stream.VertexID, int) in
 	ne, err := New(cfg)
 	if err != nil {
 		cfg.Snapshot.release()
+		storePin()
 		return nil, err
 	}
+	// Held until the replacement stops: its lazy bootstrap reads span its
+	// whole life, exactly like a branch's.
+	ne.onStop = storePin
 	ne.Start()
 	return ne, nil
 }

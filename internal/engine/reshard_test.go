@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"math"
 	"testing"
 
 	"tornado/internal/datasets"
@@ -155,4 +156,65 @@ func TestCompactionSparesPinnedForks(t *testing.T) {
 	}
 	checkSSSP(t, br, tuples[:half])
 	checkSSSP(t, e, tuples)
+}
+
+// TestReshardPinsResumeView: a Reshard replacement bootstraps lazily over
+// its own history for as long as it runs, so Reshard must take a store pin
+// at the resume iteration (on every backend, not just Snapshotter ones).
+// An aggressive Compact while the replacement lives is clamped at resume —
+// every vertex's resume-view version stays readable — and once the
+// replacement stops the pin is released and the same compact reclaims.
+func TestReshardPinsResumeView(t *testing.T) {
+	tuples := datasets.PowerLawGraph(120, 3, 77)
+	half := len(tuples) / 2
+	store := storage.NewMemStore()
+	e := newSSSPEngine(t, 2, 16, store, storage.MainLoop)
+	e.Start()
+	e.IngestAll(tuples[:half])
+
+	ne, err := Reshard(e, 3, nil, waitFor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resume := ne.Config().StartIteration - 1
+	var atResume []stream.VertexID
+	if err := store.Scan(storage.MainLoop, resume, func(r storage.Record) error {
+		atResume = append(atResume, r.Vertex)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(atResume) == 0 {
+		t.Fatal("no versions at the resume iteration; test needs pre-reshard state")
+	}
+	// Commit new versions above resume, then compact with an unbounded
+	// floor: the pin must clamp it at resume.
+	ne.IngestAll(tuples[half:])
+	if err := ne.WaitQuiesce(waitFor); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Compact(storage.MainLoop, math.MaxInt64); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range atResume {
+		if _, _, err := store.Latest(storage.MainLoop, v, resume); err != nil {
+			t.Fatalf("resume-view version of vertex %d dropped while the replacement lives: %v", v, err)
+		}
+	}
+	checkSSSP(t, ne, tuples)
+
+	ne.Stop()
+	if err := store.Compact(storage.MainLoop, math.MaxInt64); err != nil {
+		t.Fatal(err)
+	}
+	reclaimed := false
+	for _, v := range atResume {
+		if _, _, err := store.Latest(storage.MainLoop, v, resume); err != nil {
+			reclaimed = true
+			break
+		}
+	}
+	if !reclaimed {
+		t.Fatal("pin outlived the resharded engine: no resume-view version was reclaimed")
+	}
 }

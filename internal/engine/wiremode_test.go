@@ -99,8 +99,12 @@ func TestWireModeCrashRecovery(t *testing.T) {
 		Store:             storage.NewMemStore(),
 		Program:           ssspProg{source: 0},
 		Seed:              31,
-		HeartbeatInterval: 5 * time.Millisecond,
-		SuspectAfter:      6,
+		// A 300ms suspicion window: wide enough that race-detector
+		// scheduling stalls don't trigger spurious suspicion storms
+		// (recover → stall → re-suspect, forever), still sub-second
+		// detection of the injected crash.
+		HeartbeatInterval: 10 * time.Millisecond,
+		SuspectAfter:      30,
 		RestartBackoff:    time.Millisecond,
 		Wire:              &WireSpec{Mem: transport.NewMemWire()},
 	})
@@ -117,7 +121,7 @@ func TestWireModeCrashRecovery(t *testing.T) {
 	waitUntil(t, waitFor, func() bool { return e.StatsSnapshot().Recoveries >= 1 },
 		"crash never recovered in wire mode")
 	if err := e.WaitSettled(waitFor); err != nil {
-		t.Fatal(err)
+		t.Fatalf("%v (recoveries=%d notified=%d)", err, e.StatsSnapshot().Recoveries, e.Notified())
 	}
 	checkSSSP(t, e, tuples)
 }

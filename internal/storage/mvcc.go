@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bytes"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,9 +39,13 @@ type MVCCStore struct {
 
 	// handles tracks unreleased snapshots for the pinned-snapshot and
 	// snapshot-age gauges; correctness never depends on it (the root
-	// reference inside the handle is what preserves the view).
+	// reference inside the handle is what preserves the view). The map
+	// holds lightweight tags rather than the handles themselves, so a
+	// handle dropped without Release stays collectible: the GC frees it
+	// (and its root) normally, and a finalizer prunes the stale tag so
+	// the gauges don't count leaked handles forever.
 	handleMu sync.Mutex
-	handles  map[*mvccSnap]time.Time
+	handles  map[*snapTag]struct{}
 
 	compactions  atomic.Int64
 	reclaimedVer atomic.Int64
@@ -103,7 +108,7 @@ func NewMVCCStore(opts ...MVCCOption) *MVCCStore {
 		o(&cfg)
 	}
 	s := &MVCCStore{
-		handles: make(map[*mvccSnap]time.Time),
+		handles: make(map[*snapTag]struct{}),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
@@ -345,18 +350,31 @@ func (s *MVCCStore) Snapshot(loop LoopID) Snapshot {
 	if lp := s.lookup(loop); lp != nil {
 		root = lp.root.Load()
 	}
-	h := &mvccSnap{store: s, root: root}
+	h := &mvccSnap{store: s, root: root, tag: &snapTag{taken: time.Now()}}
 	s.handleMu.Lock()
-	s.handles[h] = time.Now()
+	s.handles[h.tag] = struct{}{}
 	s.handleMu.Unlock()
+	// The gauge map references the tag, never the handle, so a leaked
+	// handle is still collectible; the finalizer then retires its tag.
+	runtime.SetFinalizer(h, (*mvccSnap).finalize)
 	return h
 }
 
-// mvccSnap is a point-in-time view: just a captured root.
+// mvccSnap is a point-in-time view: just a captured root. root is written
+// once at construction and never again — Latest/Scan on one handle from many
+// goroutines, concurrent with Release, are race-free because every method
+// only ever reads it.
 type mvccSnap struct {
 	store *MVCCStore
 	root  *treapNode
+	tag   *snapTag
 	once  sync.Once
+}
+
+// snapTag is the store-side gauge entry for one handle. It carries no
+// reference to the handle or its root.
+type snapTag struct {
+	taken time.Time
 }
 
 // Latest implements Snapshot.
@@ -369,14 +387,29 @@ func (h *mvccSnap) Scan(maxIter int64, fn func(Record) error) error {
 	return scanTree(h.root, maxIter, fn)
 }
 
-// Release implements Snapshot. Idempotent.
+// Release implements Snapshot. Idempotent. It deliberately does not clear
+// h.root: a reader racing a Release (e.g. a ReadState mid-Scan while
+// recovery swaps the engine's SnapshotSource) keeps its coherent view
+// instead of hitting a data race or a spurious ErrNotFound. Dropping the
+// tag removes the store-side reference; the root is freed as soon as the
+// handle itself is unreachable.
 func (h *mvccSnap) Release() {
 	h.once.Do(func() {
-		h.store.handleMu.Lock()
-		delete(h.store.handles, h)
-		h.store.handleMu.Unlock()
-		h.root = nil
+		runtime.SetFinalizer(h, nil)
+		h.store.dropTag(h.tag)
 	})
+}
+
+// finalize retires a leaked handle's gauge entry once the GC proves the
+// handle (and therefore its root) unreachable.
+func (h *mvccSnap) finalize() {
+	h.store.dropTag(h.tag)
+}
+
+func (s *MVCCStore) dropTag(t *snapTag) {
+	s.handleMu.Lock()
+	delete(s.handles, t)
+	s.handleMu.Unlock()
 }
 
 // StoreStats implements StatsProvider.
@@ -394,9 +427,9 @@ func (s *MVCCStore) StoreStats() StoreStats {
 	})
 	s.handleMu.Lock()
 	now := time.Now()
-	for _, taken := range s.handles {
+	for tag := range s.handles {
 		st.PinnedSnapshots++
-		if age := now.Sub(taken); age > st.OldestSnapshotAge {
+		if age := now.Sub(tag.taken); age > st.OldestSnapshotAge {
 			st.OldestSnapshotAge = age
 		}
 	}
@@ -621,7 +654,9 @@ func (c *vchain) withPut(iteration int64, data []byte) (nc *vchain, replaced int
 }
 
 // compacted keeps the freshest version <= keepFrom plus all newer ones,
-// returning the receiver when nothing drops.
+// returning the receiver when nothing drops. The kept window is copied into
+// fresh slices — a subslice of the old arrays would keep every dropped
+// payload GC-reachable while the residency gauges claim it reclaimed.
 func (c *vchain) compacted(keepFrom int64, rc *reclaim) *vchain {
 	i := c.upperBound(keepFrom)
 	if i <= 1 {
@@ -632,11 +667,17 @@ func (c *vchain) compacted(keepFrom int64, rc *reclaim) *vchain {
 		rc.bytes += int64(len(d))
 	}
 	rc.versions += int64(keep)
-	return &vchain{iters: c.iters[keep:], data: c.data[keep:]}
+	n := len(c.iters) - keep
+	nc := &vchain{iters: make([]int64, n), data: make([][]byte, n)}
+	copy(nc.iters, c.iters[keep:])
+	copy(nc.data, c.data[keep:])
+	return nc
 }
 
 // truncated drops versions above `above`, reporting whether the chain
-// emptied. Returns the receiver when nothing drops.
+// emptied. Returns the receiver when nothing drops. Like compacted, the
+// kept prefix is copied so the dropped payloads actually become
+// unreachable.
 func (c *vchain) truncated(above int64, rc *reclaim) (*vchain, bool) {
 	i := c.upperBound(above)
 	if i == len(c.iters) {
@@ -649,5 +690,8 @@ func (c *vchain) truncated(above int64, rc *reclaim) (*vchain, bool) {
 	if i == 0 {
 		return nil, true
 	}
-	return &vchain{iters: c.iters[:i:i], data: c.data[:i:i]}, false
+	nc := &vchain{iters: make([]int64, i), data: make([][]byte, i)}
+	copy(nc.iters, c.iters[:i])
+	copy(nc.data, c.data[:i])
+	return nc, false
 }

@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"tornado/internal/stream"
 )
@@ -395,5 +397,94 @@ func TestMVCCStatsAccounting(t *testing.T) {
 	}
 	if st.PinnedSnapshots != 0 {
 		t.Fatalf("pins leaked: %+v", st)
+	}
+}
+
+// TestSnapshotReadsRaceRelease regression-tests the Release data race: the
+// engine legitimately releases a handle (recovery swapping its
+// SnapshotSource, double-release on branch stop) while readers holding the
+// same handle are mid-Latest/Scan. Readers must keep their coherent view —
+// no race, no spurious ErrNotFound. Run under -race (make check does).
+func TestSnapshotReadsRaceRelease(t *testing.T) {
+	s := NewMVCCStore()
+	defer s.Close()
+	for v := stream.VertexID(1); v <= 64; v++ {
+		must(t, s.Put(MainLoop, v, 3, []byte("x")))
+	}
+	for round := 0; round < 50; round++ {
+		h := s.Snapshot(MainLoop)
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for r := 0; r < 4; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 20; i++ {
+					if _, _, err := h.Latest(stream.VertexID(1+(i+r)%64), 9); err != nil {
+						t.Errorf("read through held handle failed: %v", err)
+						return
+					}
+					n := 0
+					_ = h.Scan(9, func(Record) error { n++; return nil })
+					if n != 64 {
+						t.Errorf("scan through held handle saw %d vertices, want 64", n)
+						return
+					}
+				}
+			}(r)
+		}
+		close(start)
+		h.Release()
+		h.Release() // double-release is the documented engine pattern
+		wg.Wait()
+	}
+}
+
+// TestLeakedHandleRetiresGauge: a handle dropped without Release must not
+// stay in the pinned-snapshot gauge forever — the store holds no strong
+// reference to it, and collection retires its gauge entry.
+func TestLeakedHandleRetiresGauge(t *testing.T) {
+	s := NewMVCCStore()
+	defer s.Close()
+	must(t, s.Put(MainLoop, 1, 1, []byte("x")))
+	func() {
+		_ = s.Snapshot(MainLoop) // leaked: never released
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.StoreStats().PinnedSnapshots != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("leaked handle still pinned after GC: %+v", s.StoreStats())
+		}
+		runtime.GC()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCompactedChainsDropPayloadReferences: compaction and truncation must
+// copy the kept window into fresh backing arrays — a subslice of the old
+// arrays would keep every dropped payload reachable while the residency
+// gauges report it reclaimed.
+func TestCompactedChainsDropPayloadReferences(t *testing.T) {
+	c := &vchain{}
+	for iter := int64(1); iter <= 8; iter++ {
+		c, _, _ = c.withPut(iter, []byte{byte(iter)})
+	}
+	var rc reclaim
+	cc := c.compacted(5, &rc)
+	if got := len(cc.iters); got != 4 {
+		t.Fatalf("compacted kept %d versions, want 4 (iters 5..8)", got)
+	}
+	if cap(cc.iters) != len(cc.iters) || cap(cc.data) != len(cc.data) {
+		t.Fatalf("compacted shares the old backing array: len %d/%d cap %d/%d",
+			len(cc.iters), len(cc.data), cap(cc.iters), cap(cc.data))
+	}
+	tc, empty := c.truncated(3, &rc)
+	if empty || len(tc.iters) != 3 {
+		t.Fatalf("truncated kept %d versions (empty=%v), want 3", len(tc.iters), empty)
+	}
+	if cap(tc.iters) != len(tc.iters) || cap(tc.data) != len(tc.data) {
+		t.Fatalf("truncated shares the old backing array: len %d/%d cap %d/%d",
+			len(tc.iters), len(tc.data), cap(tc.iters), cap(tc.data))
 	}
 }

@@ -10,9 +10,12 @@ import (
 // through a handle see exactly the versions that existed when the handle
 // was taken: later Puts, Compacts, Truncates, or even a DropLoop of the
 // underlying loop never change what the handle returns. Handles are safe
-// for concurrent use; Release is idempotent and frees the handle's claim on
-// its epoch (nothing breaks if a handle leaks — the GC just retains its
-// root longer, and the pinned-snapshot gauge shows the leak).
+// for concurrent use, including reads racing a Release: a reader that holds
+// the handle keeps its coherent view. Release is idempotent and retires the
+// handle from the pinned-snapshot gauges; the store never holds a strong
+// reference to the handle itself, so nothing breaks if one leaks — the GC
+// frees it (and its epoch) normally, and the gauge shows the leak only
+// until collection.
 type Snapshot interface {
 	// Latest returns the freshest version of vertex with iteration <=
 	// maxIter at grab time, or ErrNotFound.

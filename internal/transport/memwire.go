@@ -59,14 +59,11 @@ func (d memDialer) Dial(addr string) (Conn, error) {
 		return nil, fmt.Errorf("transport: mem dial %q: connection refused", addr)
 	}
 	a, b := newMemConnPair(addr)
-	select {
-	case l.accept <- b:
-		return a, nil
-	default:
+	if err := l.deliver(b); err != nil {
 		a.Close()
-		b.Close()
-		return nil, fmt.Errorf("transport: mem dial %q: accept queue full", addr)
+		return nil, err
 	}
+	return a, nil
 }
 
 type memListener struct {
@@ -76,6 +73,23 @@ type memListener struct {
 
 	mu     sync.Mutex
 	closed bool
+}
+
+// deliver enqueues the far end of a dialed pair. The send happens under
+// l.mu, the same lock Close sets closed under before closing the channel,
+// so a dial can never race the close of the accept queue.
+func (l *memListener) deliver(c *memConn) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("transport: mem dial %q: connection refused", l.addr)
+	}
+	select {
+	case l.accept <- c:
+		return nil
+	default:
+		return fmt.Errorf("transport: mem dial %q: accept queue full", l.addr)
+	}
 }
 
 // Accept implements Listener.

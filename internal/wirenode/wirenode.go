@@ -390,7 +390,24 @@ func RunWorker(cfg WorkerConfig) error {
 		case Load:
 			for _, e := range m.Edges {
 				adj[e.Src] = append(adj[e.Src], e)
+				// The wire dedups but does not reorder: a Relax can arrive
+				// before this chunk (another worker loaded faster), and a
+				// resent chunk can arrive after LoadDone. Either way e.Src
+				// may already hold a settled distance whose relaxation never
+				// saw this edge — propagate over it now, or the subgraph
+				// behind it silently drops out of the fixed point while the
+				// probe counters still balance.
+				if d, ok := dist[e.Src]; ok {
+					nd := d + e.W
+					if owner(e.Dst, assign.Workers) == transport.NodeID(assign.ID) {
+						relaxLocal(&dist, adj, e.Dst, nd, assign, ep, &sent)
+					} else {
+						sent++
+						ep.Send(transport.NodeID(owner(e.Dst, assign.Workers)), Relax{Dst: e.Dst, Dist: nd})
+					}
+				}
 			}
+			ep.Flush()
 		case LoadDone:
 			if owner(m.Source, assign.Workers) == transport.NodeID(assign.ID) {
 				relaxLocal(&dist, adj, m.Source, 0, assign, ep, &sent)
