@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-all vet bench bench-queries bench-throughput bench-trace bench-wire bench-delta bench-store fuzz-store soak-overload chaos chaos-wire check clean
+.PHONY: all build test race race-all vet bench bench-queries bench-throughput bench-trace bench-wire bench-delta bench-store bench-elastic fuzz-store soak-overload soak-elastic chaos chaos-wire check clean
 
 all: check
 
@@ -84,6 +84,15 @@ bench-delta:
 bench-store:
 	$(GO) run ./cmd/tornado-bench -experiment store -scale small
 
+# Elasticity benchmark (small scale): range-partitioned SSSP churn driven
+# through a 4x hot-key skew, with the pressure-driven hot split (a live
+# range migration onto the spare slot) versus a ride-it-out control; leaves
+# the BENCH_elastic.json artifact and exits nonzero if the planner never
+# splits, the control migrates, or the split fails to buy back >= 1.2x of
+# the skewed sustained throughput.
+bench-elastic:
+	$(GO) run ./cmd/tornado-bench -experiment elastic -scale small
+
 # Short randomized-op fuzz pass over the MVCC store against the MemStore
 # reference (the seed corpus plus 30s of new inputs).
 fuzz-store:
@@ -98,7 +107,15 @@ soak-overload:
 	$(GO) test -race . -run 'TestOverloadControllerLadder|TestFeedMaxPendingPausesSpout' -count=1
 	$(GO) run ./cmd/tornado-bench -experiment overload -scale small
 
-check: build vet test race chaos chaos-wire bench-queries bench-throughput bench-trace bench-wire bench-delta bench-store soak-overload
+# Elasticity soak: live migration under sustained ingestion (value and delta
+# modes), the crash-mid-migration abort path, and the parked-pending
+# hand-off — all under the race detector and repeated — then the elastic
+# benchmark.
+soak-elastic:
+	$(GO) test -race ./internal/engine/ -run 'TestLiveMigration|TestScaleOutScaleIn|TestMigrationCrashAborts|TestDeltaParkedPendingSurvivesHandoff|TestReshardRejectsActiveIngestion' -count=2
+	$(GO) run ./cmd/tornado-bench -experiment elastic -scale small
+
+check: build vet test race chaos chaos-wire bench-queries bench-throughput bench-trace bench-wire bench-delta bench-store soak-overload soak-elastic
 
 clean:
 	$(GO) clean ./...

@@ -7,7 +7,8 @@
 //	tornado-bench [-scale small|full] [-experiment id|all]
 //
 // Experiment IDs: fig5a fig5b fig5c fig6 fig7 tab2 (includes fig8a) fig8b
-// fig8c fig8d fig9 tab3 ablation queries throughput overload trace_overhead.
+// fig8c fig8d fig9 tab3 ablation queries throughput overload trace_overhead delta wire
+// store elastic.
 package main
 
 import (
@@ -54,6 +55,7 @@ var experiments = []experiment{
 	{"delta", "delta-accumulative PageRank: updates-to-convergence vs value mode on power-law and uniform graphs", wrap(bench.RunDelta)},
 	{"wire", "TCP wire: serialization overhead, corruption-storm recovery, multi-process SSSP", wrap(bench.RunWire)},
 	{"store", "MVCC store: snapshot-fork latency vs MemStore, churn-soak RSS plateau under compaction", wrap(bench.RunStore)},
+	{"elastic", "elastic hot split: throughput recovery from 4x hot-key skew, split planner vs control", wrap(bench.RunElastic)},
 }
 
 func main() {

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	tornado-shell [-algo sssp|pagerank] [-mode value|delta] [-source N] [-procs N] [-bound B]
+//	tornado-shell [-algo sssp|pagerank] [-mode value|delta] [-source N] [-procs N] [-bound B] [-spares N] [-autoscale]
 //
 // With -mode delta the loop runs the delta-accumulative engine (DESIGN.md
 // §13): updates fold into per-vertex pending deltas, a priority queue
@@ -42,6 +42,15 @@
 //	slow [min-ms] [n]    the n slowest retained traces at least min-ms of
 //	                     wall time (defaults 0ms, 8)
 //	watch <id>           force tracing of a vertex (ignore sampling)
+//	partitions           the live partition plan: epoch, per-slot state
+//	                     (active/spare/quarantined), hosted vertices and
+//	                     commit/update counters, layered range overrides
+//	                     and lifetime migration counters
+//	scale out            split the hottest partition onto a spare slot as
+//	                     a live migration (ingestion keeps running)
+//	scale in <slot>      drain slot live and retire it from the plan
+//	scale move <lo> <hi> <slot>  migrate the vertex range [lo, hi] onto
+//	                     slot without stopping the loop (DESIGN.md §16)
 //	crash <i|master>     crash processor i (or the master) for real:
 //	                     its in-memory state dies; the heartbeat
 //	                     supervisor restarts the loop from the last
@@ -84,6 +93,8 @@ func main() {
 	spanRate := flag.Float64("span-sample", 0, "head-sampling rate for causal freshness traces (0 = default 1%, 1 = all, negative = off)")
 	heartbeat := flag.Duration("heartbeat", 25*time.Millisecond, "supervision heartbeat interval (0 = unsupervised; 'crash' then needs 'recover')")
 	wire := flag.Bool("wire", false, "run the message plane over a TCP loopback socket (serialized, CRC-framed, supervised reconnects)")
+	spares := flag.Int("spares", 1, "spare processor slots for live hot splits ('scale out'/'scale move'; 0 disables elasticity)")
+	autoscale := flag.Bool("autoscale", false, "run the pressure-driven split/merge planner in the background")
 	flag.Parse()
 
 	deltaMode := *mode == "delta"
@@ -135,6 +146,12 @@ func main() {
 		TraceSampleEvery:  *traceEvery,
 		SpanSampleRate:    *spanRate,
 		HeartbeatInterval: *heartbeat,
+	}
+	if *spares > 0 {
+		opts.Elastic = tornado.ElasticOptions{
+			MaxProcessors: *procs + *spares,
+			AutoScale:     *autoscale,
+		}
 	}
 	if *wire {
 		opts.Wire = &tornado.WireSpec{}
@@ -369,6 +386,85 @@ func main() {
 			fmt.Printf("delay bound effective=%d (configured %d)\n", fs.Engine.DelayBound, *bound)
 			fmt.Printf("queries degrade-level=%d shed-low-priority=%d shed-total=%d queue-depth=%d\n",
 				qs.DegradeLevel, qs.ShedLowPriority, qs.Shed, qs.QueueDepth)
+		case "partitions":
+			ps := sys.PlanStats()
+			fmt.Printf("plan epoch=%d processors=%d/%d migrations=%d moved-vertices=%d aborts=%d\n",
+				ps.Epoch, ps.BaseProcessors, ps.MaxProcessors, ps.Migrations, ps.MigratedVertices, ps.Aborts)
+			for _, l := range sys.PartitionLoads() {
+				state := "spare"
+				switch {
+				case l.Quarantined:
+					state = "quarantined"
+				case l.Active:
+					state = "active"
+				}
+				line := fmt.Sprintf("  slot %d  %-11s vertices=%-7d commits=%-9d updates=%d",
+					l.Proc, state, l.Vertices, l.Commits, l.Updates)
+				if deltaMode {
+					line += fmt.Sprintf("  queue=%d", l.QueueDepth)
+				}
+				fmt.Println(line)
+			}
+			if n := len(ps.Overrides); n > 0 {
+				fmt.Printf("%d range override(s) layered on the base partition function:\n", n)
+				for _, ov := range ps.Overrides {
+					owner := "any owner"
+					if ov.From >= 0 {
+						owner = fmt.Sprintf("slot %d", ov.From)
+					}
+					fmt.Printf("  [%d, %d] owned by %s -> slot %d\n", ov.Range.Lo, ov.Range.Hi, owner, ov.Dest)
+				}
+			}
+		case "scale":
+			if len(fields) < 2 {
+				fmt.Println("usage: scale out | scale in <slot> | scale move <lo> <hi> <slot>")
+				continue
+			}
+			switch fields[1] {
+			case "out":
+				slot, err := sys.ScaleOut()
+				if err != nil {
+					fmt.Println("error:", err)
+					continue
+				}
+				fmt.Printf("hottest partition split onto slot %d (plan epoch %d); 'partitions' to inspect\n",
+					slot, sys.PlanStats().Epoch)
+			case "in":
+				if len(fields) != 3 {
+					fmt.Println("usage: scale in <slot>")
+					continue
+				}
+				slot, err := strconv.Atoi(fields[2])
+				if err != nil {
+					fmt.Println("error:", err)
+					continue
+				}
+				if err := sys.ScaleIn(slot); err != nil {
+					fmt.Println("error:", err)
+					continue
+				}
+				fmt.Printf("slot %d drained and retired (plan epoch %d)\n", slot, sys.PlanStats().Epoch)
+			case "move":
+				if len(fields) != 5 {
+					fmt.Println("usage: scale move <lo> <hi> <slot>")
+					continue
+				}
+				lo, err1 := strconv.ParseUint(fields[2], 10, 64)
+				hi, err2 := strconv.ParseUint(fields[3], 10, 64)
+				slot, err3 := strconv.Atoi(fields[4])
+				if err1 != nil || err2 != nil || err3 != nil {
+					fmt.Println("usage: scale move <lo> <hi> <slot>")
+					continue
+				}
+				if err := sys.Migrate(tornado.VertexID(lo), tornado.VertexID(hi), slot); err != nil {
+					fmt.Println("error:", err)
+					continue
+				}
+				fmt.Printf("range [%d, %d] migrated onto slot %d live (plan epoch %d)\n",
+					lo, hi, slot, sys.PlanStats().Epoch)
+			default:
+				fmt.Println("usage: scale out | scale in <slot> | scale move <lo> <hi> <slot>")
+			}
 		case "crash":
 			if len(fields) != 2 {
 				fmt.Println("usage: crash <processor-index|master>")
@@ -491,7 +587,7 @@ func main() {
 			sys.Watch(tornado.VertexID(id))
 			fmt.Printf("watching vertex %d (all its protocol events are now traced)\n", id)
 		case "help":
-			fmt.Println("commands: add s d | remove s d | load n epv seed | query | submit [d] [p] | queries | result id | cancel id | merge | approx | stats | store | flow | trace [id] | slow [ms] [n] | watch id | crash i|master | recover | faults | quit")
+			fmt.Println("commands: add s d | remove s d | load n epv seed | query | submit [d] [p] | queries | result id | cancel id | merge | approx | stats | store | flow | partitions | scale out|in|move | trace [id] | slow [ms] [n] | watch id | crash i|master | recover | faults | quit")
 		case "quit", "exit":
 			return
 		default:

@@ -430,3 +430,41 @@ func TestWireShape(t *testing.T) {
 		t.Fatal("report rendering broken")
 	}
 }
+
+func TestElasticWaveShape(t *testing.T) {
+	// The generator's load skew must be a skew of DISTINCT touched sources
+	// (commit coalescing makes repeated touches of one vertex cheap), the
+	// churn must be range-local, and every add must be paired with its own
+	// retraction so the graph never grows.
+	const n = 600
+	gen := newElasticGen(n, 7)
+	w := gen.wave(240, 0.8)
+	hot, cold := map[int]bool{}, map[int]bool{}
+	var lastTS int64 = -1
+	for i, tup := range w {
+		if int64(tup.Time) <= lastTS {
+			t.Fatalf("timestamps not strictly increasing at %d", i)
+		}
+		lastTS = int64(tup.Time)
+		src, dst := int(tup.Src), int(tup.Dst)
+		if (src < n/2) != (dst < n/2) {
+			t.Fatalf("churn edge %d->%d crosses the range boundary", src, dst)
+		}
+		if i%2 == 0 {
+			if src < n/2 {
+				hot[src] = true
+			} else {
+				cold[src] = true
+			}
+		} else if tup.Src != w[i-1].Src || tup.Dst != w[i-1].Dst {
+			t.Fatalf("tuple %d does not retract the preceding add", i)
+		}
+	}
+	share := float64(len(hot)) / float64(len(hot)+len(cold))
+	if share < 0.7 || share > 0.9 {
+		t.Fatalf("distinct hot-source share %.2f outside [0.7, 0.9]", share)
+	}
+	if len(w)%2 != 0 {
+		t.Fatalf("wave length %d not an add/remove pairing", len(w))
+	}
+}

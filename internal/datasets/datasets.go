@@ -138,6 +138,50 @@ func UniformGraph(n, edgesPerVertex int, seed int64) []stream.Tuple {
 	return tuples
 }
 
+// HotspotGraph generates a skewed edge-update stream over n vertices: a
+// fraction hotWeight of the edge insertions have their source drawn from the
+// contiguous hot block [0, hotFrac*n), the rest from the remaining cold IDs;
+// destinations are uniform. Because the hot block is contiguous, a
+// range-partitioned deployment concentrates the skew on one partition —
+// the workload the hot-split planner exists for — while hash partitioning
+// smears it. Vertex 0 keeps a strided out-edge fan so it stays a sensible
+// SSSP source, and the stream is timestamp-ordered and deterministic.
+func HotspotGraph(n, edges int, hotFrac, hotWeight float64, seed int64) []stream.Tuple {
+	rng := rand.New(rand.NewSource(seed))
+	hot := int(float64(n) * hotFrac)
+	if hot < 1 {
+		hot = 1
+	}
+	if hot > n {
+		hot = n
+	}
+	var tuples []stream.Tuple
+	ts := stream.Timestamp(0)
+	stride := 16
+	for v := stride; v < n; v += stride {
+		ts++
+		tuples = append(tuples, stream.AddEdge(ts, 0, stream.VertexID(v)))
+	}
+	for len(tuples) < edges {
+		var src int
+		switch {
+		case rng.Float64() < hotWeight:
+			src = rng.Intn(hot)
+		case n > hot:
+			src = hot + rng.Intn(n-hot)
+		default:
+			src = rng.Intn(hot)
+		}
+		dst := rng.Intn(n)
+		if dst == src {
+			continue
+		}
+		ts++
+		tuples = append(tuples, stream.AddEdge(ts, stream.VertexID(src), stream.VertexID(dst)))
+	}
+	return tuples
+}
+
 // WithRemovals rewrites an edge stream so that a fraction removeFrac of the
 // inserted edges are later retracted, interleaved at random positions after
 // their insertion. It models the paper's retractable edge stream produced by

@@ -200,3 +200,43 @@ func TestPointStreamRoundRobin(t *testing.T) {
 		}
 	}
 }
+
+func TestHotspotGraphSkew(t *testing.T) {
+	const n, edges = 1000, 8000
+	tuples := HotspotGraph(n, edges, 0.1, 0.8, 5)
+	if len(tuples) != edges {
+		t.Fatalf("generated %d tuples; want %d", len(tuples), edges)
+	}
+	hot := 0
+	total := 0
+	for _, tu := range tuples {
+		if tu.Kind != stream.KindAddEdge {
+			t.Fatalf("unexpected tuple kind %v", tu.Kind)
+		}
+		if tu.Src == 0 {
+			continue // the source's reachability fan is not part of the skew
+		}
+		total++
+		if tu.Src < n/10 {
+			hot++
+		}
+	}
+	frac := float64(hot) / float64(total)
+	if frac < 0.7 || frac > 0.9 {
+		t.Fatalf("hot-block update share %.2f; want ~0.8", frac)
+	}
+	// Deterministic for a fixed seed.
+	again := HotspotGraph(n, edges, 0.1, 0.8, 5)
+	for i := range tuples {
+		if tuples[i] != again[i] {
+			t.Fatalf("tuple %d differs across runs with the same seed", i)
+		}
+	}
+	// Timestamps are strictly increasing (the ingesters require monotone
+	// streams).
+	for i := 1; i < len(tuples); i++ {
+		if tuples[i].Time <= tuples[i-1].Time {
+			t.Fatalf("timestamps not strictly increasing at %d", i)
+		}
+	}
+}

@@ -62,8 +62,14 @@ func (s *SnapshotSource) release() {
 
 // Config assembles an Engine.
 type Config struct {
-	// Processors is the number of processor goroutines (>= 1).
+	// Processors is the number of processor goroutines the base partition
+	// spreads vertices over (>= 1).
 	Processors int
+	// MaxProcessors is the slot ceiling elastic scaling may grow into
+	// (default Processors — no spares). Slots Processors..MaxProcessors-1
+	// run idle processor goroutines that own no vertices until a
+	// hot-partition split migrates a range onto them (Migrate/ScaleOut).
+	MaxProcessors int
 	// DelayBound is B, the bound on iteration delays (>= 1). B = 1 yields
 	// synchronous (BSP) execution.
 	DelayBound int64
@@ -212,6 +218,12 @@ func (c *Config) validate() error {
 	if c.DelayBound < 1 {
 		return errors.New("engine: DelayBound must be >= 1")
 	}
+	if c.MaxProcessors == 0 {
+		c.MaxProcessors = c.Processors
+	}
+	if c.MaxProcessors < c.Processors {
+		return errors.New("engine: MaxProcessors must be 0 or >= Processors")
+	}
 	if c.Store == nil {
 		return errors.New("engine: Store is required")
 	}
@@ -348,6 +360,7 @@ type incarnation struct {
 	masterE *transport.Endpoint
 	ingestE *transport.Endpoint
 	supE    *transport.Endpoint // heartbeat sink; nil when unsupervised
+	migE    *transport.Endpoint // migration-coordinator endpoint (elastic.go)
 	route   func(stream.VertexID) transport.NodeID
 
 	stop     chan struct{}
@@ -410,6 +423,21 @@ type Engine struct {
 	// ladder: commits get rarer, pendings keep absorbing arrivals, and
 	// convergence quality degrades instead of input being dropped.
 	deltaBoost atomic.Uint64
+
+	// Elastic repartitioning (plan.go, elastic.go). plan is the current
+	// partition-plan epoch, read atomically by every route call and replaced
+	// only by a migration's cutover publish; it lives on the Engine so plans
+	// survive crash recoveries. migMu serializes migrations (one at a time).
+	plan          atomic.Pointer[PartitionPlan]
+	migMu         sync.Mutex
+	migActive     bool
+	migSeq        int64
+	migCrashArm   atomic.Int64 // proc+1 of an armed FaultCrashDuringMigration
+	migrations    metrics.Counter
+	migratedVerts metrics.Counter
+	migAborts     metrics.Counter
+	migBounced    metrics.Counter
+	migDurHist    *obs.StreamHist
 
 	// Supervision counters and event log.
 	crashes     metrics.Counter
@@ -491,8 +519,9 @@ func New(cfg Config) (*Engine, error) {
 		created:     time.Now(),
 		done:        make(chan struct{}),
 		pins:        make(map[int64]int),
-		slow:        make([]atomic.Int64, cfg.Processors),
+		slow:        make([]atomic.Int64, cfg.MaxProcessors),
 	}
+	e.plan.Store(basePlan(cfg.Processors, cfg.MaxProcessors))
 	e.delayBound.Store(cfg.DelayBound)
 	e.deltaBoost.Store(math.Float64bits(1))
 	if cfg.MaxPendingInputs > 0 {
@@ -519,6 +548,14 @@ func New(cfg Config) (*Engine, error) {
 func (e *Engine) supervised() bool {
 	return e.cfg.Kind == MainLoop && e.cfg.HeartbeatInterval > 0
 }
+
+// Node-ID layout: processor slots occupy 0..MaxProcessors-1 (spares above
+// Config.Processors idle until a migration lands on them); the control
+// endpoints sit above the slot ceiling.
+func (e *Engine) masterNode() transport.NodeID { return transport.NodeID(e.cfg.MaxProcessors) }
+func (e *Engine) ingestNode() transport.NodeID { return transport.NodeID(e.cfg.MaxProcessors + 1) }
+func (e *Engine) supNode() transport.NodeID    { return transport.NodeID(e.cfg.MaxProcessors + 2) }
+func (e *Engine) migNode() transport.NodeID    { return transport.NodeID(e.cfg.MaxProcessors + 3) }
 
 // buildIncarnation assembles generation gen's topology from the engine's
 // current configuration and quarantine set. Caller holds genMu (or is New).
@@ -549,30 +586,35 @@ func (e *Engine) buildIncarnation(gen int) *incarnation {
 	e.faultMu.Unlock()
 	inc.tracker = NewTracker(e.cfg.StartIteration)
 	inc.route = e.routeFn()
-	inc.procs = make([]*processor, e.cfg.Processors)
-	for i := 0; i < e.cfg.Processors; i++ {
+	// Every slot up to MaxProcessors runs a processor goroutine: spares idle
+	// on Recv until a migration moves a range onto them, so scaling out never
+	// has to mutate a live incarnation's topology.
+	inc.procs = make([]*processor, e.cfg.MaxProcessors)
+	for i := 0; i < e.cfg.MaxProcessors; i++ {
 		if _, q := e.quarantined[i]; q {
 			continue
 		}
 		ep := inc.net.Register(transport.NodeID(i))
 		inc.procs[i] = newProcessor(i, e, ep, inc.tracker, e.cfg.Snapshot, inc.route, e.cfg.StartIteration)
 	}
-	inc.masterE = inc.net.Register(transport.NodeID(e.cfg.Processors))
-	inc.ingestE = inc.net.Register(transport.NodeID(e.cfg.Processors + 1))
+	inc.masterE = inc.net.Register(e.masterNode())
+	inc.ingestE = inc.net.Register(e.ingestNode())
 	if e.supervised() {
-		inc.supE = inc.net.Register(transport.NodeID(e.cfg.Processors + 2))
+		inc.supE = inc.net.Register(e.supNode())
 	}
+	inc.migE = inc.net.Register(e.migNode())
 	return inc
 }
 
-// routeFn builds the effective vertex→node mapping: the configured partition
-// with quarantined processors remapped onto the survivors. Caller holds genMu
-// (or is New).
+// routeFn builds the effective vertex→node mapping: the current partition
+// plan (base partition folded through published migrations, read atomically
+// per call so a cutover takes effect everywhere at once), with quarantined
+// processors remapped onto the survivors. Caller holds genMu (or is New).
 func (e *Engine) routeFn() func(stream.VertexID) transport.NodeID {
-	base, n := e.cfg.Partition, e.cfg.Processors
+	base := e.cfg.Partition
 	if len(e.quarantined) == 0 {
 		return func(id stream.VertexID) transport.NodeID {
-			return transport.NodeID(base(id, n))
+			return transport.NodeID(e.plan.Load().Owner(id, base))
 		}
 	}
 	bad := make(map[int]struct{}, len(e.quarantined))
@@ -580,13 +622,13 @@ func (e *Engine) routeFn() func(stream.VertexID) transport.NodeID {
 		bad[i] = struct{}{}
 	}
 	var survivors []int
-	for i := 0; i < n; i++ {
+	for i := 0; i < e.cfg.MaxProcessors; i++ {
 		if _, q := bad[i]; !q {
 			survivors = append(survivors, i)
 		}
 	}
 	return func(id stream.VertexID) transport.NodeID {
-		p := base(id, n)
+		p := e.plan.Load().Owner(id, base)
 		if _, q := bad[p]; q {
 			p = survivors[int(uint64(id)%uint64(len(survivors)))]
 		}
@@ -1542,6 +1584,14 @@ func Reshard(e *Engine, newProcs int, newPartition func(stream.VertexID, int) in
 	if e.cfg.Kind != MainLoop {
 		return nil, errors.New("engine: Reshard applies to main loops")
 	}
+	// The documented precondition, enforced: admitted-but-unapplied inputs
+	// ride the incarnation that dies with Stop below, and nothing replays
+	// them (Reshard is not a crash recovery). Callers must drain or pause
+	// the spout first — or use live migration (Migrate), which needs no
+	// pause at all.
+	if d := e.FlowSnapshot().GateDepth; d > 0 {
+		return nil, fmt.Errorf("%w: %d admitted inputs not yet applied", ErrIngestionActive, d)
+	}
 	if err := e.WaitSettled(settleTimeout); err != nil {
 		return nil, err
 	}
@@ -1549,6 +1599,12 @@ func Reshard(e *Engine, newProcs int, newPartition func(stream.VertexID, int) in
 	e.Stop()
 	cfg := e.Config()
 	cfg.Processors = newProcs
+	if cfg.MaxProcessors < newProcs {
+		// The replacement re-defaults its slot ceiling: a reshard that grows
+		// past the old ceiling should not fail validation, and the old
+		// ceiling (defaulted from the old width) carries no intent.
+		cfg.MaxProcessors = 0
+	}
 	if newPartition != nil {
 		cfg.Partition = newPartition
 	}

@@ -155,6 +155,13 @@ func (e *Engine) readBlob(id stream.VertexID, maxIter int64) (vertexBlob, error)
 
 // handleAdopt applies a merged state on the owning processor.
 func (p *processor) handleAdopt(m msgAdopt) {
+	if p.migrating(m.To) {
+		p.mig.journal = append(p.mig.journal, m)
+		return
+	}
+	if p.bounce(m.To, m) {
+		return
+	}
 	v := p.ensure(m.To)
 	// A dirty or preparing vertex means inputs raced the merge; skip the
 	// adoption for this vertex — the merge driver detects the conflict via

@@ -1,0 +1,305 @@
+package engine
+
+// Processor-side live migration machinery (the coordinator lives in
+// elastic.go). A source freezes the moving range, journals traffic for it,
+// drains in-flight prepares, ships state, answers post-ship prepares from
+// tombstones, and forwards the journal to the new owner at cutover. The
+// destination installs shipped state without activating it, then starts it
+// when the coordinator confirms the plan flipped.
+
+import (
+	"sort"
+
+	"tornado/internal/stream"
+	"tornado/internal/transport"
+)
+
+// migSource is a source processor's freeze state: set by msgMigFreeze,
+// cleared by msgMigCutover (or dropped with the incarnation on abort — the
+// journaled inputs were never marked applied, so crash recovery replays
+// them from the input journal).
+type migSource struct {
+	seq        int64
+	r          VertexRange
+	dest       int
+	numSources int
+	shipped    bool
+	// journal holds vertex-addressed messages (msgInput, msgActivate,
+	// msgUpdate, msgAdopt) for migrating vertices, tokens still held inside
+	// the messages; forwarded to the new owner at cutover.
+	journal []any
+	// tomb maps each shipped vertex to its iteration at ship time, so
+	// prepares arriving after the state left are still answered (the reply
+	// is indistinguishable from an ack legally racing a consumer commit).
+	tomb map[stream.VertexID]int64
+}
+
+// migDest is a destination processor's install state: created by the first
+// msgMigState of a migration, cleared by msgMigActivate.
+type migDest struct {
+	seq    int64
+	expect int
+	got    int
+	ids    []stream.VertexID
+}
+
+// migrating reports whether id is a frozen-but-still-owned vertex of the
+// in-flight migration: traffic for it is journaled. Once the plan flips the
+// route check fails and the same traffic bounces to the new owner instead.
+func (p *processor) migrating(id stream.VertexID) bool {
+	return p.mig != nil && p.mig.r.Contains(id) && p.route(id) == transport.NodeID(p.idx)
+}
+
+// bounce re-routes a vertex-addressed message this processor does not own
+// through the current plan (an in-flight frame overtaken by a cutover, or a
+// retransmission addressed to a pre-migration owner). Returns true when the
+// message was forwarded. Running before ensure() is what prevents
+// misdirected frames from ghost-creating vertices on the old owner.
+func (p *processor) bounce(id stream.VertexID, m any) bool {
+	if p.route(id) == transport.NodeID(p.idx) {
+		return false
+	}
+	p.eng.migBounced.Inc()
+	p.sendVertex(id, m)
+	return true
+}
+
+func (p *processor) handleMigFreeze(m msgMigFreeze) {
+	p.mig = &migSource{seq: m.Seq, r: m.R, dest: m.Dest, numSources: m.NumSources,
+		tomb: make(map[stream.VertexID]int64)}
+	// Held-back updates addressed to migrating vertices move to the journal
+	// now: handleFrontier must never gather into a frozen vertex, and the
+	// new owner applies them under its own cap after the hand-off.
+	for iter, msgs := range p.holdback {
+		keep := msgs[:0]
+		for _, u := range msgs {
+			if p.migrating(u.To) {
+				p.mig.journal = append(p.mig.journal, u)
+			} else {
+				keep = append(keep, u)
+			}
+		}
+		if len(keep) == 0 {
+			delete(p.holdback, iter)
+		} else {
+			p.holdback[iter] = keep
+		}
+	}
+	p.migMaybeShip()
+}
+
+// migMaybeShip ships the frozen range once it is drained: no migrating
+// vertex is mid-prepare as a producer. Called after the freeze lands and at
+// the end of every receive window (a drain completes when the last pending
+// commit's ack arrives and the window closes).
+func (p *processor) migMaybeShip() {
+	mig := p.mig
+	if mig == nil || mig.shipped {
+		return
+	}
+	var moving []*vertex
+	for id, v := range p.vertices {
+		if !p.migrating(id) {
+			continue
+		}
+		if v.preparing() {
+			return // still draining
+		}
+		moving = append(moving, v)
+	}
+	sort.Slice(moving, func(i, j int) bool { return moving[i].id < moving[j].id })
+
+	// In batched mode flush the window's queued vertex messages first so
+	// nothing this source already committed can arrive at the destination
+	// after the state that reflects it.
+	if p.batch {
+		p.flushOut()
+	}
+
+	vs := make([]MigVertex, 0, len(moving))
+	for _, v := range moving {
+		// A queued activation travels as the pending slot itself: drop the
+		// entry and release its parked token (the coordinator's floor-0 pin
+		// covers the gap until the destination re-schedules).
+		if p.actQ != nil {
+			if it, ok := p.actQ.Remove(v.id); ok {
+				p.deltaDepth.Add(-1)
+				p.tk.Release(it.Token)
+			}
+		}
+		vs = append(vs, MigVertex{
+			ID:          v.id,
+			State:       v.state,
+			Targets:     sortedIDs(v.targets),
+			Added:       sortedIDs(v.added),
+			Removed:     sortedIDs(v.removed),
+			TargetClock: cloneClock(v.targetClock),
+			GatherSeen:  cloneSeen(v.gatherSeen),
+			PrepareList: sortedIDs(v.prepareList),
+			Iter:        v.iter,
+			LastCommit:  v.lastCommit,
+			Progress:    v.progress,
+			Dirty:       v.dirty,
+			Activated:   v.activated,
+			Pending:     v.pending,
+			HasPending:  v.hasPending,
+		})
+		mig.tomb[v.id] = v.iter
+		if v.dirtyToken >= 0 {
+			p.tk.Release(v.dirtyToken)
+			v.dirtyToken = -1
+		}
+		delete(p.vertices, v.id)
+		delete(p.capBlocked, v.id)
+		// commitLog/dirtySet entries stay until cutover: a branch fork
+		// scanning mid-migration must still see these vertices as part of
+		// its seed set on SOME live processor.
+	}
+	mig.shipped = true
+	p.ep.Send(transport.NodeID(mig.dest),
+		msgMigState{Seq: mig.seq, Source: p.idx, NumSources: mig.numSources, Vs: vs})
+	p.ep.Send(p.eng.migNode(), msgMigShipped{Seq: mig.seq, Source: p.idx, Count: len(vs)})
+	p.ep.Flush()
+}
+
+// handleMigState installs one source's shipped vertices. Dirty vertices
+// re-acquire dirty tokens (the coordinator's pin guarantees the floor has
+// not passed their commit iterations), but NOTHING is activated: until the
+// plan flips, protocol messages these vertices emit would route back to the
+// old owner.
+func (p *processor) handleMigState(m msgMigState) {
+	if p.migIn == nil || p.migIn.seq != m.Seq {
+		p.migIn = &migDest{seq: m.Seq, expect: m.NumSources}
+	}
+	for _, mv := range m.Vs {
+		v := newVertex(mv.ID, p.eng.cfg.Seed)
+		v.state = mv.State
+		for _, t := range mv.Targets {
+			v.targets[t] = struct{}{}
+		}
+		for _, t := range mv.Added {
+			v.added[t] = struct{}{}
+		}
+		for _, t := range mv.Removed {
+			v.removed[t] = struct{}{}
+		}
+		for t, ts := range mv.TargetClock {
+			v.targetClock[t] = ts
+		}
+		for t, it := range mv.GatherSeen {
+			v.gatherSeen[t] = it
+		}
+		for _, t := range mv.PrepareList {
+			v.prepareList[t] = struct{}{}
+		}
+		v.iter = mv.Iter
+		v.lastCommit = mv.LastCommit
+		v.progress = mv.Progress
+		v.activated = mv.Activated
+		v.pending, v.hasPending = mv.Pending, mv.HasPending
+		p.vertices[mv.ID] = v
+		p.migIn.ids = append(p.migIn.ids, mv.ID)
+		if mv.Dirty {
+			// Re-acquire the dirty token the source released at ship,
+			// exactly as markDirty would place it.
+			v.dirty = true
+			lower := v.iter
+			if v.lastCommit+1 > lower {
+				lower = v.lastCommit + 1
+			}
+			v.dirtyToken = p.tk.AcquireFloor(lower)
+			if v.dirtyToken > v.iter {
+				v.iter = v.dirtyToken
+			}
+		}
+		p.shareMu.Lock()
+		if mv.Dirty {
+			p.dirtySet[v.id] = struct{}{}
+		}
+		if mv.LastCommit >= 0 {
+			p.commitLog[v.id] = mv.LastCommit
+		}
+		p.shareMu.Unlock()
+	}
+	p.migIn.got++
+	if p.migIn.got >= p.migIn.expect {
+		p.ep.Send(p.eng.migNode(), msgMigInstalled{Seq: m.Seq, Count: len(p.migIn.ids)})
+		p.ep.Flush()
+	}
+}
+
+// handleMigCutover releases a source: the new plan epoch is published, so
+// the journal forwards through sendVertex (which now routes the moved range
+// to its new owner), tombstones drop, and the frozen range's share entries
+// leave the fork-scan surface.
+func (p *processor) handleMigCutover(m msgMigCutover) {
+	mig := p.mig
+	if mig == nil || mig.seq != m.Seq {
+		return
+	}
+	p.mig = nil
+	for _, e := range mig.journal {
+		switch j := e.(type) {
+		case msgInput:
+			p.sendVertex(routeVertex(j.Tuple), j)
+		case msgActivate:
+			p.sendVertex(j.To, j)
+		case msgUpdate:
+			p.sendVertex(j.To, j)
+		case msgAdopt:
+			p.sendVertex(j.To, j)
+		}
+	}
+	p.shareMu.Lock()
+	for id := range mig.tomb {
+		delete(p.commitLog, id)
+		delete(p.dirtySet, id)
+	}
+	p.shareMu.Unlock()
+	if p.batch {
+		p.flushOut()
+	} else {
+		p.ep.Flush()
+	}
+}
+
+// handleMigActivate starts the installed vertices on the destination: dirty
+// ones enter the three-phase protocol, parked delta pendings go through the
+// scheduler (significant ones re-queue with fresh tokens, sub-threshold
+// ones park — selective activation survives the hand-off). The message
+// carries the coordinator's frontier pin, released only after every fresh
+// token is acquired.
+func (p *processor) handleMigActivate(m msgMigActivate) {
+	in := p.migIn
+	if in != nil && in.seq == m.Seq {
+		p.migIn = nil
+		for _, id := range in.ids {
+			v := p.vertices[id]
+			if v == nil {
+				continue
+			}
+			if v.dirty {
+				p.maybeStart(v)
+			} else if p.dp != nil && v.hasPending {
+				lower := v.iter
+				if v.lastCommit+1 > lower {
+					lower = v.lastCommit + 1
+				}
+				p.deltaSchedule(v, p.tk.AcquireFloor(lower))
+			}
+		}
+	}
+	p.tk.Release(m.Token)
+}
+
+// cloneSeen copies a per-producer gather watermark map.
+func cloneSeen(m map[stream.VertexID]int64) map[stream.VertexID]int64 {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[stream.VertexID]int64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

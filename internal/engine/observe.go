@@ -134,6 +134,25 @@ func (e *Engine) attachObs(hub *obs.Hub) {
 		"Loop incarnation number (0 = never recovered).",
 		func() float64 { return float64(e.Generation()) })
 
+	// Elastic repartitioning (DESIGN.md §16): plan epoch, active width, and
+	// the live-migration counters.
+	sc.RegisterCounter("tornado_elastic_migrations_total",
+		"Live vertex-range migrations completed (plan epoch published).", &e.migrations)
+	sc.RegisterCounter("tornado_elastic_migrated_vertices_total",
+		"Vertices shipped between processors by live migrations.", &e.migratedVerts)
+	sc.RegisterCounter("tornado_elastic_migration_aborts_total",
+		"Live migrations aborted before their cutover (crash or shutdown mid-migration).", &e.migAborts)
+	sc.RegisterCounter("tornado_elastic_bounced_frames_total",
+		"Vertex-addressed messages re-routed through the plan after arriving at a non-owner.", &e.migBounced)
+	sc.GaugeFunc("tornado_elastic_plan_epoch",
+		"Partition-plan epoch (bumped by every migration cutover).",
+		func() float64 { return float64(e.PlanEpoch()) })
+	sc.GaugeFunc("tornado_elastic_active_processors",
+		"Processor slots currently owning part of the partition plan.",
+		func() float64 { return float64(e.plan.Load().ActiveCount()) })
+	e.migDurHist = sc.Histogram("tornado_elastic_migration_seconds",
+		"Wall-clock time from freeze to cutover of one live migration.", nil)
+
 	sc.GaugeFunc("tornado_frontier_iteration",
 		"Smallest iteration still holding an obligation token (progress frontier).",
 		func() float64 { return float64(e.cur().tracker.Frontier()) })
@@ -187,7 +206,7 @@ func (e *Engine) attachObs(hub *obs.Hub) {
 	// Freshness watermarks: how far each partition's committed work runs
 	// ahead of the terminated frontier, and how many journaled inputs have
 	// not yet committed (the query path exposes its own journal-seq age).
-	for i := 0; i < e.cfg.Processors; i++ {
+	for i := 0; i < e.cfg.MaxProcessors; i++ {
 		proc := i
 		sc.GaugeFunc("tornado_partition_frontier_lag_iterations",
 			"Iterations between a partition's newest commit and the terminated frontier (per-partition staleness watermark).",
@@ -302,6 +321,17 @@ func (e *Engine) statusz() any {
 		"commit_rate":        rate(s.Commits, uptime),
 		"uptime":             uptime.String(),
 	}
+	ps := e.PlanStats()
+	m["elastic"] = map[string]any{
+		"plan_epoch":        ps.Epoch,
+		"base_processors":   ps.BaseProcessors,
+		"max_processors":    ps.MaxProcessors,
+		"active_processors": activeCount(ps.Active),
+		"overrides":         len(ps.Overrides),
+		"migrations":        ps.Migrations,
+		"migrated_vertices": ps.MigratedVertices,
+		"aborts":            ps.Aborts,
+	}
 	if e.cfg.Delta != nil {
 		m["delta"] = map[string]any{
 			"merged":              s.DeltaMerged,
@@ -337,6 +367,17 @@ func (e *Engine) statusz() any {
 		}
 	}
 	return m
+}
+
+// activeCount counts true entries of a PlanStats.Active slice.
+func activeCount(active []bool) int {
+	n := 0
+	for _, a := range active {
+		if a {
+			n++
+		}
+	}
+	return n
 }
 
 // ratio divides, returning 0 for an empty denominator.

@@ -1,0 +1,154 @@
+package engine
+
+// Elastic partition plans (ROADMAP item 4).
+//
+// The paper's load rebalancing (Section 5.1) stops the world: Reshard
+// replaces the engine wholesale. A PartitionPlan instead versions the
+// vertex→processor mapping at runtime: routing reads the current plan
+// through one atomic pointer per call, and a live migration (elastic.go)
+// publishes the next epoch only after the moved range's state is installed
+// at its new owner — the publish IS the cutover. Plans survive crash
+// recoveries (they live on the Engine, not the incarnation), so a recovered
+// loop re-activates its checkpoint under the elastic routing in force when
+// it crashed.
+
+import (
+	"math"
+
+	"tornado/internal/stream"
+)
+
+// VertexRange is a half-open-ended inclusive range [Lo, Hi] of vertex IDs.
+// FullRange covers every vertex.
+type VertexRange struct {
+	Lo, Hi stream.VertexID
+}
+
+// FullRange covers the whole vertex ID space.
+func FullRange() VertexRange {
+	return VertexRange{Lo: 0, Hi: stream.VertexID(math.MaxUint64)}
+}
+
+// Contains reports whether id falls inside the range.
+func (r VertexRange) Contains(id stream.VertexID) bool {
+	return id >= r.Lo && id <= r.Hi
+}
+
+// PlanOverride is one migration's routing delta: vertices inside Range whose
+// owner (under every preceding override) is From move to Dest. From < 0
+// matches any owner, which is what a plain range migration uses; a scale-in
+// uses (FullRange, retiring processor, survivor).
+type PlanOverride struct {
+	Range VertexRange
+	From  int
+	Dest  int
+}
+
+// PartitionPlan is one epoch of the elastic vertex→processor mapping: the
+// configured base partition over BaseN processors, folded through the
+// overrides in migration order. Plans are immutable; a migration publishes a
+// copy-on-write successor through the engine's atomic pointer.
+type PartitionPlan struct {
+	// Epoch counts plan publications (0 = the configured base partition).
+	Epoch int64
+	// BaseN is the processor count the base partition function is evaluated
+	// with (Config.Processors; spare slots above it start unused).
+	BaseN int
+	// Active flags which of the engine's MaxProcessors slots currently own
+	// any part of the plan (spares are false until a split lands on them,
+	// retired processors false again after a drain-and-merge).
+	Active []int8
+	// Overrides is the fold of every migration published so far, oldest
+	// first. Override lists stay short — one entry per surviving migration —
+	// so Owner is a tiny linear pass, not a search structure.
+	Overrides []PlanOverride
+}
+
+// basePlan is epoch 0: the configured partition, processors 0..baseN-1
+// active, spares idle.
+func basePlan(baseN, maxP int) *PartitionPlan {
+	p := &PartitionPlan{BaseN: baseN, Active: make([]int8, maxP)}
+	for i := 0; i < baseN; i++ {
+		p.Active[i] = 1
+	}
+	return p
+}
+
+// Owner resolves a vertex to its processor slot under this plan: the base
+// partition, then each override applied in publication order.
+func (p *PartitionPlan) Owner(id stream.VertexID, base func(stream.VertexID, int) int) int {
+	own := base(id, p.BaseN)
+	for _, ov := range p.Overrides {
+		if ov.Range.Contains(id) && (ov.From < 0 || ov.From == own) {
+			own = ov.Dest
+		}
+	}
+	return own
+}
+
+// withMove returns the successor plan with one more override. retire marks
+// the From processor inactive (drain-and-merge); Dest always becomes active.
+func (p *PartitionPlan) withMove(r VertexRange, from, dest int, retire bool) *PartitionPlan {
+	next := &PartitionPlan{
+		Epoch:     p.Epoch + 1,
+		BaseN:     p.BaseN,
+		Active:    append([]int8(nil), p.Active...),
+		Overrides: append(append([]PlanOverride(nil), p.Overrides...), PlanOverride{Range: r, From: from, Dest: dest}),
+	}
+	if dest >= 0 && dest < len(next.Active) {
+		next.Active[dest] = 1
+	}
+	if retire && from >= 0 && from < len(next.Active) {
+		next.Active[from] = 0
+	}
+	return next
+}
+
+// ActiveCount returns the number of active processor slots.
+func (p *PartitionPlan) ActiveCount() int {
+	n := 0
+	for _, a := range p.Active {
+		if a != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// PlanStats is a point-in-time view of the elastic routing state for
+// observability and the shell's `partitions` command.
+type PlanStats struct {
+	// Epoch is the current plan epoch (0 = never migrated).
+	Epoch int64
+	// BaseProcessors / MaxProcessors are the configured partition width and
+	// the slot ceiling migrations may scale into.
+	BaseProcessors, MaxProcessors int
+	// Active flags each slot's plan membership.
+	Active []bool
+	// Overrides is a copy of the plan's migration fold.
+	Overrides []PlanOverride
+	// Migrations / MigratedVertices / Aborts are lifetime totals.
+	Migrations, MigratedVertices, Aborts int64
+}
+
+// PlanStats returns the engine's current elastic routing state.
+func (e *Engine) PlanStats() PlanStats {
+	p := e.plan.Load()
+	s := PlanStats{
+		Epoch:            p.Epoch,
+		BaseProcessors:   p.BaseN,
+		MaxProcessors:    len(p.Active),
+		Active:           make([]bool, len(p.Active)),
+		Overrides:        append([]PlanOverride(nil), p.Overrides...),
+		Migrations:       e.migrations.Value(),
+		MigratedVertices: e.migratedVerts.Value(),
+		Aborts:           e.migAborts.Value(),
+	}
+	for i, a := range p.Active {
+		s.Active[i] = a != 0
+	}
+	return s
+}
+
+// PlanEpoch returns the current partition-plan epoch.
+func (e *Engine) PlanEpoch() int64 { return e.plan.Load().Epoch }

@@ -86,6 +86,16 @@ type processor struct {
 	shareMu   sync.Mutex
 	commitLog map[stream.VertexID]int64
 	dirtySet  map[stream.VertexID]struct{}
+
+	// Live migration (migrate.go): mig is the source-side freeze state,
+	// migIn the destination-side install state. Both confined to the
+	// processor goroutine.
+	mig   *migSource
+	migIn *migDest
+
+	// Lifetime load counters read by PartitionLoads (elastic planner).
+	commitCount atomic.Int64
+	updateCount atomic.Int64
 }
 
 // outEntry is one queued outgoing vertex message of the current window.
@@ -161,6 +171,7 @@ func (p *processor) run() {
 			return
 		}
 		p.drainActQ()
+		p.migMaybeShip()
 	}
 }
 
@@ -189,6 +200,7 @@ func (p *processor) runBatched() {
 		// order before the flush, so the highest-impact activations commit
 		// (and coalesce) within the same frame window.
 		p.drainActQ()
+		p.migMaybeShip()
 		p.flushOut()
 		buf = batch
 	}
@@ -213,6 +225,14 @@ func (p *processor) dispatch(env transport.Envelope) bool {
 		p.handleFrontier(m)
 	case msgRescan:
 		p.handleRescan(m)
+	case msgMigFreeze:
+		p.handleMigFreeze(m)
+	case msgMigState:
+		p.handleMigState(m)
+	case msgMigCutover:
+		p.handleMigCutover(m)
+	case msgMigActivate:
+		p.handleMigActivate(m)
 	case msgHalt:
 		return false
 	default:
@@ -395,7 +415,15 @@ func (p *processor) markDirty(v *vertex) {
 
 func (p *processor) handleInput(m msgInput) {
 	p.eng.stats.InputMsgs.Inc()
-	v := p.ensure(routeVertex(m.Tuple))
+	id := routeVertex(m.Tuple)
+	if p.migrating(id) {
+		p.mig.journal = append(p.mig.journal, m)
+		return
+	}
+	if p.bounce(id, m) {
+		return
+	}
+	v := p.ensure(id)
 	p.trace(obs.EvInput, v.id, 0, v.iter)
 	if m.Ctx.Traced() {
 		// Inbox dwell closes at dispatch (delivery -> this handler).
@@ -411,6 +439,13 @@ func (p *processor) handleInput(m msgInput) {
 }
 
 func (p *processor) handleActivate(m msgActivate) {
+	if p.migrating(m.To) {
+		p.mig.journal = append(p.mig.journal, m)
+		return
+	}
+	if p.bounce(m.To, m) {
+		return
+	}
 	v := p.ensure(m.To)
 	p.trace(obs.EvActivate, v.id, 0, v.iter)
 	work := heldWork{token: m.Token, activate: true}
@@ -476,6 +511,14 @@ func (p *processor) applyWork(v *vertex, w heldWork) {
 }
 
 func (p *processor) handleUpdate(m msgUpdate) {
+	p.updateCount.Add(1)
+	if p.migrating(m.To) {
+		p.mig.journal = append(p.mig.journal, m)
+		return
+	}
+	if p.bounce(m.To, m) {
+		return
+	}
 	// Delay bounding (Section 4.4): updates committed at the cap iteration
 	// are not gathered until the frontier advances. The producer has
 	// committed either way, so it stops blocking our own update immediately
@@ -597,6 +640,21 @@ func (p *processor) adoptTraceCtx(v *vertex, ctx trace.Context) {
 }
 
 func (p *processor) handlePrepare(m msgPrepare) {
+	// A prepare for a vertex that already shipped is answered from its
+	// tombstone: the reply carries the ship-time iteration, which the real
+	// owner can only have raised since — indistinguishable from an ack
+	// legally racing the consumer's own commit.
+	if mig := p.mig; mig != nil && mig.shipped {
+		if iter, gone := mig.tomb[m.To]; gone {
+			p.eng.clock.Witness(m.Stamp.Time)
+			p.eng.stats.AckMsgs.Inc()
+			p.sendVertex(m.From, msgAck{From: m.To, To: m.From, Iteration: iter})
+			return
+		}
+	}
+	if p.bounce(m.To, m) {
+		return
+	}
 	v := p.ensure(m.To)
 	p.trace(obs.EvPrepareRecv, v.id, m.From, v.iter)
 	p.eng.clock.Witness(m.Stamp.Time)
@@ -614,6 +672,9 @@ func (p *processor) handlePrepare(m msgPrepare) {
 }
 
 func (p *processor) handleAck(m msgAck) {
+	if p.bounce(m.To, m) {
+		return
+	}
 	v, ok := p.vertices[m.To]
 	if !ok || !v.preparing() {
 		return // stale ack (e.g. duplicate delivery)
@@ -671,6 +732,11 @@ func (p *processor) handleFrontier(m msgFrontier) {
 // must not be involved in any producer's preparation.
 func (p *processor) maybeStart(v *vertex) {
 	if v == nil || v.preparing() || !v.dirty || len(v.prepareList) > 0 {
+		return
+	}
+	// A frozen migrating vertex must not start a new commit: it ships as
+	// dirty and the new owner starts it after the cutover.
+	if p.migrating(v.id) {
 		return
 	}
 	lower := v.iter
@@ -772,6 +838,7 @@ func (p *processor) commit(v *vertex) {
 	p.tk.RecordCommit(tau, v.progress)
 	v.progress = 0
 	p.eng.stats.Commits.Inc()
+	p.commitCount.Add(1)
 	if p.eng.journal != nil {
 		p.eng.journal.Committed(v.id, tau)
 	}

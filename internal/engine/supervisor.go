@@ -138,7 +138,7 @@ func (e *Engine) RecoverFromCheckpoint() bool {
 // a process death.
 func (e *Engine) heartbeatRun(inc *incarnation, proc int, ep *transport.Endpoint) {
 	defer inc.wg.Done()
-	sup := transport.NodeID(e.cfg.Processors + 2)
+	sup := e.supNode()
 	t := time.NewTicker(e.cfg.HeartbeatInterval)
 	defer t.Stop()
 	for {
@@ -339,7 +339,7 @@ func (e *Engine) doRecover(from *incarnation, detected time.Time, deadProcs []in
 		log = append(log, now)
 		e.restartLog[i] = log
 		if e.cfg.MaxRestarts > 0 && len(log) > e.cfg.MaxRestarts &&
-			len(e.quarantined) < e.cfg.Processors-1 {
+			len(e.quarantined) < e.cfg.MaxProcessors-1 {
 			if _, q := e.quarantined[i]; !q {
 				e.quarantined[i] = struct{}{}
 				quarantinedNow = append(quarantinedNow, i)
@@ -447,6 +447,11 @@ const (
 	// until healed manually). Every corruption is caught by the frame CRC
 	// and drops its connection; nothing corrupt is ever delivered.
 	FaultWireCorrupt
+	// FaultCrashDuringMigration arms a crash of processor Proc that fires in
+	// the middle of the next live migration: after the coordinator freezes
+	// the moving range, before the cutover. The migration must abort to the
+	// pre-epoch plan and the supervised recovery restore exactness.
+	FaultCrashDuringMigration
 )
 
 // Fault is one entry of a deterministic chaos schedule.
@@ -504,6 +509,8 @@ func (e *Engine) applyFault(f Fault) {
 		e.CrashMaster()
 	case FaultSlowProcessor:
 		e.SlowProcessor(f.Proc, f.Delay)
+	case FaultCrashDuringMigration:
+		e.migCrashArm.Store(int64(f.Proc) + 1)
 	case FaultWirePartition:
 		e.SetWirePartition(true)
 		if f.Delay > 0 {

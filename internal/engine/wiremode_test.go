@@ -92,13 +92,13 @@ func TestWireModeTCPDefaultsResend(t *testing.T) {
 func TestWireModeCrashRecovery(t *testing.T) {
 	tuples := datasets.PowerLawGraph(120, 3, 31)
 	e, err := New(Config{
-		Processors:        3,
-		DelayBound:        8,
-		Kind:              MainLoop,
-		LoopID:            storage.MainLoop,
-		Store:             storage.NewMemStore(),
-		Program:           ssspProg{source: 0},
-		Seed:              31,
+		Processors: 3,
+		DelayBound: 8,
+		Kind:       MainLoop,
+		LoopID:     storage.MainLoop,
+		Store:      storage.NewMemStore(),
+		Program:    ssspProg{source: 0},
+		Seed:       31,
 		// A 300ms suspicion window: wide enough that race-detector
 		// scheduling stalls don't trigger spurious suspicion storms
 		// (recover → stall → re-suspect, forever), still sub-second

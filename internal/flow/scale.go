@@ -1,0 +1,173 @@
+package flow
+
+// ScalePlanner turns per-partition load accounting plus the overload
+// ladder's pressure level into elastic scaling decisions: split a hot
+// partition onto a spare processor when sustained degradation concentrates
+// there, drain-and-merge a scaled-out partition when the system has been
+// idle long enough. The planner is pure bookkeeping — it never touches the
+// engine; the caller samples loads, feeds Decide, and executes the returned
+// action (live migration) itself.
+
+// PartitionLoad is one processor slot's load sample as the planner sees it.
+// The engine exposes the same shape (engine.PartitionLoad); flow cannot
+// import engine, so the caller copies fields across.
+type PartitionLoad struct {
+	Proc     int
+	Active   bool // currently owns part of the partition plan
+	Scaled   bool // added by a split (merge candidates; base slots never merge)
+	Vertices int
+	// UpdateRate and CommitRate are per-second message/commit rates over the
+	// caller's sampling window.
+	UpdateRate float64
+	CommitRate float64
+	// QueueDepth is the slot's delta activation-queue depth.
+	QueueDepth int64
+}
+
+// ScaleAction is what the planner wants done.
+type ScaleAction int
+
+const (
+	ScaleNone ScaleAction = iota
+	// ScaleSplit: split partition Proc onto a spare slot.
+	ScaleSplit
+	// ScaleMerge: drain partition Proc back onto the remaining slots.
+	ScaleMerge
+)
+
+func (a ScaleAction) String() string {
+	switch a {
+	case ScaleSplit:
+		return "split"
+	case ScaleMerge:
+		return "merge"
+	default:
+		return "none"
+	}
+}
+
+// Decision is one planner verdict.
+type Decision struct {
+	Action ScaleAction
+	Proc   int // the partition to split or merge
+}
+
+// ScalePlannerOptions tunes the planner's hysteresis. Zero values pick
+// conservative defaults.
+type ScalePlannerOptions struct {
+	// SplitLevel is the minimum overload-ladder level that counts as
+	// split-worthy degradation (default 2: load shedding has begun — cheaper
+	// remedies like delay-bound widening and delta boosting did not hold).
+	SplitLevel int
+	// SplitAfter is how many consecutive degraded-and-concentrated samples
+	// arm a split (default 3).
+	SplitAfter int
+	// MergeAfter is how many consecutive level-0 samples with a starved
+	// scaled-out partition arm a merge (default 8: scale in far more
+	// cautiously than out).
+	MergeAfter int
+	// Concentration is the minimum ratio of the hottest partition's update
+	// rate to the mean across active partitions for the heat to count as
+	// concentrated — splitting helps a skewed partition, not a uniformly
+	// overloaded system (default 2.0).
+	Concentration float64
+	// MinVertices is the minimum vertex count a partition must host to be
+	// split (default 16; splitting a tiny partition just moves the hotspot).
+	MinVertices int
+}
+
+func (o *ScalePlannerOptions) fill() {
+	if o.SplitLevel <= 0 {
+		o.SplitLevel = 2
+	}
+	if o.SplitAfter <= 0 {
+		o.SplitAfter = 3
+	}
+	if o.MergeAfter <= 0 {
+		o.MergeAfter = 8
+	}
+	if o.Concentration <= 0 {
+		o.Concentration = 2.0
+	}
+	if o.MinVertices <= 0 {
+		o.MinVertices = 16
+	}
+}
+
+// ScalePlanner accumulates hysteresis across Decide calls. Not safe for
+// concurrent use; the caller's sampling loop owns it.
+type ScalePlanner struct {
+	opts ScalePlannerOptions
+	hot  int // consecutive split-worthy samples
+	idle int // consecutive merge-worthy samples
+}
+
+// NewScalePlanner returns a planner with the given (filled) options.
+func NewScalePlanner(opts ScalePlannerOptions) *ScalePlanner {
+	opts.fill()
+	return &ScalePlanner{opts: opts}
+}
+
+// Decide takes one sample: the current overload-ladder level, per-slot
+// loads, and whether a spare slot exists. It returns at most one action;
+// the caller should re-sample from scratch after executing it (Reset is
+// called internally on every non-none decision).
+func (p *ScalePlanner) Decide(level int, loads []PartitionLoad, spareAvailable bool) Decision {
+	hottest, coldest := -1, -1
+	var sum float64
+	active := 0
+	for i, l := range loads {
+		if !l.Active {
+			continue
+		}
+		active++
+		sum += l.UpdateRate
+		if hottest < 0 || l.UpdateRate > loads[hottest].UpdateRate {
+			hottest = i
+		}
+		if l.Scaled && (coldest < 0 || l.UpdateRate < loads[coldest].UpdateRate) {
+			coldest = i
+		}
+	}
+	if active == 0 {
+		return Decision{}
+	}
+	mean := sum / float64(active)
+
+	// Split: sustained L2+ degradation whose update traffic concentrates in
+	// one sufficiently large partition, with somewhere to put the other half.
+	splitWorthy := level >= p.opts.SplitLevel && spareAvailable &&
+		hottest >= 0 && loads[hottest].Vertices >= p.opts.MinVertices &&
+		(active == 1 || (mean > 0 && loads[hottest].UpdateRate >= p.opts.Concentration*mean))
+	if splitWorthy {
+		p.idle = 0
+		p.hot++
+		if p.hot >= p.opts.SplitAfter {
+			p.Reset()
+			return Decision{Action: ScaleSplit, Proc: loads[hottest].Proc}
+		}
+		return Decision{}
+	}
+	p.hot = 0
+
+	// Merge: the ladder is fully relaxed and a scaled-out partition has gone
+	// quiet relative to the mean — keep draining the quietest one.
+	mergeWorthy := level == 0 && coldest >= 0 &&
+		loads[coldest].UpdateRate <= mean/p.opts.Concentration
+	if mergeWorthy {
+		p.idle++
+		if p.idle >= p.opts.MergeAfter {
+			p.Reset()
+			return Decision{Action: ScaleMerge, Proc: loads[coldest].Proc}
+		}
+		return Decision{}
+	}
+	p.idle = 0
+	return Decision{}
+}
+
+// Reset clears the planner's hysteresis counters (called after every
+// decision, and by callers after a manual scaling operation).
+func (p *ScalePlanner) Reset() {
+	p.hot, p.idle = 0, 0
+}

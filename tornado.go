@@ -88,11 +88,28 @@ type (
 	// StoreStats is the versioned store's residency report (live versions,
 	// resident bytes, compactions, pinned snapshots; see System.StoreStats).
 	StoreStats = storage.StoreStats
+	// VertexRange is a contiguous inclusive vertex-ID range (live migration).
+	VertexRange = engine.VertexRange
+	// PlanStats describes the current partition plan: epoch, active slots,
+	// overrides, and migration counters (see System.PlanStats).
+	PlanStats = engine.PlanStats
+	// PartitionLoad is one processor slot's live load accounting (see
+	// System.PartitionLoads).
+	PartitionLoad = engine.PartitionLoad
 )
 
 // ErrOverloaded is returned by Submit when the query wait queue is full and
 // the query was shed (backpressure; retry later or relax the load).
 var ErrOverloaded = queryserv.ErrOverloaded
+
+// ErrIngestionActive is returned by Reshard when admitted inputs are still
+// unapplied — stop-the-world resharding would lose them. Drain (WaitQuiesce)
+// first, or use live migration (Migrate/ScaleOut), which needs no pause.
+var ErrIngestionActive = engine.ErrIngestionActive
+
+// ErrMigrationActive is returned when a live migration is already in flight
+// (one at a time).
+var ErrMigrationActive = engine.ErrMigrationActive
 
 // Loop kind values.
 const (
@@ -102,11 +119,12 @@ const (
 
 // Planned fault kinds.
 const (
-	FaultCrashProcessor = engine.FaultCrashProcessor
-	FaultCrashMaster    = engine.FaultCrashMaster
-	FaultSlowProcessor  = engine.FaultSlowProcessor
-	FaultWirePartition  = engine.FaultWirePartition
-	FaultWireCorrupt    = engine.FaultWireCorrupt
+	FaultCrashProcessor       = engine.FaultCrashProcessor
+	FaultCrashMaster          = engine.FaultCrashMaster
+	FaultSlowProcessor        = engine.FaultSlowProcessor
+	FaultWirePartition        = engine.FaultWirePartition
+	FaultWireCorrupt          = engine.FaultWireCorrupt
+	FaultCrashDuringMigration = engine.FaultCrashDuringMigration
 )
 
 // RegisterStateType registers a concrete vertex-state type for
@@ -199,6 +217,37 @@ type Options struct {
 	// ladder. The zero value bounds every queue with the FlowOptions
 	// defaults and runs the overload controller.
 	Flow FlowOptions
+
+	// Elastic tunes live repartitioning: spare processor slots for
+	// hot-partition splits, and the pressure-driven split/merge planner.
+	// The zero value runs without spares and without the planner; manual
+	// Migrate/ScaleOut/ScaleIn remain available whenever spare slots exist.
+	Elastic ElasticOptions
+}
+
+// ElasticOptions configure the elastic repartitioning layer (DESIGN.md §16).
+type ElasticOptions struct {
+	// MaxProcessors is the processor slot ceiling. Slots beyond Processors
+	// start idle (owning no vertices) and join the plan when a hot
+	// partition splits onto them; ScaleIn drains a slot and retires it
+	// again. Default Processors: no spares, splits impossible.
+	MaxProcessors int
+	// AutoScale runs the background split/merge planner: sustained overload
+	// (degradation ladder level SplitLevel+) concentrated in one partition
+	// splits it onto a spare; a scaled-out partition idle through MergeAfter
+	// calm samples drains back. Requires flow control (the ladder is the
+	// pressure signal) and MaxProcessors > Processors to be useful.
+	AutoScale bool
+	// SampleEvery is the planner's sampling period (default 250ms).
+	SampleEvery time.Duration
+	// Planner hysteresis overrides; zero values take the flow.ScalePlanner
+	// defaults (split at ladder level 2 after 3 samples when the hottest
+	// partition carries 2x the mean update rate; merge after 8 calm samples).
+	SplitLevel    int
+	SplitAfter    int
+	MergeAfter    int
+	Concentration float64
+	MinVertices   int
 }
 
 // FlowOptions bound the system's queues and drive graceful degradation
@@ -276,6 +325,9 @@ func (o *Options) fill() {
 		o.Seed = 1
 	}
 	o.Flow.fill(o.DelayBound)
+	if o.Elastic.SampleEvery <= 0 {
+		o.Elastic.SampleEvery = 250 * time.Millisecond
+	}
 }
 
 // System is a running Tornado instance: one main loop plus on-demand branch
@@ -299,6 +351,10 @@ type System struct {
 	flowCeil      int64
 	flowInboxHigh int
 	flowQueueCap  int
+
+	// Elastic planner loop (nil when Options.Elastic.AutoScale is off).
+	scaleStop chan struct{}
+	scaleWG   sync.WaitGroup
 
 	hub          *obs.Hub
 	branchesLive atomic.Int64
@@ -350,6 +406,7 @@ func newSystem(program Program, dp DeltaProgram, opts Options) (*System, error) 
 	})
 	cfg := engine.Config{
 		Processors:        opts.Processors,
+		MaxProcessors:     opts.Elastic.MaxProcessors,
 		DelayBound:        opts.DelayBound,
 		Kind:              engine.MainLoop,
 		LoopID:            storage.MainLoop,
@@ -411,7 +468,83 @@ func newSystem(program Program, dp DeltaProgram, opts Options) (*System, error) 
 		}
 	}
 	e.Start()
+	if opts.Elastic.AutoScale {
+		s.scaleStop = make(chan struct{})
+		s.scaleWG.Add(1)
+		go s.scaleRun(opts.Elastic)
+	}
 	return s, nil
+}
+
+// scaleRun is the elastic planner loop: it samples per-partition load and
+// the overload ladder, asks the flow.ScalePlanner for a verdict, and
+// executes split/merge decisions as live migrations. Rates are deltas of
+// the slots' lifetime counters over the sampling window; a crash recovery
+// resets the counters, which reads as a negative delta and is skipped.
+func (s *System) scaleRun(opts ElasticOptions) {
+	defer s.scaleWG.Done()
+	planner := flow.NewScalePlanner(flow.ScalePlannerOptions{
+		SplitLevel:    opts.SplitLevel,
+		SplitAfter:    opts.SplitAfter,
+		MergeAfter:    opts.MergeAfter,
+		Concentration: opts.Concentration,
+		MinVertices:   opts.MinVertices,
+	})
+	tick := time.NewTicker(opts.SampleEvery)
+	defer tick.Stop()
+	var (
+		prevEng *engine.Engine
+		prev    []engine.PartitionLoad
+		prevAt  time.Time
+	)
+	for {
+		select {
+		case <-s.scaleStop:
+			return
+		case <-tick.C:
+		}
+		e := s.engine()
+		if e != prevEng {
+			prevEng, prev = e, nil // Reshard swapped the engine: rates restart
+		}
+		loads := e.PartitionLoads()
+		stats := e.PlanStats()
+		now := time.Now()
+		dt := now.Sub(prevAt).Seconds()
+		fl := make([]flow.PartitionLoad, len(loads))
+		spare := false
+		for i, l := range loads {
+			fl[i] = flow.PartitionLoad{
+				Proc:       l.Proc,
+				Active:     l.Active,
+				Scaled:     l.Active && l.Proc >= stats.BaseProcessors,
+				Vertices:   l.Vertices,
+				QueueDepth: l.QueueDepth,
+			}
+			if prev != nil && i < len(prev) && dt > 0 {
+				if du := l.Updates - prev[i].Updates; du > 0 {
+					fl[i].UpdateRate = float64(du) / dt
+				}
+				if dc := l.Commits - prev[i].Commits; dc > 0 {
+					fl[i].CommitRate = float64(dc) / dt
+				}
+			}
+			if !l.Active && !l.Quarantined {
+				spare = true
+			}
+		}
+		prev, prevAt = loads, now
+		level := 0
+		if c := s.flowCtl; c != nil {
+			level = c.Level()
+		}
+		switch d := planner.Decide(level, fl, spare); d.Action {
+		case flow.ScaleSplit:
+			_, _ = e.ScaleOut(d.Proc)
+		case flow.ScaleMerge:
+			_ = e.ScaleIn(d.Proc)
+		}
+	}
 }
 
 // forkBranch is the query service's fork backend: it allocates a loop ID,
@@ -778,6 +911,12 @@ func (s *System) Merge(res *Result) error {
 func (s *System) Reshard(newProcs int, timeout time.Duration) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Ingestion is paused by contract, so the admitted backlog drains to
+	// zero; if a spout is still feeding, the quiesce times out or the gate
+	// refills and engine.Reshard refuses with ErrIngestionActive.
+	if err := s.main.WaitQuiesce(timeout); err != nil {
+		return err
+	}
 	ne, err := engine.Reshard(s.main, newProcs, nil, timeout)
 	if err != nil {
 		return err
@@ -785,6 +924,35 @@ func (s *System) Reshard(newProcs int, timeout time.Duration) error {
 	s.main = ne
 	return nil
 }
+
+// Migrate moves the inclusive vertex-ID range [lo, hi] onto main-loop
+// processor dest WITHOUT stopping the loop (DESIGN.md §16): the range
+// freezes at its current owners, state ships live while in-flight traffic
+// journal-forwards, and the cutover is one atomic partition-plan publish.
+// Ingestion and queries keep running throughout. Blocks until the migration
+// completes; on a crash mid-migration it aborts with the plan unchanged.
+func (s *System) Migrate(lo, hi VertexID, dest int) error {
+	return s.engine().Migrate(VertexRange{Lo: lo, Hi: hi}, dest)
+}
+
+// ScaleOut splits the hottest partition (by hosted vertex count) onto the
+// first spare processor slot as a live migration, returning the slot scaled
+// onto. Requires Options.Elastic.MaxProcessors > Processors.
+func (s *System) ScaleOut() (int, error) { return s.engine().ScaleOut(-1) }
+
+// ScaleIn drains processor slot proc live — everything it owns migrates to
+// the least-loaded remaining active slot — and retires it from the plan.
+func (s *System) ScaleIn(proc int) error { return s.engine().ScaleIn(proc) }
+
+// PlanStats reports the current partition plan: epoch, base and maximum
+// processor counts, which slots are active, the override chain, and the
+// lifetime migration counters.
+func (s *System) PlanStats() PlanStats { return s.engine().PlanStats() }
+
+// PartitionLoads reports per-slot load accounting: hosted vertices,
+// lifetime commit/update counters and delta queue depth — the signals the
+// elastic planner weighs.
+func (s *System) PartitionLoads() []PartitionLoad { return s.engine().PartitionLoads() }
 
 // CrashProcessor crashes main-loop processor i with true crash semantics:
 // its in-memory vertex states, pending inputs and in-flight frames are
@@ -852,12 +1020,18 @@ func (s *System) Engine() *engine.Engine { return s.engine() }
 // the exposition endpoint. Branch results obtained earlier must be closed
 // separately.
 func (s *System) Close() {
+	if s.scaleStop != nil {
+		close(s.scaleStop)
+	}
 	if s.flowCtl != nil {
 		s.flowCtl.Stop()
 	}
 	s.qapi.Close()
 	s.qs.Close()
 	s.engine().Stop()
+	// After Stop: a planner-driven migration in flight aborts when the
+	// incarnation dies, unblocking the loop to observe the closed channel.
+	s.scaleWG.Wait()
 	if s.ownStore {
 		_ = s.store.Close() // stops the default MVCC store's compactor
 	}
